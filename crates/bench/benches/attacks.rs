@@ -1,0 +1,68 @@
+//! Criterion benchmarks: the attack kernels — deniability prediction,
+//! inverted-index matching and the tie-aware top-k decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_bench::{bench_adult, bench_rng};
+use ldp_core::profiling::Profile;
+use ldp_core::reident::{MatchScratch, ReidentAttack};
+use ldp_protocols::{deniability, FrequencyOracle, ProtocolKind};
+use std::hint::black_box;
+
+fn bench_deniability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deniability_best_guess");
+    for kind in ProtocolKind::ALL {
+        let oracle = kind.build(74, 2.0).unwrap();
+        let mut rng = bench_rng();
+        let report = oracle.randomize(12, &mut rng);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(deniability::best_guess(&oracle, black_box(&report), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let ds = bench_adult(10_000);
+    let all: Vec<usize> = (0..ds.d()).collect();
+    let attack = ReidentAttack::build(&ds, &all);
+    let mut rng = bench_rng();
+    let mut scratch = MatchScratch::default();
+
+    // A realistic five-attribute profile of user 123.
+    let mut profile = Profile::new();
+    for j in 0..5 {
+        profile.observe(j, ds.value(123, j));
+    }
+
+    c.bench_function("reident_top10_match_10k_records", |b| {
+        b.iter(|| {
+            black_box(attack.hits_in_top_ks(
+                black_box(&profile),
+                123,
+                &[1, 10],
+                &mut scratch,
+                &mut rng,
+            ))
+        })
+    });
+
+    c.bench_function("reident_index_build_10k_records", |b| {
+        b.iter(|| black_box(ReidentAttack::build(black_box(&ds), &all)))
+    });
+}
+
+fn bench_expected_acc(c: &mut Criterion) {
+    c.bench_function("expected_acc_all_protocols_k74", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for kind in ProtocolKind::ALL {
+                let oracle = kind.build(74, black_box(5.0)).unwrap();
+                acc += deniability::expected_acc(&oracle);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_deniability, bench_matching, bench_expected_acc);
+criterion_main!(benches);

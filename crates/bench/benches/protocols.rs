@@ -1,0 +1,63 @@
+//! Criterion benchmarks: frequency-oracle client randomization and server
+//! aggregation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_bench::bench_rng;
+use ldp_protocols::{Aggregator, FrequencyOracle, ProtocolKind};
+use std::hint::black_box;
+
+fn bench_randomize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomize");
+    for kind in ProtocolKind::ALL {
+        for k in [16usize, 74] {
+            let oracle = kind.build(k, 2.0).unwrap();
+            let mut rng = bench_rng();
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), k),
+                &oracle,
+                |b, oracle| {
+                    b.iter(|| black_box(oracle.randomize(black_box(3), &mut rng)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_1k_reports");
+    for kind in ProtocolKind::ALL {
+        let k = 32usize;
+        let oracle = kind.build(k, 2.0).unwrap();
+        let mut rng = bench_rng();
+        let reports: Vec<_> = (0..1000u32)
+            .map(|i| oracle.randomize(i % k as u32, &mut rng))
+            .collect();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut agg = Aggregator::new(&oracle);
+                for r in &reports {
+                    agg.absorb(r);
+                }
+                black_box(agg.estimate())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator_math(c: &mut Criterion) {
+    c.bench_function("variance_closed_forms", |b| {
+        let oracle = ProtocolKind::Oue.build(74, 2.0).unwrap();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in 0..74 {
+                acc += oracle.variance(black_box(v as f64 / 74.0), 10_000);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_randomize, bench_aggregate, bench_estimator_math);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks: multidimensional solution client/server throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_bench::{bench_adult, bench_rng};
+use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol, Smp, Spl};
+use ldp_protocols::{ProtocolKind, UeMode};
+use std::hint::black_box;
+
+fn bench_clients(c: &mut Criterion) {
+    let ds = bench_adult(64);
+    let ks = ds.schema().cardinalities();
+    let tuple: Vec<u32> = ds.row(0).to_vec();
+    let mut group = c.benchmark_group("client_tuple_report");
+
+    let smp = Smp::new(ProtocolKind::Grr, &ks, 1.0).unwrap();
+    let mut rng = bench_rng();
+    group.bench_function("SMP[GRR]", |b| {
+        b.iter(|| black_box(smp.report(black_box(&tuple), &mut rng)))
+    });
+
+    let spl = Spl::new(ProtocolKind::Grr, &ks, 1.0).unwrap();
+    group.bench_function("SPL[GRR]", |b| {
+        b.iter(|| black_box(spl.report(black_box(&tuple), &mut rng)))
+    });
+
+    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, 1.0).unwrap();
+    group.bench_function("RS+FD[GRR]", |b| {
+        b.iter(|| black_box(rsfd.report(black_box(&tuple), &mut rng)))
+    });
+
+    let rsfd_ue = RsFd::new(RsFdProtocol::UeZ(UeMode::Optimized), &ks, 1.0).unwrap();
+    group.bench_function("RS+FD[OUE-z]", |b| {
+        b.iter(|| black_box(rsfd_ue.report(black_box(&tuple), &mut rng)))
+    });
+
+    let priors: Vec<Vec<f64>> = ks.iter().map(|&k| vec![1.0 / k as f64; k]).collect();
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, 1.0, priors).unwrap();
+    group.bench_function("RS+RFD[GRR]", |b| {
+        b.iter(|| black_box(rsrfd.report(black_box(&tuple), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let ds = bench_adult(2000);
+    let ks = ds.schema().cardinalities();
+    let mut rng = bench_rng();
+    let mut group = c.benchmark_group("server_estimate_2k_users");
+    group.sample_size(20);
+
+    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, 1.0).unwrap();
+    let reports: Vec<_> = ds.rows().map(|t| rsfd.report(t, &mut rng)).collect();
+    group.bench_function("RS+FD[GRR]", |b| {
+        b.iter(|| black_box(rsfd.estimate(black_box(&reports))))
+    });
+
+    let rsfd_ue = RsFd::new(RsFdProtocol::UeR(UeMode::Optimized), &ks, 1.0).unwrap();
+    let ue_reports: Vec<_> = ds.rows().map(|t| rsfd_ue.report(t, &mut rng)).collect();
+    group.bench_function("RS+FD[OUE-r]", |b| {
+        b.iter(|| black_box(rsfd_ue.estimate(black_box(&ue_reports))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clients, bench_estimation);
+criterion_main!(benches);

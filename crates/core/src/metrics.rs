@@ -1,0 +1,81 @@
+//! Evaluation metrics shared by the experiments: the paper's averaged MSE
+//! (§5.2.2) and simple mean/std aggregation over repeated runs.
+
+/// The paper's utility metric
+/// `MSE_avg = (1/d) Σ_j (1/k_j) Σ_v (f_j(v) − f̂_j(v))²`.
+///
+/// # Panics
+/// Panics when the two nested shapes disagree or are empty.
+pub fn mse_avg(truth: &[Vec<f64>], estimate: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "attribute count mismatch");
+    assert!(!truth.is_empty(), "no attributes");
+    let mut total = 0.0;
+    for (t, e) in truth.iter().zip(estimate) {
+        assert_eq!(t.len(), e.len(), "domain size mismatch");
+        assert!(!t.is_empty(), "empty domain");
+        let per: f64 = t
+            .iter()
+            .zip(e)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / t.len() as f64;
+        total += per;
+    }
+    total / truth.len() as f64
+}
+
+/// Mean and (population) standard deviation of repeated-run measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+/// Aggregates run measurements; an empty slice yields zeros.
+pub fn mean_std(xs: &[f64]) -> MeanStd {
+    if xs.is_empty() {
+        return MeanStd { mean: 0.0, std: 0.0 };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_avg_zero_for_identical_inputs() {
+        let f = vec![vec![0.2, 0.8], vec![0.1, 0.4, 0.5]];
+        assert_eq!(mse_avg(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn mse_avg_averages_over_values_and_attributes() {
+        let truth = vec![vec![1.0, 0.0], vec![0.5, 0.5]];
+        let est = vec![vec![0.0, 1.0], vec![0.5, 0.5]];
+        // Attribute 1: (1 + 1)/2 = 1. Attribute 2: 0. Average: 0.5.
+        assert!((mse_avg(&truth, &est) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain size mismatch")]
+    fn mse_avg_rejects_shape_mismatch() {
+        mse_avg(&[vec![1.0]], &[vec![0.5, 0.5]]);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let ms = mean_std(&[1.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-12);
+        assert!((ms.std - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), MeanStd { mean: 0.0, std: 0.0 });
+    }
+}

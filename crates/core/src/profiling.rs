@@ -1,0 +1,127 @@
+//! Multi-collection profiling math and profile construction (§3.2.2–3.2.3).
+//!
+//! Over multiple surveys the adversary accumulates a per-user profile of
+//! (attribute, predicted value) pairs. The expected probability of profiling
+//! a user *completely correctly* after `#surveys = d` collections is
+//!
+//! * Eq. (4), uniform privacy metric (sampling without replacement):
+//!   `ACC_U = Π_j ACC_FO(ε, k_j)`;
+//! * Eq. (5), non-uniform metric (with replacement + memoization):
+//!   `ACC_NU = Π_j ((d+1−j)/d) · ACC_FO(ε, k_j)`.
+
+/// A per-user inferred profile: predicted value per observed attribute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// (attribute id, predicted value), at most one entry per attribute.
+    entries: Vec<(usize, u32)>,
+}
+
+impl Profile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Records a prediction for `attr`, overwriting any previous prediction
+    /// for the same attribute (repeated attributes re-send memoized reports,
+    /// so predictions coincide in the non-uniform setting anyway).
+    pub fn observe(&mut self, attr: usize, predicted: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|(a, _)| *a == attr) {
+            e.1 = predicted;
+        } else {
+            self.entries.push((attr, predicted));
+        }
+    }
+
+    /// The accumulated (attribute, prediction) pairs.
+    pub fn entries(&self) -> &[(usize, u32)] {
+        &self.entries
+    }
+
+    /// Number of distinct attributes profiled.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of entries matching the user's true record (diagnostics).
+    pub fn correctness(&self, record: &[u32]) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .entries
+            .iter()
+            .filter(|&&(a, v)| record.get(a) == Some(&v))
+            .count();
+        hits as f64 / self.entries.len() as f64
+    }
+}
+
+/// Eq. (4): expected probability of a fully correct `d`-attribute profile
+/// under the uniform privacy metric, given per-survey single-report attack
+/// accuracies.
+pub fn expected_acc_uniform(per_survey_acc: &[f64]) -> f64 {
+    per_survey_acc.iter().product()
+}
+
+/// Eq. (5): expected probability of a fully correct profile under the
+/// non-uniform metric (with-replacement sampling), where survey `j`
+/// (1-based) contributes a fresh attribute only with probability
+/// `(d + 1 − j)/d`.
+pub fn expected_acc_nonuniform(per_survey_acc: &[f64]) -> f64 {
+    let d = per_survey_acc.len() as f64;
+    per_survey_acc
+        .iter()
+        .enumerate()
+        .map(|(idx, &acc)| (d - idx as f64) / d * acc)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_observe_overwrites_same_attribute() {
+        let mut p = Profile::new();
+        p.observe(2, 5);
+        p.observe(0, 1);
+        p.observe(2, 7);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.entries(), &[(2, 7), (0, 1)]);
+    }
+
+    #[test]
+    fn correctness_counts_matches() {
+        let mut p = Profile::new();
+        p.observe(0, 1);
+        p.observe(1, 9);
+        assert_eq!(p.correctness(&[1, 2, 3]), 0.5);
+        assert_eq!(Profile::new().correctness(&[1]), 0.0);
+    }
+
+    #[test]
+    fn eq4_is_plain_product() {
+        let acc = [0.9, 0.5, 0.8];
+        assert!((expected_acc_uniform(&acc) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq5_discounts_by_fresh_attribute_probability() {
+        // d = 3: factors 3/3, 2/3, 1/3 → product of accs × 6/27 = d!/d^d.
+        let acc = [1.0, 1.0, 1.0];
+        let expect = 6.0 / 27.0;
+        assert!((expected_acc_nonuniform(&acc) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonuniform_never_exceeds_uniform() {
+        let acc = [0.7, 0.6, 0.9, 0.4];
+        assert!(expected_acc_nonuniform(&acc) <= expected_acc_uniform(&acc));
+    }
+}

@@ -1,0 +1,337 @@
+//! The §3.2.4 re-identification attack: matching algorithm `R` and decision
+//! algorithm `G`.
+//!
+//! `R` scores every background record by the number of profile entries it
+//! matches (distance = number of mismatches, as the LDP protocols induce no
+//! value metric). `G` returns the top-k closest records with random
+//! tie-breaking; the attack succeeds when the target's true identity falls in
+//! that set.
+//!
+//! Instead of materializing top-k lists, [`ReidentAttack::hit_in_top_k`]
+//! computes the *exact* hit probability of the true record under random
+//! tie-breaking and flips a Bernoulli coin: with `B` records strictly better
+//! than the true record and `T` records tied with it, the true record enters
+//! the top-k iff `B < k`, with probability `min(1, (k − B)/T)`. This is
+//! distributionally identical to sorting with random tie-breaks and costs
+//! `O(Σ posting-list sizes)` per user via an inverted index.
+
+use std::collections::HashMap;
+
+use ldp_datasets::Dataset;
+use rand::Rng;
+
+use crate::profiling::Profile;
+
+/// Inverted index over the adversary's background knowledge `D_BK` (or the
+/// partial `D_PK`): posting lists of record ids per (attribute, value).
+#[derive(Debug, Clone)]
+pub struct ReidentAttack {
+    n: usize,
+    /// Global attribute id → per-value posting lists.
+    postings: HashMap<usize, Vec<Vec<u32>>>,
+}
+
+/// Reusable per-thread scratch buffers for the matcher.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl ReidentAttack {
+    /// Builds the index from `background` over the attribute subset `attrs`
+    /// (global attribute ids). Pass all attributes for the FK-RI model and a
+    /// random subset for PK-RI.
+    ///
+    /// # Panics
+    /// Panics when `attrs` contains an out-of-range attribute.
+    pub fn build(background: &Dataset, attrs: &[usize]) -> Self {
+        let n = background.n();
+        let mut postings: HashMap<usize, Vec<Vec<u32>>> = HashMap::with_capacity(attrs.len());
+        for &j in attrs {
+            assert!(j < background.d(), "attribute {j} out of range");
+            let mut lists = vec![Vec::new(); background.schema().k(j)];
+            for i in 0..n {
+                lists[background.value(i, j) as usize].push(i as u32);
+            }
+            postings.insert(j, lists);
+        }
+        ReidentAttack { n, postings }
+    }
+
+    /// Number of background records.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Attributes available to the matcher.
+    pub fn known_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.postings.keys().copied()
+    }
+
+    /// Whether the true record `true_id` lands in the top-k candidate set for
+    /// `profile`, under random tie-breaking (exact in distribution).
+    pub fn hit_in_top_k<R: Rng + ?Sized>(
+        &self,
+        profile: &Profile,
+        true_id: u32,
+        k: usize,
+        scratch: &mut MatchScratch,
+        rng: &mut R,
+    ) -> bool {
+        self.hits_in_top_ks(profile, true_id, &[k], scratch, rng)[0]
+    }
+
+    /// [`ReidentAttack::hit_in_top_k`] for several `k` values sharing one
+    /// matching pass (the experiments evaluate top-1 and top-10 together).
+    ///
+    /// # Panics
+    /// Panics when `ks` is empty or contains 0.
+    pub fn hits_in_top_ks<R: Rng + ?Sized>(
+        &self,
+        profile: &Profile,
+        true_id: u32,
+        ks: &[usize],
+        scratch: &mut MatchScratch,
+        rng: &mut R,
+    ) -> Vec<bool> {
+        assert!(!ks.is_empty(), "need at least one k");
+        assert!(ks.iter().all(|&k| k >= 1), "top-k needs k >= 1");
+        if self.n == 0 {
+            return vec![false; ks.len()];
+        }
+        scratch.counts.resize(self.n, 0);
+
+        // Count matches for every record appearing in a relevant posting list.
+        let mut usable_entries = 0usize;
+        for &(attr, value) in profile.entries() {
+            let Some(lists) = self.postings.get(&attr) else {
+                continue; // attribute absent from D_PK
+            };
+            let Some(list) = lists.get(value as usize) else {
+                continue;
+            };
+            usable_entries += 1;
+            for &id in list {
+                let c = &mut scratch.counts[id as usize];
+                if *c == 0 {
+                    scratch.touched.push(id);
+                }
+                *c += 1;
+            }
+        }
+
+        let hits = if usable_entries == 0 {
+            // Nothing to match on: the decision is a uniform top-k guess.
+            ks.iter()
+                .map(|&k| rng.random::<f64>() < k as f64 / self.n as f64)
+                .collect()
+        } else {
+            let c_true = scratch.counts[true_id as usize];
+            // Match-count comparison over touched records (counts >= 1).
+            let mut better = 0usize;
+            let mut tied = 0usize;
+            for &id in &scratch.touched {
+                let c = scratch.counts[id as usize];
+                if c > c_true {
+                    better += 1;
+                } else if c == c_true {
+                    tied += 1;
+                }
+            }
+            if c_true == 0 {
+                // All touched records are strictly better; the true record is
+                // tied with every untouched one.
+                better = scratch.touched.len();
+                tied = self.n - better;
+            }
+            debug_assert!(tied >= 1, "the tie group always contains the true record");
+            ks.iter()
+                .map(|&k| {
+                    if better >= k {
+                        false
+                    } else {
+                        let slots = (k - better) as f64;
+                        slots >= tied as f64 || rng.random::<f64>() < slots / tied as f64
+                    }
+                })
+                .collect()
+        };
+
+        // Reset scratch for the next user.
+        for &id in &scratch.touched {
+            scratch.counts[id as usize] = 0;
+        }
+        scratch.touched.clear();
+        hits
+    }
+
+    /// RID-ACC (%) over per-user profiles, where `profiles[i]` targets the
+    /// background record with id `i` (the paper's setting: the collected
+    /// population is the background population).
+    pub fn rid_acc<R: Rng + ?Sized>(&self, profiles: &[Profile], k: usize, rng: &mut R) -> f64 {
+        if profiles.is_empty() {
+            return 0.0;
+        }
+        let mut scratch = MatchScratch::default();
+        let hits = profiles
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| self.hit_in_top_k(p, *i as u32, k, &mut scratch, rng))
+            .count();
+        100.0 * hits as f64 / profiles.len() as f64
+    }
+
+    /// Expected RID-ACC (%) of the random-guess baseline: `100·k/n`.
+    pub fn baseline(&self, k: usize) -> f64 {
+        100.0 * k as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_datasets::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Four-record dataset with distinctive combinations.
+    fn background() -> Dataset {
+        let schema = Schema::from_cardinalities(&[3, 3]);
+        Dataset::new(
+            schema,
+            vec![
+                0, 0, // record 0
+                0, 1, // record 1
+                1, 2, // record 2
+                2, 2, // record 3
+            ],
+        )
+    }
+
+    fn profile(entries: &[(usize, u32)]) -> Profile {
+        let mut p = Profile::new();
+        for &(a, v) in entries {
+            p.observe(a, v);
+        }
+        p
+    }
+
+    #[test]
+    fn exact_profile_is_always_top1_when_unique() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = MatchScratch::default();
+        // Record 3 = (2, 2) is uniquely matched by its own profile.
+        let p = profile(&[(0, 2), (1, 2)]);
+        for _ in 0..20 {
+            assert!(attack.hit_in_top_k(&p, 3, 1, &mut scratch, &mut rng));
+        }
+        // And never matches record 0 at top-1 (0 matches vs 2).
+        for _ in 0..20 {
+            assert!(!attack.hit_in_top_k(&p, 0, 1, &mut scratch, &mut rng));
+        }
+    }
+
+    #[test]
+    fn ties_split_probability_evenly() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut scratch = MatchScratch::default();
+        // Profile (1, 2) on attribute 1 matches records 2 and 3 equally.
+        let p = profile(&[(1, 2)]);
+        let trials = 4000;
+        let hits = (0..trials)
+            .filter(|_| attack.hit_in_top_k(&p, 2, 1, &mut scratch, &mut rng))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.05, "tie hit rate {rate}");
+    }
+
+    #[test]
+    fn empty_profile_falls_back_to_uniform_guess() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut scratch = MatchScratch::default();
+        let p = Profile::new();
+        let trials = 8000;
+        let hits = (0..trials)
+            .filter(|_| attack.hit_in_top_k(&p, 1, 1, &mut scratch, &mut rng))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.03, "uniform guess rate {rate}");
+    }
+
+    #[test]
+    fn pk_model_ignores_unknown_attributes() {
+        let ds = background();
+        // Background only knows attribute 0.
+        let attack = ReidentAttack::build(&ds, &[0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut scratch = MatchScratch::default();
+        // Profile only carries attribute 1 → unusable → uniform guess.
+        let p = profile(&[(1, 2)]);
+        let trials = 8000;
+        let hits = (0..trials)
+            .filter(|_| attack.hit_in_top_k(&p, 2, 2, &mut scratch, &mut rng))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.03, "k/n = 2/4 expected, got {rate}");
+    }
+
+    #[test]
+    fn zero_match_profile_ties_with_untouched_records() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = MatchScratch::default();
+        // Profile (0→1, 1→0) matches record 2 once (attr 0), record 0 once
+        // (attr 1)... records 1 and 3 have 1 and 0 matches respectively:
+        // record 0: attr0 0≠1, attr1 0=0 → 1 match
+        // record 1: attr0 0≠1, attr1 1≠0 → 0 matches
+        // record 2: attr0 1=1, attr1 2≠0 → 1 match
+        // record 3: 0 matches.
+        // For true record 1 (0 matches): B = 2, T = 2 → top-3 gives
+        // probability (3−2)/2 = 0.5.
+        let p = profile(&[(0, 1), (1, 0)]);
+        let trials = 4000;
+        let hits = (0..trials)
+            .filter(|_| attack.hit_in_top_k(&p, 1, 3, &mut scratch, &mut rng))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn rid_acc_and_baseline() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Perfect profiles re-identify everyone (all records are unique).
+        let profiles: Vec<Profile> = (0..4)
+            .map(|i| profile(&[(0, ds.value(i, 0)), (1, ds.value(i, 1))]))
+            .collect();
+        let acc = attack.rid_acc(&profiles, 1, &mut rng);
+        assert!((acc - 100.0).abs() < 1e-9);
+        assert!((attack.baseline(1) - 25.0).abs() < 1e-12);
+        assert!((attack.baseline(2) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_resets_between_users() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = MatchScratch::default();
+        let p1 = profile(&[(0, 2), (1, 2)]);
+        assert!(attack.hit_in_top_k(&p1, 3, 1, &mut scratch, &mut rng));
+        // If counts leaked, this second call would see stale matches.
+        let p2 = profile(&[(0, 0), (1, 1)]);
+        assert!(attack.hit_in_top_k(&p2, 1, 1, &mut scratch, &mut rng));
+        assert!(scratch.touched.is_empty());
+        assert!(scratch.counts.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Multidimensional collection solutions: SPL, SMP, RS+FD and the RS+RFD
+//! countermeasure (§2.3 and §5 of the paper).
+
+mod rsfd;
+mod rsrfd;
+mod smp;
+mod spl;
+
+pub use rsfd::{RsFd, RsFdProtocol};
+pub use rsrfd::{RsRfd, RsRfdProtocol};
+pub use smp::{Smp, SmpReport};
+pub use spl::Spl;
+
+use ldp_protocols::{ProtocolError, Report};
+use rand::Rng;
+
+/// A full sanitized tuple `y = [y_1, …, y_d]` as produced by the RS+FD /
+/// RS+RFD solutions, together with the (server-hidden) sampled attribute used
+/// as attack ground truth in the experiments.
+#[derive(Debug, Clone)]
+pub struct MultidimReport {
+    /// One report per attribute (LDP for the sampled one, fake otherwise).
+    pub values: Vec<Report>,
+    /// Index of the attribute that was actually sanitized. This is the
+    /// *secret* the §3.3 inference attack tries to recover; it is carried
+    /// here only as experiment ground truth.
+    pub sampled: usize,
+}
+
+/// Common interface of the fake-data solutions (RS+FD and RS+RFD), used by
+/// the sampled-attribute inference attack to generate attacker-side training
+/// data with the exact client mechanism.
+pub trait MultidimSolution {
+    /// Number of attributes `d`.
+    fn d(&self) -> usize;
+
+    /// Domain sizes `k_j`.
+    fn ks(&self) -> &[usize];
+
+    /// User-level privacy budget ε.
+    fn epsilon(&self) -> f64;
+
+    /// Amplified budget ε′ applied to the sampled attribute.
+    fn epsilon_amplified(&self) -> f64;
+
+    /// Whether per-attribute reports are unary-encoded bit vectors (true) or
+    /// plain categorical values (false) — determines the attack's feature
+    /// encoding.
+    fn is_unary(&self) -> bool;
+
+    /// Client-side sanitization of one user tuple.
+    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport;
+
+    /// Server-side unbiased frequency estimates for every attribute.
+    fn estimate(&self, reports: &[MultidimReport]) -> Vec<Vec<f64>>;
+
+    /// [`MultidimSolution::estimate`] post-processed onto the probability
+    /// simplex per attribute.
+    fn estimate_normalized(&self, reports: &[MultidimReport]) -> Vec<Vec<f64>> {
+        self.estimate(reports)
+            .iter()
+            .map(|e| ldp_protocols::oracle::normalize_simplex(e))
+            .collect()
+    }
+}
+
+/// Validates the (ks, epsilon) pair shared by all solutions.
+pub(crate) fn validate_config(ks: &[usize], epsilon: f64) -> Result<(), ProtocolError> {
+    if ks.len() < 2 {
+        return Err(ProtocolError::InvalidPrior {
+            reason: format!("multidimensional solutions need d >= 2 attributes, got {}", ks.len()),
+        });
+    }
+    for &k in ks {
+        ldp_protocols::validate_domain(k)?;
+    }
+    ldp_protocols::validate_epsilon(epsilon)?;
+    Ok(())
+}
+
+/// Support counts `C_j(v)` per attribute over full-tuple reports: value
+/// reports count their value, unary reports count every set bit.
+pub(crate) fn support_counts(reports: &[MultidimReport], ks: &[usize]) -> Vec<Vec<u64>> {
+    let mut counts: Vec<Vec<u64>> = ks.iter().map(|&k| vec![0u64; k]).collect();
+    for r in reports {
+        debug_assert_eq!(r.values.len(), ks.len(), "tuple width mismatch");
+        for (j, rep) in r.values.iter().enumerate() {
+            match rep {
+                Report::Value(v) => {
+                    if let Some(c) = counts[j].get_mut(*v as usize) {
+                        *c += 1;
+                    }
+                }
+                Report::Bits(bits) => {
+                    for b in bits.ones() {
+                        if let Some(c) = counts[j].get_mut(b) {
+                            *c += 1;
+                        }
+                    }
+                }
+                // RS+FD tuples never carry hashed/subset entries.
+                _ => {}
+            }
+        }
+    }
+    counts
+}
+
+/// Draws one index from a cumulative distribution by inverse CDF.
+pub(crate) fn sample_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.random();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// Precomputes a sampling CDF from a pmf (last entry forced to 1).
+pub(crate) fn to_cdf(pmf: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = pmf
+        .iter()
+        .map(|&p| {
+            acc += p;
+            acc
+        })
+        .collect();
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_protocols::BitVec;
+
+    #[test]
+    fn validate_config_rejects_bad_shapes() {
+        assert!(validate_config(&[4], 1.0).is_err());
+        assert!(validate_config(&[4, 1], 1.0).is_err());
+        assert!(validate_config(&[4, 4], -1.0).is_err());
+        assert!(validate_config(&[4, 4], 1.0).is_ok());
+    }
+
+    #[test]
+    fn support_counts_mixes_values_and_bits() {
+        let ks = [3usize, 4];
+        let mut bits = BitVec::zeros(4);
+        bits.set(1, true);
+        bits.set(3, true);
+        let reports = vec![
+            MultidimReport {
+                values: vec![Report::Value(2), Report::Bits(bits.clone())],
+                sampled: 0,
+            },
+            MultidimReport {
+                values: vec![Report::Value(2), Report::Bits(BitVec::zeros(4))],
+                sampled: 1,
+            },
+        ];
+        let counts = support_counts(&reports, &ks);
+        assert_eq!(counts[0], vec![0, 0, 2]);
+        assert_eq!(counts[1], vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn sample_cdf_follows_distribution() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cdf = to_cdf(&[0.25, 0.25, 0.5]);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[2] - 1.0).abs() < 1e-15);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[sample_cdf(&cdf, &mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / trials as f64 - 0.25).abs() < 0.01);
+        assert!((counts[2] as f64 / trials as f64 - 0.5).abs() < 0.01);
+        // Zero-probability entries are never drawn.
+        let cdf = to_cdf(&[0.0, 1.0]);
+        for _ in 0..1000 {
+            assert_eq!(sample_cdf(&cdf, &mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The three evaluation corpora of the paper (§4.1), as synthetic stand-ins
+//! with identical (n, d, k). See DESIGN.md §4 for the substitution argument.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::generator::{GeneratorConfig, LatentClassGenerator};
+use crate::schema::{Attribute, Schema};
+
+/// Schema of the UCI *Adult* dataset selection used by the paper:
+/// d = 10, k = [74, 7, 16, 7, 14, 6, 5, 2, 41, 2].
+pub fn adult_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("age", 74),
+        Attribute::new("workclass", 7),
+        Attribute::new("education", 16),
+        Attribute::new("marital-status", 7),
+        Attribute::new("occupation", 14),
+        Attribute::new("relationship", 6),
+        Attribute::new("race", 5),
+        Attribute::new("sex", 2),
+        Attribute::new("native-country", 41),
+        Attribute::new("salary", 2),
+    ])
+}
+
+/// Schema of the Folktables *ACSEmployment* (Montana) selection:
+/// d = 18, k = [92, 25, 5, 2, 2, 9, 4, 5, 5, 4, 2, 18, 2, 2, 3, 9, 3, 6].
+pub fn acs_employment_schema() -> Schema {
+    let ks = [92u32, 25, 5, 2, 2, 9, 4, 5, 5, 4, 2, 18, 2, 2, 3, 9, 3, 6];
+    Schema::new(
+        ks.iter()
+            .enumerate()
+            .map(|(j, &k)| Attribute::new(format!("ACS{}", j + 1), k))
+            .collect(),
+    )
+}
+
+/// Schema of the UCI *Nursery* dataset: d = 9, k = [3, 5, 4, 4, 3, 2, 3, 3, 5].
+pub fn nursery_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("parents", 3),
+        Attribute::new("has_nurs", 5),
+        Attribute::new("form", 4),
+        Attribute::new("children", 4),
+        Attribute::new("housing", 3),
+        Attribute::new("finance", 2),
+        Attribute::new("social", 3),
+        Attribute::new("health", 3),
+        Attribute::new("class", 5),
+    ])
+}
+
+/// Paper sample counts.
+pub const ADULT_N: usize = 45_222;
+/// Paper sample counts.
+pub const ACS_EMPLOYMENT_N: usize = 10_336;
+/// Paper sample counts.
+pub const NURSERY_N: usize = 12_959;
+
+fn generate(schema: Schema, config: GeneratorConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LatentClassGenerator::new(schema, config, &mut rng).generate(&mut rng)
+}
+
+/// Synthetic *Adult*-like dataset at the paper's size (`n` = 45 222), or a
+/// smaller `n` for scaled-down runs.
+pub fn adult_like(n: usize, seed: u64) -> Dataset {
+    generate(
+        adult_schema(),
+        GeneratorConfig {
+            n,
+            clusters: 12,
+            skew: 1.9,
+            uniform_mix: 0.08,
+            cluster_skew: 0.5,
+        },
+        seed,
+    )
+}
+
+/// Synthetic *ACSEmployment*-like dataset (`n` = 10 336 at paper scale).
+pub fn acs_employment_like(n: usize, seed: u64) -> Dataset {
+    generate(
+        acs_employment_schema(),
+        GeneratorConfig {
+            n,
+            clusters: 10,
+            skew: 2.2,
+            uniform_mix: 0.05,
+            cluster_skew: 0.6,
+        },
+        seed,
+    )
+}
+
+/// Synthetic *Nursery*-like dataset (`n` = 12 959 at paper scale) with the
+/// uniform-like marginals that make the RS+FD inference attack fail
+/// (Appendix D, Fig. 15).
+pub fn nursery_like(n: usize, seed: u64) -> Dataset {
+    generate(
+        nursery_schema(),
+        GeneratorConfig {
+            n,
+            clusters: 2,
+            skew: 0.3,
+            uniform_mix: 0.9,
+            cluster_skew: 0.2,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_match_paper_dimensions() {
+        assert_eq!(adult_schema().d(), 10);
+        assert_eq!(
+            adult_schema().cardinalities(),
+            vec![74, 7, 16, 7, 14, 6, 5, 2, 41, 2]
+        );
+        assert_eq!(acs_employment_schema().d(), 18);
+        assert_eq!(acs_employment_schema().total_cells(), 198);
+        assert_eq!(nursery_schema().d(), 9);
+        assert_eq!(nursery_schema().cardinalities(), vec![3, 5, 4, 4, 3, 2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn corpora_generate_requested_sizes() {
+        let adult = adult_like(2000, 1);
+        assert_eq!(adult.n(), 2000);
+        assert_eq!(adult.d(), 10);
+        let acs = acs_employment_like(1500, 1);
+        assert_eq!(acs.n(), 1500);
+        assert_eq!(acs.d(), 18);
+        let nursery = nursery_like(1000, 1);
+        assert_eq!(nursery.n(), 1000);
+        assert_eq!(nursery.d(), 9);
+    }
+
+    #[test]
+    fn adult_like_has_high_uniqueness_on_many_attributes() {
+        // The re-identification precondition: most users are unique given
+        // the full attribute set (true for the real Adult dataset too).
+        let ds = adult_like(10_000, 2);
+        let all: Vec<usize> = (0..ds.d()).collect();
+        let u = ds.uniqueness_fraction(&all);
+        assert!(u > 0.5, "full-profile uniqueness too low: {u}");
+        // But single attributes identify (almost) nobody.
+        assert!(ds.uniqueness_fraction(&[7]) < 0.01);
+    }
+
+    #[test]
+    fn nursery_like_marginals_are_near_uniform() {
+        let ds = nursery_like(12_959, 3);
+        for j in 0..ds.d() {
+            let k = ds.schema().k(j);
+            let uniform = 1.0 / k as f64;
+            for &p in &ds.marginal(j) {
+                assert!(
+                    (p - uniform).abs() < 0.05,
+                    "attribute {j}: {p} vs uniform {uniform}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acs_like_marginals_are_skewed() {
+        let ds = acs_employment_like(10_336, 4);
+        // At least half the attributes should deviate visibly from uniform.
+        let mut skewed = 0;
+        for j in 0..ds.d() {
+            let k = ds.schema().k(j);
+            let uniform = 1.0 / k as f64;
+            let dev = ds
+                .marginal(j)
+                .iter()
+                .map(|&p| (p - uniform).abs())
+                .fold(0.0f64, f64::max);
+            if dev > 0.1 * uniform.max(0.05) {
+                skewed += 1;
+            }
+        }
+        assert!(skewed >= ds.d() / 2, "only {skewed} skewed attributes");
+    }
+
+    #[test]
+    fn corpora_are_deterministic_per_seed() {
+        let a = adult_like(100, 42);
+        let b = adult_like(100, 42);
+        let c = adult_like(100, 43);
+        assert_eq!(a.row(10), b.row(10));
+        assert_ne!(
+            (0..100).map(|i| a.row(i).to_vec()).collect::<Vec<_>>(),
+            (0..100).map(|i| c.row(i).to_vec()).collect::<Vec<_>>()
+        );
+    }
+}

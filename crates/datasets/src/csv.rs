@@ -1,0 +1,172 @@
+//! Minimal CSV persistence for datasets (used by the examples so a user can
+//! inspect and re-load the synthetic corpora).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::schema::{Attribute, Schema};
+
+/// Errors raised when loading a dataset from CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file (bad header, ragged row, bad integer).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, reason } => write!(f, "csv parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `dataset` as CSV: a header of attribute names, then one row of
+/// integer codes per user.
+pub fn save(dataset: &Dataset, path: &Path) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let names: Vec<&str> = dataset
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    writeln!(out, "{}", names.join(","))?;
+    for row in dataset.rows() {
+        let mut first = true;
+        for &v in row {
+            if !first {
+                write!(out, ",")?;
+            }
+            write!(out, "{v}")?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Loads a dataset written by [`save`]. Cardinalities are inferred as
+/// `max(value) + 1` per column (with a floor of 2).
+pub fn load(path: &Path) -> Result<Dataset, CsvError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Parse {
+            line: 1,
+            reason: "empty file".into(),
+        })??;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let d = names.len();
+    if d == 0 {
+        return Err(CsvError::Parse {
+            line: 1,
+            reason: "header has no columns".into(),
+        });
+    }
+    let mut data: Vec<u32> = Vec::new();
+    let mut maxes = vec![0u32; d];
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != d {
+            return Err(CsvError::Parse {
+                line: idx + 2,
+                reason: format!("expected {d} fields, got {}", fields.len()),
+            });
+        }
+        for (j, f) in fields.iter().enumerate() {
+            let v: u32 = f.trim().parse().map_err(|e| CsvError::Parse {
+                line: idx + 2,
+                reason: format!("bad integer {f:?}: {e}"),
+            })?;
+            maxes[j] = maxes[j].max(v);
+            data.push(v);
+        }
+    }
+    let schema = Schema::new(
+        names
+            .into_iter()
+            .zip(&maxes)
+            .map(|(name, &m)| Attribute::new(name, (m + 1).max(2)))
+            .collect(),
+    );
+    Ok(Dataset::new(schema, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpora::adult_like;
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let ds = adult_like(200, 5);
+        let dir = std::env::temp_dir().join("ldp_datasets_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("adult.csv");
+        save(&ds, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.n(), ds.n());
+        assert_eq!(loaded.d(), ds.d());
+        for i in [0usize, 57, 199] {
+            assert_eq!(loaded.row(i), ds.row(i));
+        }
+        assert_eq!(
+            loaded.schema().attributes()[0].name,
+            ds.schema().attributes()[0].name
+        );
+    }
+
+    #[test]
+    fn load_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("ldp_datasets_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.csv");
+        std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
+        match load(&path) {
+            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_bad_integers() {
+        let dir = std::env::temp_dir().join("ldp_datasets_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badint.csv");
+        std::fs::write(&path, "a\nx\n").unwrap();
+        assert!(matches!(load(&path), Err(CsvError::Parse { .. })));
+    }
+}

@@ -1,0 +1,257 @@
+//! Latent-class mixture generator for census-like categorical data.
+//!
+//! Each record is produced by (1) drawing a latent cluster `z` from a skewed
+//! mixture and (2) drawing each attribute value independently from the
+//! cluster-specific categorical distribution `θ_{z,j}`. Cluster-specific
+//! distributions are Zipf-shaped with a per-cluster random permutation of the
+//! value order, blended with the uniform distribution by `uniform_mix`.
+//!
+//! This construction yields the two dataset properties the paper's attacks
+//! need (see DESIGN.md §4):
+//!
+//! * **skewed marginals** — the mixture of permuted Zipf distributions is far
+//!   from uniform when `uniform_mix` is small;
+//! * **inter-attribute correlation and uniqueness** — attributes share the
+//!   latent cluster, so attribute combinations concentrate per cluster and
+//!   rare combinations become identifying.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+
+/// Configuration of the [`LatentClassGenerator`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of records to generate.
+    pub n: usize,
+    /// Number of latent clusters (≥ 1).
+    pub clusters: usize,
+    /// Zipf exponent of the per-cluster value distributions (0 ⇒ uniform).
+    pub skew: f64,
+    /// Blend factor towards the uniform distribution in `[0, 1]`
+    /// (1 ⇒ fully uniform attributes, defeating frequency-based attacks).
+    pub uniform_mix: f64,
+    /// Zipf exponent of the cluster-weight distribution.
+    pub cluster_skew: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n: 10_000,
+            clusters: 10,
+            skew: 1.2,
+            uniform_mix: 0.1,
+            cluster_skew: 0.6,
+        }
+    }
+}
+
+/// Generator of synthetic categorical datasets with controllable skew and
+/// correlation. Construct once per (schema, seed) and call
+/// [`LatentClassGenerator::generate`].
+#[derive(Debug, Clone)]
+pub struct LatentClassGenerator {
+    schema: Schema,
+    config: GeneratorConfig,
+    /// Cluster mixture weights (cumulative, for inverse-CDF sampling).
+    cluster_cdf: Vec<f64>,
+    /// `theta[c][j]` = cumulative distribution of attribute `j` in cluster `c`.
+    theta_cdf: Vec<Vec<Vec<f64>>>,
+}
+
+/// Normalized Zipf probabilities `p(i) ∝ 1/(i+1)^s` over `0..k`.
+pub fn zipf_pmf(k: usize, s: f64) -> Vec<f64> {
+    let mut pmf: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = pmf.iter().sum();
+    for p in &mut pmf {
+        *p /= total;
+    }
+    pmf
+}
+
+/// Turns a pmf into a cumulative distribution (last entry forced to 1.0).
+fn to_cdf(pmf: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = pmf
+        .iter()
+        .map(|&p| {
+            acc += p;
+            acc
+        })
+        .collect();
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    cdf
+}
+
+/// Inverse-CDF sample from a cumulative distribution.
+fn sample_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.random();
+    // Binary search for the first entry >= u.
+    match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in cdf")) {
+        Ok(i) => i,
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+impl LatentClassGenerator {
+    /// Builds the generator's cluster and per-attribute distributions.
+    ///
+    /// # Panics
+    /// Panics when `config.clusters == 0` or `uniform_mix ∉ [0, 1]`.
+    pub fn new<R: Rng + ?Sized>(schema: Schema, config: GeneratorConfig, rng: &mut R) -> Self {
+        assert!(config.clusters >= 1, "need at least one cluster");
+        assert!(
+            (0.0..=1.0).contains(&config.uniform_mix),
+            "uniform_mix must lie in [0, 1]"
+        );
+        let cluster_pmf = zipf_pmf(config.clusters, config.cluster_skew);
+        let cluster_cdf = to_cdf(&cluster_pmf);
+
+        let mut theta_cdf = Vec::with_capacity(config.clusters);
+        for _ in 0..config.clusters {
+            let mut per_attr = Vec::with_capacity(schema.d());
+            for j in 0..schema.d() {
+                let k = schema.k(j);
+                // Census-like shape: mass concentrates on low codes (think
+                // `native-country` or binned `age`), which also keeps the
+                // signal threshold-friendly for tree learners, like the real
+                // corpora. Clusters differ by exponent jitter and a small
+                // cyclic shift of the head — the shared latent z then induces
+                // cross-attribute correlation.
+                let exponent = config.skew * (0.7 + 0.6 * rng.random::<f64>());
+                let base = zipf_pmf(k, exponent);
+                let shift = if k > 2 { rng.random_range(0..=(k / 4)) } else { 0 };
+                let u = 1.0 / k as f64;
+                let mut pmf = vec![0.0; k];
+                for (rank, &p) in base.iter().enumerate() {
+                    let value = (rank + shift) % k;
+                    pmf[value] = (1.0 - config.uniform_mix) * p + config.uniform_mix * u;
+                }
+                per_attr.push(to_cdf(&pmf));
+            }
+            theta_cdf.push(per_attr);
+        }
+        LatentClassGenerator {
+            schema,
+            config,
+            cluster_cdf,
+            theta_cdf,
+        }
+    }
+
+    /// The schema this generator produces.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Generates `config.n` records.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let d = self.schema.d();
+        let mut data = Vec::with_capacity(self.config.n * d);
+        for _ in 0..self.config.n {
+            let z = sample_cdf(&self.cluster_cdf, rng);
+            for j in 0..d {
+                data.push(sample_cdf(&self.theta_cdf[z][j], rng) as u32);
+            }
+        }
+        Dataset::new(self.schema.clone(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(skew: f64, mix: f64, n: usize) -> Dataset {
+        let schema = Schema::from_cardinalities(&[10, 5, 20]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let gen = LatentClassGenerator::new(
+            schema,
+            GeneratorConfig {
+                n,
+                clusters: 6,
+                skew,
+                uniform_mix: mix,
+                cluster_skew: 0.5,
+            },
+            &mut rng,
+        );
+        gen.generate(&mut rng)
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized_and_decreasing() {
+        let pmf = zipf_pmf(10, 1.2);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for w in pmf.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = build(1.2, 0.1, 500);
+        assert_eq!(ds.n(), 500);
+        assert_eq!(ds.d(), 3);
+    }
+
+    #[test]
+    fn skewed_config_produces_nonuniform_marginals() {
+        let ds = build(1.5, 0.05, 20_000);
+        // L∞ distance from uniform should be clearly positive.
+        let m = ds.marginal(0);
+        let dev = m
+            .iter()
+            .map(|&p| (p - 0.1f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(dev > 0.05, "marginal too uniform: {m:?}");
+    }
+
+    #[test]
+    fn uniform_mix_one_produces_near_uniform_marginals() {
+        let ds = build(1.5, 1.0, 40_000);
+        let m = ds.marginal(1); // k = 5 → uniform 0.2
+        for &p in &m {
+            assert!((p - 0.2).abs() < 0.02, "marginal {m:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = build(1.2, 0.1, 300);
+        let b = build(1.2, 0.1, 300);
+        assert_eq!(a.row(7), b.row(7));
+        assert_eq!(a.row(299), b.row(299));
+    }
+
+    #[test]
+    fn latent_clusters_induce_correlation() {
+        // Mutual information between two attributes should be positive under
+        // a skewed multi-cluster config (they share the latent z).
+        let ds = build(1.5, 0.0, 40_000);
+        let (k0, k1) = (10usize, 5usize);
+        let mut joint = vec![vec![0.0f64; k1]; k0];
+        for i in 0..ds.n() {
+            joint[ds.value(i, 0) as usize][ds.value(i, 1) as usize] += 1.0;
+        }
+        let n = ds.n() as f64;
+        let m0 = ds.marginal(0);
+        let m1 = ds.marginal(1);
+        let mut mi = 0.0;
+        for a in 0..k0 {
+            for b in 0..k1 {
+                let pab = joint[a][b] / n;
+                if pab > 0.0 && m0[a] > 0.0 && m1[b] > 0.0 {
+                    mi += pab * (pab / (m0[a] * m1[b])).ln();
+                }
+            }
+        }
+        assert!(mi > 0.01, "mutual information too small: {mi}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Prior distributions for the RS+RFD countermeasure (§5.2 of the paper).
+//!
+//! * **"Correct" priors** — the true per-attribute marginals perturbed with a
+//!   centralized-DP Laplace mechanism splitting `ε = 0.1` over the `d`
+//!   attributes, exactly as the paper simulates priors released by a Census
+//!   bureau the previous year.
+//! * **"Incorrect" priors** — deliberately wrong priors: Dirichlet(1)
+//!   (uniform on the simplex), Zipf(s = 1.01) and Exponential(λ = 1), the
+//!   latter two histogrammed from 100 000 samples into the `k_j` buckets, as
+//!   in Appendix E.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// One draw from the Laplace distribution with location 0 and `scale` b.
+pub fn laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    // Inverse-CDF: u ∈ (−1/2, 1/2), x = −b · sgn(u) · ln(1 − 2|u|).
+    let u: f64 = rng.random::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Clamps negatives to zero and renormalizes; falls back to uniform when the
+/// whole vector clamps away.
+fn renormalize(mut v: Vec<f64>) -> Vec<f64> {
+    for x in &mut v {
+        *x = x.max(0.0);
+    }
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in &mut v {
+            *x /= s;
+        }
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        v.fill(u);
+    }
+    v
+}
+
+/// "Correct" priors: each attribute's true marginal released through an
+/// `ε_total`-DP Laplace mechanism with the budget split evenly over the `d`
+/// attributes (paper: `ε_total = 0.1`). Histogram queries have L1
+/// sensitivity 2/n in frequency space, so the noise scale is
+/// `2 / (n · ε_total / d)` per entry.
+pub fn correct_priors<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    epsilon_total: f64,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    correct_priors_scaled(dataset, epsilon_total, dataset.n(), rng)
+}
+
+/// [`correct_priors`] with the Laplace noise calibrated to a *reference*
+/// population size (e.g. the paper-scale n when experiments subsample the
+/// dataset: a Census release is computed on the full population, so its noise
+/// does not grow when the experiment shrinks).
+pub fn correct_priors_scaled<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    epsilon_total: f64,
+    reference_n: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    assert!(epsilon_total > 0.0, "DP budget must be positive");
+    let d = dataset.d() as f64;
+    let n = reference_n.max(1) as f64;
+    let scale = 2.0 / (n * (epsilon_total / d));
+    dataset
+        .marginals()
+        .into_iter()
+        .map(|marginal| {
+            renormalize(
+                marginal
+                    .into_iter()
+                    .map(|f| f + laplace(scale, rng))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Families of deliberately wrong priors evaluated in Appendix E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncorrectPrior {
+    /// Dirichlet with concentration 1 (uniform over the simplex).
+    Dirichlet,
+    /// Zipf distribution with exponent `s = 1.01`.
+    Zipf,
+    /// Exponential distribution with rate `λ = 1`.
+    Exp,
+}
+
+impl IncorrectPrior {
+    /// Paper-style label ("DIR", "ZIPF", "EXP").
+    pub fn name(self) -> &'static str {
+        match self {
+            IncorrectPrior::Dirichlet => "DIR",
+            IncorrectPrior::Zipf => "ZIPF",
+            IncorrectPrior::Exp => "EXP",
+        }
+    }
+
+    /// Samples one prior over a domain of size `k`.
+    pub fn generate<R: Rng + ?Sized>(self, k: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            IncorrectPrior::Dirichlet => dirichlet_uniform(k, rng),
+            IncorrectPrior::Zipf => zipf_histogram_prior(k, 1.01, 100_000, rng),
+            IncorrectPrior::Exp => exp_histogram_prior(k, 1.0, 100_000, rng),
+        }
+    }
+
+    /// Samples one prior per attribute of `cardinalities`.
+    pub fn generate_all<R: Rng + ?Sized>(
+        self,
+        cardinalities: &[usize],
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        cardinalities.iter().map(|&k| self.generate(k, rng)).collect()
+    }
+}
+
+/// Dirichlet(1, …, 1): normalized Exponential(1) draws.
+pub fn dirichlet_uniform<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| exp_sample(1.0, rng)).collect();
+    renormalize(draws)
+}
+
+/// One Exponential(λ) sample via inverse CDF.
+fn exp_sample<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.random();
+    // 1 − u ∈ (0, 1]: avoids ln(0).
+    -(1.0 - u).ln() / lambda
+}
+
+/// Zipf(s) prior over `k` buckets, reconstructed from `samples` draws of a
+/// bounded Zipf on ranks `1..=k` (the paper histograms unbounded draws; a
+/// bounded support gives the identical shape over the k buckets).
+pub fn zipf_histogram_prior<R: Rng + ?Sized>(
+    k: usize,
+    s: f64,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let pmf = crate::generator::zipf_pmf(k, s);
+    let mut cdf = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for &p in &pmf {
+        acc += p;
+        cdf.push(acc);
+    }
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    let mut hist = vec![0u64; k];
+    for _ in 0..samples {
+        let u: f64 = rng.random();
+        let idx = cdf.partition_point(|&c| c < u).min(k - 1);
+        hist[idx] += 1;
+    }
+    renormalize(hist.into_iter().map(|c| c as f64).collect())
+}
+
+/// Exponential(λ) prior over `k` buckets: histogram `samples` draws into `k`
+/// equal-width buckets over `[0, max_draw]`.
+pub fn exp_histogram_prior<R: Rng + ?Sized>(
+    k: usize,
+    lambda: f64,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let draws: Vec<f64> = (0..samples).map(|_| exp_sample(lambda, rng)).collect();
+    let max = draws.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+    let mut hist = vec![0u64; k];
+    for x in draws {
+        let idx = ((x / max) * k as f64) as usize;
+        hist[idx.min(k - 1)] += 1;
+    }
+    renormalize(hist.into_iter().map(|c| c as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_distribution(p: &[f64]) -> bool {
+        p.iter().all(|&x| (0.0..=1.0).contains(&x))
+            && (p.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+
+    #[test]
+    fn laplace_is_centered_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let scale = 2.0;
+        let draws: Vec<f64> = (0..n).map(|_| laplace(scale, &mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var of Laplace(b) = 2 b².
+        assert!((var - 2.0 * scale * scale).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn correct_priors_are_distributions_close_to_marginals() {
+        let schema = Schema::from_cardinalities(&[4, 6]);
+        let data: Vec<u32> = (0..4000u32).flat_map(|i| [i % 4, (i * 7) % 6]).collect();
+        let ds = Dataset::new(schema, data);
+        let mut rng = StdRng::seed_from_u64(5);
+        let priors = correct_priors(&ds, 0.1, &mut rng);
+        assert_eq!(priors.len(), 2);
+        for (j, prior) in priors.iter().enumerate() {
+            assert!(is_distribution(prior), "prior {j} = {prior:?}");
+        }
+        // With n = 4000 and eps = 0.1/2, the noise scale is 0.01: the prior
+        // should stay within a few percent of the true marginal.
+        let truth = ds.marginal(0);
+        for (p, t) in priors[0].iter().zip(&truth) {
+            assert!((p - t).abs() < 0.2, "prior {p} vs truth {t}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_uniform_is_distribution_and_varies() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = dirichlet_uniform(8, &mut rng);
+        let b = dirichlet_uniform(8, &mut rng);
+        assert!(is_distribution(&a));
+        assert!(is_distribution(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_prior_is_skewed_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = zipf_histogram_prior(10, 1.01, 100_000, &mut rng);
+        assert!(is_distribution(&p));
+        assert!(p[0] > p[9], "zipf should be decreasing overall: {p:?}");
+        assert!(p[0] > 0.2, "head mass too small: {p:?}");
+    }
+
+    #[test]
+    fn exp_prior_is_decreasing_distribution() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = exp_histogram_prior(8, 1.0, 100_000, &mut rng);
+        assert!(is_distribution(&p));
+        assert!(p[0] > p[4], "exp prior should decay: {p:?}");
+    }
+
+    #[test]
+    fn incorrect_prior_generate_all_covers_every_attribute() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for kind in [IncorrectPrior::Dirichlet, IncorrectPrior::Zipf, IncorrectPrior::Exp] {
+            let all = kind.generate_all(&[3, 5, 7], &mut rng);
+            assert_eq!(all.len(), 3);
+            assert_eq!(all[2].len(), 7);
+            for p in &all {
+                assert!(is_distribution(p), "{} produced {p:?}", kind.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset schemas: named categorical attributes with finite domains.
+
+use std::fmt;
+
+/// One categorical attribute with a finite, indexed domain `0..cardinality`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Human-readable name (e.g. `"age"`).
+    pub name: String,
+    /// Domain size `k_j >= 2`.
+    pub cardinality: u32,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cardinality: u32) -> Self {
+        Attribute {
+            name: name.into(),
+            cardinality,
+        }
+    }
+}
+
+/// An ordered list of attributes describing one dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, validating that every attribute has `cardinality >= 2`.
+    ///
+    /// # Panics
+    /// Panics when any attribute has fewer than two values — schemas are
+    /// static configuration, so this is a programming error, not an input
+    /// error.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        assert!(!attributes.is_empty(), "schema needs at least one attribute");
+        for a in &attributes {
+            assert!(
+                a.cardinality >= 2,
+                "attribute {:?} must have cardinality >= 2",
+                a.name
+            );
+        }
+        Schema { attributes }
+    }
+
+    /// Builds a schema from bare cardinalities with names `A1, A2, …`.
+    pub fn from_cardinalities(cardinalities: &[u32]) -> Self {
+        Schema::new(
+            cardinalities
+                .iter()
+                .enumerate()
+                .map(|(j, &k)| Attribute::new(format!("A{}", j + 1), k))
+                .collect(),
+        )
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Domain size of attribute `j`.
+    pub fn k(&self, j: usize) -> usize {
+        self.attributes[j].cardinality as usize
+    }
+
+    /// All domain sizes as a vector (the paper's `k`).
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.attributes.iter().map(|a| a.cardinality as usize).collect()
+    }
+
+    /// The attributes, in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Total number of cells `sum(k_j)` (the unary-encoded tuple width).
+    pub fn total_cells(&self) -> usize {
+        self.attributes.iter().map(|a| a.cardinality as usize).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(d={}, k=[", self.d())?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.cardinality)?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cardinalities_names_attributes() {
+        let s = Schema::from_cardinalities(&[3, 4, 5]);
+        assert_eq!(s.d(), 3);
+        assert_eq!(s.k(1), 4);
+        assert_eq!(s.attributes()[0].name, "A1");
+        assert_eq!(s.total_cells(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality >= 2")]
+    fn rejects_unary_attribute() {
+        Schema::from_cardinalities(&[3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn rejects_empty_schema() {
+        Schema::new(vec![]);
+    }
+
+    #[test]
+    fn display_shows_cardinalities() {
+        let s = Schema::from_cardinalities(&[2, 9]);
+        assert_eq!(s.to_string(), "Schema(d=2, k=[2, 9])");
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared runner for the sampled-attribute inference sweeps
+//! (Figs. 3, 6, 14, 15, 17).
+
+use std::collections::BTreeMap;
+
+use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
+use ldp_core::metrics::mean_std;
+use ldp_core::solutions::{MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
+use ldp_datasets::priors::{correct_priors_scaled, IncorrectPrior};
+use ldp_datasets::Dataset;
+use ldp_protocols::hash::{mix2, mix3};
+use ldp_sim::par::par_map;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{fnum, Table};
+use crate::ExpConfig;
+
+/// Which corpus the sweep collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AifDataset {
+    /// Adult-like (d = 10).
+    Adult,
+    /// ACSEmployment-like (d = 18).
+    Acs,
+    /// Nursery-like (d = 9, uniform marginals — the negative control).
+    Nursery,
+}
+
+/// How RS+RFD priors are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorSpec {
+    /// "Correct": true marginals through an ε = 0.1 Laplace mechanism.
+    Correct,
+    /// "Incorrect": Dirichlet / Zipf / Exponential priors (Appendix E).
+    Incorrect(IncorrectPrior),
+}
+
+impl PriorSpec {
+    /// Short label for tables.
+    pub fn name(self) -> String {
+        match self {
+            PriorSpec::Correct => "Correct".to_string(),
+            PriorSpec::Incorrect(p) => p.name().to_string(),
+        }
+    }
+
+    /// Builds per-attribute priors for `dataset`. "Correct" priors calibrate
+    /// their Laplace noise to the *paper-scale* population of the matching
+    /// corpus (a Census release does not get noisier because an experiment
+    /// subsamples its users).
+    pub fn build(self, dataset: &Dataset, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        match self {
+            PriorSpec::Correct => {
+                let reference_n = match dataset.d() {
+                    10 => ldp_datasets::corpora::ADULT_N,
+                    18 => ldp_datasets::corpora::ACS_EMPLOYMENT_N,
+                    9 => ldp_datasets::corpora::NURSERY_N,
+                    _ => dataset.n(),
+                };
+                correct_priors_scaled(dataset, 0.1, reference_n.max(dataset.n()), rng)
+            }
+            PriorSpec::Incorrect(p) => {
+                p.generate_all(&dataset.schema().cardinalities(), rng)
+            }
+        }
+    }
+}
+
+/// Which fake-data solution is attacked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolutionSpec {
+    /// An RS+FD variant.
+    RsFd(RsFdProtocol),
+    /// An RS+RFD variant with a prior source.
+    RsRfd(RsRfdProtocol, PriorSpec),
+}
+
+impl SolutionSpec {
+    /// Paper-style label.
+    pub fn name(self) -> String {
+        match self {
+            SolutionSpec::RsFd(p) => p.name(),
+            SolutionSpec::RsRfd(p, prior) => format!("{}({})", p.name(), prior.name()),
+        }
+    }
+}
+
+/// Parameters of one inference-attack sweep.
+#[derive(Debug, Clone)]
+pub struct AifParams {
+    /// Corpus.
+    pub dataset: AifDataset,
+    /// Solutions to attack.
+    pub specs: Vec<SolutionSpec>,
+    /// Attacker models with display labels (e.g. `"NK s=1"`).
+    pub models: Vec<(String, AttackModel)>,
+    /// ε grid.
+    pub eps: Vec<f64>,
+}
+
+fn load(cfg: &ExpConfig, choice: AifDataset, run: u64) -> Dataset {
+    match choice {
+        AifDataset::Adult => cfg.adult(run),
+        AifDataset::Acs => cfg.acs(run),
+        AifDataset::Nursery => cfg.nursery(run),
+    }
+}
+
+/// Runs the sweep and returns
+/// (`solution, model, eps, aif_acc_mean, aif_acc_std, baseline`).
+pub fn run(cfg: &ExpConfig, params: &AifParams, fig: &str) -> Table {
+    let fig_seed = mix2(cfg.seed, fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))));
+    let grid: Vec<(usize, usize, usize, u64)> = (0..params.specs.len())
+        .flat_map(|si| {
+            (0..params.eps.len()).flat_map(move |ei| {
+                (0..params.models.len())
+                    .flat_map(move |mi| (0..cfg.runs as u64).map(move |run| (si, ei, mi, run)))
+            })
+        })
+        .collect();
+
+    let measurements: Vec<(usize, usize, usize, f64, f64)> =
+        par_map(grid.len(), cfg.threads, |g| {
+            let (si, ei, mi, run) = grid[g];
+            let eps = params.eps[ei];
+            let mut rng = StdRng::seed_from_u64(mix3(fig_seed, g as u64, run));
+            let dataset = load(cfg, params.dataset, run);
+            let ks = dataset.schema().cardinalities();
+            let classifier = AttackClassifier::Gbdt(cfg.attack_gbdt());
+            let model = &params.models[mi].1;
+
+            let outcome = match params.specs[si] {
+                SolutionSpec::RsFd(protocol) => {
+                    let solution = RsFd::new(protocol, &ks, eps).expect("rsfd construction");
+                    let observed: Vec<MultidimReport> = dataset
+                        .rows()
+                        .map(|t| solution.report(t, &mut rng))
+                        .collect();
+                    SampledAttributeAttack::evaluate(
+                        &solution, &observed, model, &classifier, &mut rng,
+                    )
+                }
+                SolutionSpec::RsRfd(protocol, prior_spec) => {
+                    let priors = prior_spec.build(&dataset, &mut rng);
+                    let solution =
+                        RsRfd::new(protocol, &ks, eps, priors).expect("rsrfd construction");
+                    let observed: Vec<MultidimReport> = dataset
+                        .rows()
+                        .map(|t| solution.report(t, &mut rng))
+                        .collect();
+                    SampledAttributeAttack::evaluate(
+                        &solution, &observed, model, &classifier, &mut rng,
+                    )
+                }
+            };
+            (si, ei, mi, outcome.aif_acc, outcome.baseline)
+        });
+
+    let mut buckets: BTreeMap<(usize, usize, usize), (Vec<f64>, f64)> = BTreeMap::new();
+    for (si, ei, mi, acc, baseline) in measurements {
+        let e = buckets.entry((si, mi, ei)).or_insert((Vec::new(), baseline));
+        e.0.push(acc);
+    }
+
+    let mut table = Table::new(
+        format!("{fig}: sampled-attribute inference (AIF-ACC %)"),
+        &["solution", "model", "eps", "aif_acc_mean", "aif_acc_std", "baseline"],
+    );
+    for ((si, mi, ei), (accs, baseline)) in buckets {
+        let ms = mean_std(&accs);
+        table.row(vec![
+            params.specs[si].name(),
+            params.models[mi].0.clone(),
+            fnum(params.eps[ei]),
+            fnum(ms.mean),
+            fnum(ms.std),
+            fnum(baseline),
+        ]);
+    }
+    table
+}
+
+/// The paper's nine attacker-model settings of Fig. 3 (NK / PK / HM grids).
+pub fn paper_models() -> Vec<(String, AttackModel)> {
+    let mut models = Vec::new();
+    for s in [1.0, 3.0, 5.0] {
+        models.push((
+            format!("NK s={s:.0}n"),
+            AttackModel::NoKnowledge { synth_factor: s },
+        ));
+    }
+    for f in [0.1, 0.3, 0.5] {
+        models.push((
+            format!("PK npk={f}n"),
+            AttackModel::PartialKnowledge { compromised_frac: f },
+        ));
+    }
+    for (s, f) in [(1.0, 0.1), (3.0, 0.3), (5.0, 0.5)] {
+        models.push((
+            format!("HM s={s:.0}n npk={f}n"),
+            AttackModel::Hybrid {
+                synth_factor: s,
+                compromised_frac: f,
+            },
+        ));
+    }
+    models
+}

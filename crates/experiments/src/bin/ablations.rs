@@ -1,0 +1,18 @@
+//! Runs the ablation studies called out in DESIGN.md: classifier family for
+//! the inference attack and top-k sensitivity for re-identification.
+
+fn main() {
+    let cfg = ldp_experiments::ExpConfig::from_env();
+    eprintln!(
+        "[ablations] runs={} scale={} threads={} seed={}",
+        cfg.runs, cfg.scale, cfg.threads, cfg.seed
+    );
+    let start = std::time::Instant::now();
+    let t = ldp_experiments::ablation::run_classifier(&cfg);
+    t.print();
+    t.write_csv(&cfg.out_dir, "ablation_classifier.csv");
+    let t = ldp_experiments::ablation::run_topk(&cfg);
+    t.print();
+    t.write_csv(&cfg.out_dir, "ablation_topk.csv");
+    eprintln!("[ablations] done in {:.1?}", start.elapsed());
+}

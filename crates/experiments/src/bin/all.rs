@@ -1,0 +1,43 @@
+//! Regenerates every figure of the paper in sequence. Heavy — prefer the
+//! individual `figNN` binaries while iterating, and use `RISKS_SCALE` /
+//! `RISKS_RUNS` to trade fidelity for time.
+
+use std::time::Instant;
+
+use ldp_experiments::ExpConfig;
+
+fn timed(name: &str, f: impl FnOnce()) {
+    let start = Instant::now();
+    eprintln!("[all] running {name} …");
+    f();
+    eprintln!("[all] {name} done in {:.1?}", start.elapsed());
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    eprintln!(
+        "[all] runs={} scale={} threads={} seed={} out={}",
+        cfg.runs,
+        cfg.scale,
+        cfg.threads,
+        cfg.seed,
+        cfg.out_dir.display()
+    );
+    let start = Instant::now();
+    timed("fig01", || drop(ldp_experiments::fig01::run(&cfg)));
+    timed("fig02", || drop(ldp_experiments::fig02::run(&cfg)));
+    timed("fig03", || drop(ldp_experiments::fig03::run(&cfg)));
+    timed("fig04", || drop(ldp_experiments::fig04::run(&cfg)));
+    timed("fig05", || drop(ldp_experiments::fig05::run(&cfg)));
+    timed("fig06", || drop(ldp_experiments::fig06::run(&cfg)));
+    timed("fig09", || drop(ldp_experiments::fig09::run(&cfg)));
+    timed("fig10", || drop(ldp_experiments::fig10::run(&cfg)));
+    timed("fig11", || drop(ldp_experiments::fig11::run(&cfg)));
+    timed("fig12", || drop(ldp_experiments::fig12::run(&cfg)));
+    timed("fig13", || drop(ldp_experiments::fig13::run(&cfg)));
+    timed("fig14", || drop(ldp_experiments::fig14::run(&cfg)));
+    timed("fig15", || drop(ldp_experiments::fig15::run(&cfg)));
+    timed("fig16", || drop(ldp_experiments::fig16::run(&cfg)));
+    timed("fig17", || drop(ldp_experiments::fig17::run(&cfg)));
+    eprintln!("[all] everything done in {:.1?}", start.elapsed());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 17 of the paper. See DESIGN.md §5 and crate docs for
+//! the scale knobs (RISKS_RUNS, RISKS_SCALE, RISKS_FULL, …).
+
+fn main() {
+    let cfg = ldp_experiments::ExpConfig::from_env();
+    eprintln!("[fig17] runs={} scale={} threads={} seed={}", cfg.runs, cfg.scale, cfg.threads, cfg.seed);
+    let start = std::time::Instant::now();
+    let _ = ldp_experiments::fig17::run(&cfg);
+    eprintln!("[fig17] done in {:.1?}", start.elapsed());
+}

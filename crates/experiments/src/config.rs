@@ -1,0 +1,133 @@
+//! Experiment configuration from environment variables.
+
+use std::path::PathBuf;
+
+use ldp_datasets::corpora;
+use ldp_datasets::Dataset;
+use ldp_gbdt::GbdtParams;
+
+/// Shared configuration of all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Repetitions averaged per parameter point.
+    pub runs: usize,
+    /// Fraction of each dataset's paper-scale `n` to simulate.
+    pub scale: f64,
+    /// Worker threads for the parameter-grid sweeps.
+    pub threads: usize,
+    /// Master seed; every (figure, run, point) derives its own stream.
+    pub seed: u64,
+    /// Directory receiving CSV outputs.
+    pub out_dir: PathBuf,
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+impl ExpConfig {
+    /// Reads `RISKS_*` environment variables (see crate docs).
+    pub fn from_env() -> Self {
+        let full = env_parse::<u8>("RISKS_FULL").unwrap_or(0) == 1;
+        let runs = env_parse("RISKS_RUNS").unwrap_or(if full { 20 } else { 3 });
+        let scale: f64 = env_parse("RISKS_SCALE").unwrap_or(if full { 1.0 } else { 0.15 });
+        let threads = env_parse("RISKS_THREADS").unwrap_or_else(ldp_sim::par::default_threads);
+        let seed = env_parse("RISKS_SEED").unwrap_or(42);
+        let out_dir = PathBuf::from(
+            std::env::var("RISKS_OUT").unwrap_or_else(|_| "results".to_string()),
+        );
+        ExpConfig {
+            runs: runs.max(1),
+            scale: scale.clamp(0.01, 1.0),
+            threads: threads.max(1),
+            seed,
+            out_dir,
+        }
+    }
+
+    fn scaled(&self, paper_n: usize, floor: usize) -> usize {
+        ((paper_n as f64 * self.scale) as usize).max(floor).min(paper_n)
+    }
+
+    /// Adult-like dataset at the configured scale.
+    pub fn adult(&self, run: u64) -> Dataset {
+        corpora::adult_like(self.scaled(corpora::ADULT_N, 2000), self.seed ^ (run << 8))
+    }
+
+    /// ACSEmployment-like dataset at the configured scale.
+    pub fn acs(&self, run: u64) -> Dataset {
+        corpora::acs_employment_like(
+            self.scaled(corpora::ACS_EMPLOYMENT_N, 1500),
+            self.seed ^ (run << 8) ^ 0xACE,
+        )
+    }
+
+    /// Nursery-like dataset at the configured scale.
+    pub fn nursery(&self, run: u64) -> Dataset {
+        corpora::nursery_like(
+            self.scaled(corpora::NURSERY_N, 1500),
+            self.seed ^ (run << 8) ^ 0x9925,
+        )
+    }
+
+    /// The scaled-down XGBoost stand-in used by every inference attack.
+    ///
+    /// `min_child_weight` is lowered from XGBoost's default 1.0 because the
+    /// softmax hessian per row is ≈ p(1−p) ≈ 1/d, so at sub-paper population
+    /// scales a weight of 1.0 vetoes exactly the rare-bit splits the UE
+    /// attacks rely on.
+    pub fn attack_gbdt(&self) -> GbdtParams {
+        GbdtParams {
+            rounds: 15,
+            max_depth: 4,
+            learning_rate: 0.3,
+            subsample: 0.8,
+            colsample: 0.8,
+            min_child_weight: 0.05,
+            ..GbdtParams::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // Do not read the real environment in tests beyond defaults; the
+        // parse helpers tolerate absence.
+        let cfg = ExpConfig::from_env();
+        assert!(cfg.runs >= 1);
+        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0);
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn scaled_respects_floor_and_cap() {
+        let cfg = ExpConfig {
+            runs: 1,
+            scale: 0.01,
+            threads: 1,
+            seed: 0,
+            out_dir: PathBuf::from("results"),
+        };
+        assert_eq!(cfg.scaled(45_222, 2000), 2000);
+        let cfg_full = ExpConfig { scale: 1.0, ..cfg };
+        assert_eq!(cfg_full.scaled(45_222, 2000), 45_222);
+    }
+
+    #[test]
+    fn datasets_match_schema_dimensions() {
+        let cfg = ExpConfig {
+            runs: 1,
+            scale: 0.05,
+            threads: 1,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        };
+        assert_eq!(cfg.adult(0).d(), 10);
+        assert_eq!(cfg.acs(0).d(), 18);
+        assert_eq!(cfg.nursery(0).d(), 9);
+    }
+}

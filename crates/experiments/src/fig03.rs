@@ -1,0 +1,22 @@
+//! Fig. 3: attacker's AIF-ACC on ACSEmployment with the NK / PK / HM attack
+//! models against all five RS+FD protocols.
+
+use ldp_core::solutions::RsFdProtocol;
+
+use crate::aif::{AifDataset, AifParams, SolutionSpec};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig03.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = AifParams {
+        dataset: AifDataset::Acs,
+        specs: RsFdProtocol::ALL.iter().map(|&p| SolutionSpec::RsFd(p)).collect(),
+        models: crate::aif::paper_models(),
+        eps: eps_grid(),
+    };
+    let table = crate::aif::run(cfg, &params, "Fig 3 (ACSEmployment, RS+FD)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig03.csv");
+    table
+}

@@ -1,0 +1,47 @@
+//! Fig. 5: averaged MSE of multidimensional frequency estimation on
+//! ACSEmployment — RS+RFD vs RS+FD with "Correct" and "Incorrect"
+//! (Dirichlet) priors, ε ∈ {ln 2, …, ln 7}.
+
+use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol};
+use ldp_datasets::priors::IncorrectPrior;
+use ldp_protocols::UeMode;
+
+use crate::aif::{AifDataset, PriorSpec};
+use crate::mse::{MseMethod, MseParams};
+use crate::table::Table;
+use crate::{eps_ln_grid, ExpConfig};
+
+fn methods(prior: PriorSpec) -> Vec<MseMethod> {
+    vec![
+        MseMethod::RsRfd(RsRfdProtocol::Grr, prior),
+        MseMethod::RsRfd(RsRfdProtocol::UeR(UeMode::Symmetric), prior),
+        MseMethod::RsRfd(RsRfdProtocol::UeR(UeMode::Optimized), prior),
+        MseMethod::RsFd(RsFdProtocol::Grr),
+        MseMethod::RsFd(RsFdProtocol::UeR(UeMode::Symmetric)),
+        MseMethod::RsFd(RsFdProtocol::UeR(UeMode::Optimized)),
+    ]
+}
+
+/// Runs the figure; prints both tables and writes
+/// `fig05_correct.csv` / `fig05_incorrect.csv`.
+pub fn run(cfg: &ExpConfig) -> (Table, Table) {
+    let correct = MseParams {
+        dataset: AifDataset::Acs,
+        methods: methods(PriorSpec::Correct),
+        eps: eps_ln_grid(),
+    };
+    let t_correct = crate::mse::run(cfg, &correct, "Fig 5a (ACSEmployment, correct priors)");
+    t_correct.print();
+    t_correct.write_csv(&cfg.out_dir, "fig05_correct.csv");
+
+    let incorrect = MseParams {
+        dataset: AifDataset::Acs,
+        methods: methods(PriorSpec::Incorrect(IncorrectPrior::Dirichlet)),
+        eps: eps_ln_grid(),
+    };
+    let t_incorrect =
+        crate::mse::run(cfg, &incorrect, "Fig 5b (ACSEmployment, incorrect DIR priors)");
+    t_incorrect.print();
+    t_incorrect.write_csv(&cfg.out_dir, "fig05_incorrect.csv");
+    (t_correct, t_incorrect)
+}

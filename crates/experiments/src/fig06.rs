@@ -1,0 +1,27 @@
+//! Fig. 6: attacker's AIF-ACC on ACSEmployment against the **RS+RFD**
+//! countermeasure with "Correct" priors — the attack should barely beat the
+//! baseline.
+
+use ldp_core::solutions::RsRfdProtocol;
+
+use crate::aif::{AifDataset, AifParams, PriorSpec, SolutionSpec};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig06.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = AifParams {
+        dataset: AifDataset::Acs,
+        specs: RsRfdProtocol::ALL
+            .iter()
+            .map(|&p| SolutionSpec::RsRfd(p, PriorSpec::Correct))
+            .collect(),
+        models: crate::aif::paper_models(),
+        eps: eps_grid(),
+    };
+    let table =
+        crate::aif::run(cfg, &params, "Fig 6 (ACSEmployment, RS+RFD, correct priors)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig06.csv");
+    table
+}

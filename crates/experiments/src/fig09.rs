@@ -1,0 +1,26 @@
+//! Fig. 9 (Appendix C): RID-ACC on ACSEmployment, SMP, FK-RI, uniform
+//! ε-LDP metric, all five protocols.
+
+use ldp_protocols::ProtocolKind;
+use ldp_sim::SamplingSetting;
+
+use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig09.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = SmpReidentParams {
+        dataset: DatasetChoice::Acs,
+        kinds: ProtocolKind::ALL.to_vec(),
+        xaxis: XAxis::Epsilon(eps_grid()),
+        setting: SamplingSetting::Uniform,
+        background: Background::Full,
+        n_surveys: 5,
+    };
+    let table =
+        crate::smp_reident::run(cfg, &params, "Fig 9 (ACSEmployment, FK-RI, uniform eps-LDP)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig09.csv");
+    table
+}

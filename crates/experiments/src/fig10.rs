@@ -1,0 +1,26 @@
+//! Fig. 10 (Appendix C): RID-ACC on Adult, SMP, **PK-RI** model (partial
+//! background knowledge), uniform ε-LDP metric.
+
+use ldp_protocols::ProtocolKind;
+use ldp_sim::SamplingSetting;
+
+use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig10.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = SmpReidentParams {
+        dataset: DatasetChoice::Adult,
+        kinds: ProtocolKind::ALL.to_vec(),
+        xaxis: XAxis::Epsilon(eps_grid()),
+        setting: SamplingSetting::Uniform,
+        background: Background::Partial,
+        n_surveys: 5,
+    };
+    let table =
+        crate::smp_reident::run(cfg, &params, "Fig 10 (Adult, PK-RI, uniform eps-LDP)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig10.csv");
+    table
+}

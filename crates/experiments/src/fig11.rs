@@ -1,0 +1,36 @@
+//! Fig. 11 (Appendix C): RID-ACC on Adult, SMP, FK-RI and PK-RI models with
+//! the **non-uniform** ε-LDP metric (sampling with replacement +
+//! memoization).
+
+use ldp_protocols::ProtocolKind;
+use ldp_sim::SamplingSetting;
+
+use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints both tables and writes
+/// `fig11_fk.csv` / `fig11_pk.csv`.
+pub fn run(cfg: &ExpConfig) -> (Table, Table) {
+    let base = SmpReidentParams {
+        dataset: DatasetChoice::Adult,
+        kinds: ProtocolKind::ALL.to_vec(),
+        xaxis: XAxis::Epsilon(eps_grid()),
+        setting: SamplingSetting::NonUniform,
+        background: Background::Full,
+        n_surveys: 5,
+    };
+    let fk = crate::smp_reident::run(cfg, &base, "Fig 11 FK-RI (Adult, non-uniform eps-LDP)");
+    fk.print();
+    fk.write_csv(&cfg.out_dir, "fig11_fk.csv");
+
+    let pk_params = SmpReidentParams {
+        background: Background::Partial,
+        ..base
+    };
+    let pk =
+        crate::smp_reident::run(cfg, &pk_params, "Fig 11 PK-RI (Adult, non-uniform eps-LDP)");
+    pk.print();
+    pk.write_csv(&cfg.out_dir, "fig11_pk.csv");
+    (fk, pk)
+}

@@ -1,0 +1,22 @@
+//! Fig. 14 (Appendix D): attacker's AIF-ACC on Adult with the NK / PK / HM
+//! attack models against all five RS+FD protocols.
+
+use ldp_core::solutions::RsFdProtocol;
+
+use crate::aif::{AifDataset, AifParams, SolutionSpec};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig14.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = AifParams {
+        dataset: AifDataset::Adult,
+        specs: RsFdProtocol::ALL.iter().map(|&p| SolutionSpec::RsFd(p)).collect(),
+        models: crate::aif::paper_models(),
+        eps: eps_grid(),
+    };
+    let table = crate::aif::run(cfg, &params, "Fig 14 (Adult, RS+FD)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig14.csv");
+    table
+}

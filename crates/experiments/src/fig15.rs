@@ -1,0 +1,23 @@
+//! Fig. 15 (Appendix D): attacker's AIF-ACC on Nursery — the negative
+//! control: uniform-like marginals make uniform fake data indistinguishable,
+//! so only RS+FD[UE-z] should leak.
+
+use ldp_core::solutions::RsFdProtocol;
+
+use crate::aif::{AifDataset, AifParams, SolutionSpec};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig15.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let params = AifParams {
+        dataset: AifDataset::Nursery,
+        specs: RsFdProtocol::ALL.iter().map(|&p| SolutionSpec::RsFd(p)).collect(),
+        models: crate::aif::paper_models(),
+        eps: eps_grid(),
+    };
+    let table = crate::aif::run(cfg, &params, "Fig 15 (Nursery, RS+FD)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig15.csv");
+    table
+}

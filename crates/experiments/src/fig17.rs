@@ -1,0 +1,40 @@
+//! Fig. 17 (Appendix E): attacker's AIF-ACC on ACSEmployment against RS+RFD
+//! with **incorrect** priors (Dirichlet / Zipf / Exponential), NK model.
+
+use ldp_core::inference::AttackModel;
+use ldp_core::solutions::RsRfdProtocol;
+use ldp_datasets::priors::IncorrectPrior;
+
+use crate::aif::{AifDataset, AifParams, PriorSpec, SolutionSpec};
+use crate::table::Table;
+use crate::{eps_grid, ExpConfig};
+
+/// Runs the figure; prints the table and writes `fig17.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let mut specs = Vec::new();
+    for prior in [IncorrectPrior::Dirichlet, IncorrectPrior::Zipf, IncorrectPrior::Exp] {
+        for protocol in RsRfdProtocol::ALL {
+            specs.push(SolutionSpec::RsRfd(protocol, PriorSpec::Incorrect(prior)));
+        }
+    }
+    let models = [1.0, 3.0, 5.0]
+        .iter()
+        .map(|&s| {
+            (
+                format!("NK s={s:.0}n"),
+                AttackModel::NoKnowledge { synth_factor: s },
+            )
+        })
+        .collect();
+    let params = AifParams {
+        dataset: AifDataset::Acs,
+        specs,
+        models,
+        eps: eps_grid(),
+    };
+    let table =
+        crate::aif::run(cfg, &params, "Fig 17 (ACSEmployment, RS+RFD, incorrect priors)");
+    table.print();
+    table.write_csv(&cfg.out_dir, "fig17.csv");
+    table
+}

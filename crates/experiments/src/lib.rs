@@ -1,0 +1,61 @@
+//! # ldp-experiments
+//!
+//! Reproduction harness: one binary per figure of the paper's evaluation
+//! (see DESIGN.md §5 for the experiment index). Every binary prints the
+//! series the paper plots and writes a CSV under `results/`.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `RISKS_RUNS` — repetitions averaged per point (default 3; paper: 20).
+//! * `RISKS_SCALE` — dataset-size fraction of the paper's n (default 0.15).
+//! * `RISKS_THREADS` — worker threads (default: all cores).
+//! * `RISKS_SEED` — master seed (default 42).
+//! * `RISKS_FULL=1` — paper scale (`runs = 20`, `scale = 1.0`).
+//! * `RISKS_OUT` — output directory for CSVs (default `results`).
+
+pub mod ablation;
+pub mod aif;
+pub mod config;
+pub mod mse;
+pub mod smp_reident;
+pub mod table;
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+
+pub use config::ExpConfig;
+pub use table::Table;
+
+/// The paper's ε grid for the attack experiments (§4.2).
+pub fn eps_grid() -> Vec<f64> {
+    (1..=10).map(f64::from).collect()
+}
+
+/// The paper's ε grid for the utility experiments (§5.2.2): ln(2)…ln(7).
+pub fn eps_ln_grid() -> Vec<f64> {
+    (2..=7).map(|x| f64::from(x).ln()).collect()
+}
+
+/// The paper's Bayes-error grid for the α-PIE experiments (Appendix C).
+pub fn beta_grid() -> Vec<f64> {
+    (0..=9).map(|i| 0.95 - 0.05 * f64::from(i)).collect()
+}
+
+/// The survey counts after which RID-ACC is measured (paper: 2–5).
+pub const SURVEY_COUNTS: [usize; 4] = [2, 3, 4, 5];
+
+/// Top-k values of the re-identification decision (paper: 1 and 10).
+pub const TOP_KS: [usize; 2] = [1, 10];

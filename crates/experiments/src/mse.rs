@@ -1,0 +1,133 @@
+//! Shared runner for the multidimensional frequency-estimation utility
+//! sweeps (Figs. 5 and 16): empirical `MSE_avg` plus the analytic
+//! approximate-variance curves.
+
+use std::collections::BTreeMap;
+
+use ldp_core::metrics::{mean_std, mse_avg};
+use ldp_core::solutions::{MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
+use ldp_datasets::Dataset;
+use ldp_protocols::hash::{mix2, mix3};
+use ldp_sim::par::par_map;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aif::{AifDataset, PriorSpec};
+use crate::table::{fnum, Table};
+use crate::ExpConfig;
+
+/// One estimation method under comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MseMethod {
+    /// RS+FD with uniform fake data.
+    RsFd(RsFdProtocol),
+    /// RS+RFD with prior-driven fake data.
+    RsRfd(RsRfdProtocol, PriorSpec),
+}
+
+impl MseMethod {
+    /// Paper-style label.
+    pub fn name(self) -> String {
+        match self {
+            MseMethod::RsFd(p) => p.name(),
+            MseMethod::RsRfd(p, prior) => format!("{}({})", p.name(), prior.name()),
+        }
+    }
+}
+
+/// Parameters of one utility sweep.
+#[derive(Debug, Clone)]
+pub struct MseParams {
+    /// Corpus.
+    pub dataset: AifDataset,
+    /// Methods to compare.
+    pub methods: Vec<MseMethod>,
+    /// ε grid (the paper uses ln 2 … ln 7).
+    pub eps: Vec<f64>,
+}
+
+fn load(cfg: &ExpConfig, choice: AifDataset, run: u64) -> Dataset {
+    match choice {
+        AifDataset::Adult => cfg.adult(run),
+        AifDataset::Acs => cfg.acs(run),
+        AifDataset::Nursery => cfg.nursery(run),
+    }
+}
+
+/// Runs the sweep; returns
+/// (`method, eps, mse_mean, mse_std, analytic_var`).
+///
+/// `analytic_var` is the f = 0 approximate estimator variance averaged over
+/// attributes and values (the paper's Fig. 16 analytic curves); for RS+RFD it
+/// uses the run-0 priors.
+pub fn run(cfg: &ExpConfig, params: &MseParams, fig: &str) -> Table {
+    let fig_seed = mix2(cfg.seed, fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))));
+    let grid: Vec<(usize, usize, u64)> = (0..params.methods.len())
+        .flat_map(|mi| {
+            (0..params.eps.len())
+                .flat_map(move |ei| (0..cfg.runs as u64).map(move |run| (mi, ei, run)))
+        })
+        .collect();
+
+    let measurements: Vec<(usize, usize, f64, f64)> = par_map(grid.len(), cfg.threads, |g| {
+        let (mi, ei, run) = grid[g];
+        let eps = params.eps[ei];
+        let mut rng = StdRng::seed_from_u64(mix3(fig_seed, g as u64, run));
+        let dataset = load(cfg, params.dataset, run);
+        let ks = dataset.schema().cardinalities();
+        let truth = dataset.marginals();
+        let n = dataset.n();
+
+        let (estimate, analytic) = match params.methods[mi] {
+            MseMethod::RsFd(protocol) => {
+                let solution = RsFd::new(protocol, &ks, eps).expect("rsfd construction");
+                let reports: Vec<MultidimReport> = dataset
+                    .rows()
+                    .map(|t| solution.report(t, &mut rng))
+                    .collect();
+                let analytic = (0..ks.len())
+                    .map(|j| solution.approx_variance(j, n))
+                    .sum::<f64>()
+                    / ks.len() as f64;
+                (solution.estimate(&reports), analytic)
+            }
+            MseMethod::RsRfd(protocol, prior_spec) => {
+                let priors = prior_spec.build(&dataset, &mut rng);
+                let solution =
+                    RsRfd::new(protocol, &ks, eps, priors).expect("rsrfd construction");
+                let reports: Vec<MultidimReport> = dataset
+                    .rows()
+                    .map(|t| solution.report(t, &mut rng))
+                    .collect();
+                let analytic = (0..ks.len())
+                    .map(|j| solution.approx_variance_avg(j, n))
+                    .sum::<f64>()
+                    / ks.len() as f64;
+                (solution.estimate(&reports), analytic)
+            }
+        };
+        (mi, ei, mse_avg(&truth, &estimate), analytic)
+    });
+
+    let mut buckets: BTreeMap<(usize, usize), (Vec<f64>, f64)> = BTreeMap::new();
+    for (mi, ei, mse, analytic) in measurements {
+        let e = buckets.entry((mi, ei)).or_insert((Vec::new(), analytic));
+        e.0.push(mse);
+    }
+
+    let mut table = Table::new(
+        format!("{fig}: multidimensional frequency estimation (MSE_avg)"),
+        &["method", "eps", "mse_mean", "mse_std", "analytic_var"],
+    );
+    for ((mi, ei), (mses, analytic)) in buckets {
+        let ms = mean_std(&mses);
+        table.row(vec![
+            params.methods[mi].name(),
+            fnum(params.eps[ei]),
+            fnum(ms.mean),
+            fnum(ms.std),
+            fnum(analytic),
+        ]);
+    }
+    table
+}

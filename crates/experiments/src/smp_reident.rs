@@ -1,0 +1,165 @@
+//! Shared runner for the SMP re-identification sweeps
+//! (Figs. 2, 9, 10, 11, 12, 13).
+
+use std::collections::BTreeMap;
+
+use ldp_core::metrics::mean_std;
+use ldp_core::reident::ReidentAttack;
+use ldp_datasets::Dataset;
+use ldp_protocols::hash::{mix2, mix3};
+use ldp_protocols::ProtocolKind;
+use ldp_sim::par::par_map;
+use ldp_sim::{rid_acc_multi, PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{fnum, Table};
+use crate::{ExpConfig, SURVEY_COUNTS, TOP_KS};
+
+/// Which corpus the sweep collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// Adult-like (d = 10).
+    Adult,
+    /// ACSEmployment-like (d = 18).
+    Acs,
+}
+
+/// The x-axis of the sweep: ε for LDP, β for α-PIE.
+#[derive(Debug, Clone)]
+pub enum XAxis {
+    /// Standard ε-LDP sweep.
+    Epsilon(Vec<f64>),
+    /// α-PIE sweep parameterized by the Bayes error β.
+    Beta(Vec<f64>),
+}
+
+/// Adversary background knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Background {
+    /// FK-RI: the full d-dimensional dataset.
+    Full,
+    /// PK-RI: a random attribute subset of size in `[⌈d/2⌉, d − 1]`.
+    Partial,
+}
+
+/// Parameters of one SMP re-identification sweep.
+#[derive(Debug, Clone)]
+pub struct SmpReidentParams {
+    /// Corpus.
+    pub dataset: DatasetChoice,
+    /// Frequency-oracle families to evaluate.
+    pub kinds: Vec<ProtocolKind>,
+    /// Privacy sweep axis.
+    pub xaxis: XAxis,
+    /// Attribute-sampling setting across surveys.
+    pub setting: SamplingSetting,
+    /// FK-RI or PK-RI.
+    pub background: Background,
+    /// Total surveys (the paper: 5).
+    pub n_surveys: usize,
+}
+
+fn load(cfg: &ExpConfig, choice: DatasetChoice, run: u64) -> Dataset {
+    match choice {
+        DatasetChoice::Adult => cfg.adult(run),
+        DatasetChoice::Acs => cfg.acs(run),
+    }
+}
+
+/// One measured point: RID-ACC (%) per (survey count, top-k).
+type Point = Vec<((usize, usize), f64)>;
+
+/// Runs the sweep and returns the result table
+/// (`protocol, x, surveys, k, rid_acc_mean, rid_acc_std, baseline`).
+pub fn run(cfg: &ExpConfig, params: &SmpReidentParams, fig: &str) -> Table {
+    let xs: &[f64] = match &params.xaxis {
+        XAxis::Epsilon(v) | XAxis::Beta(v) => v,
+    };
+    let x_label = match params.xaxis {
+        XAxis::Epsilon(_) => "eps",
+        XAxis::Beta(_) => "beta",
+    };
+    let fig_seed = mix2(cfg.seed, fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))));
+
+    // Flatten the (kind, x, run) grid for outer-loop parallelism.
+    let grid: Vec<(usize, usize, u64)> = (0..params.kinds.len())
+        .flat_map(|ki| {
+            xs.iter().enumerate().flat_map(move |(xi, _)| {
+                (0..cfg.runs as u64).map(move |run| (ki, xi, run))
+            })
+        })
+        .collect();
+
+    let points: Vec<(usize, usize, Point)> = par_map(grid.len(), cfg.threads, |g| {
+        let (ki, xi, run) = grid[g];
+        let kind = params.kinds[ki];
+        let x = xs[xi];
+        let item_seed = mix3(fig_seed, g as u64, run);
+
+        let dataset = load(cfg, params.dataset, run);
+        let ks = dataset.schema().cardinalities();
+        let mut plan_rng = StdRng::seed_from_u64(mix3(fig_seed, run, 0x91A7));
+        let plan = SurveyPlan::generate(dataset.d(), params.n_surveys, &mut plan_rng);
+
+        let model = match params.xaxis {
+            XAxis::Epsilon(_) => PrivacyModel::Ldp { epsilon: x },
+            XAxis::Beta(_) => PrivacyModel::Pie { beta: x },
+        };
+        let campaign = SmpCampaign::new(kind, &ks, &model, dataset.n(), params.setting)
+            .expect("campaign construction");
+        let snapshots = campaign.run(&dataset, &plan, item_seed, 1);
+
+        let bk_attrs: Vec<usize> = match params.background {
+            Background::Full => (0..dataset.d()).collect(),
+            Background::Partial => {
+                let mut rng = StdRng::seed_from_u64(mix3(fig_seed, run, 0xB0_0C));
+                let d = dataset.d();
+                let size = rng.random_range(d.div_ceil(2)..d);
+                let mut a: Vec<usize> = sample(&mut rng, d, size).into_iter().collect();
+                a.sort_unstable();
+                a
+            }
+        };
+        let attack = ReidentAttack::build(&dataset, &bk_attrs);
+
+        let mut point = Vec::new();
+        for &sv in SURVEY_COUNTS.iter().filter(|&&s| s <= params.n_surveys) {
+            let accs = rid_acc_multi(&attack, &snapshots[sv - 1], &TOP_KS, item_seed, 1);
+            for (k_slot, &k) in TOP_KS.iter().enumerate() {
+                point.push(((sv, k), accs[k_slot]));
+            }
+        }
+        (ki, xi, point)
+    });
+
+    // Aggregate runs.
+    let mut buckets: BTreeMap<(usize, usize, usize, usize), Vec<f64>> = BTreeMap::new();
+    for (ki, xi, point) in points {
+        for ((sv, k), acc) in point {
+            buckets.entry((ki, xi, sv, k)).or_default().push(acc);
+        }
+    }
+
+    let n_population = load(cfg, params.dataset, 0).n();
+    let mut table = Table::new(
+        format!("{fig}: SMP re-identification (RID-ACC %)"),
+        &[
+            "protocol", x_label, "surveys", "top_k", "rid_acc_mean", "rid_acc_std", "baseline",
+        ],
+    );
+    for ((ki, xi, sv, k), accs) in buckets {
+        let ms = mean_std(&accs);
+        table.row(vec![
+            params.kinds[ki].name().to_string(),
+            fnum(xs[xi]),
+            sv.to_string(),
+            k.to_string(),
+            fnum(ms.mean),
+            fnum(ms.std),
+            fnum(100.0 * k as f64 / n_population as f64),
+        ]);
+    }
+    table
+}

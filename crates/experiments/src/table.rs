@@ -1,0 +1,146 @@
+//! Aligned text tables + CSV output for the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple result table: printed aligned to stdout and persisted as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV into `dir/name` (creating `dir`).
+    ///
+    /// # Panics
+    /// Panics on I/O failure — experiment binaries should fail loudly.
+    pub fn write_csv(&self, dir: &Path, name: &str) {
+        fs::create_dir_all(dir).expect("cannot create output directory");
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path).expect("cannot create CSV file");
+        writeln!(f, "{}", self.headers.join(",")).expect("csv write failed");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("csv write failed");
+        }
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Formats a float with 4 significant decimals for tables.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "metric"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        t.row(vec!["100".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("metric"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("ldp_experiments_table_test");
+        t.write_csv(&dir, "demo.csv");
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn fnum_formats_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(123.456), "123.5");
+        assert_eq!(fnum(0.12345), "0.1235");
+        assert!(fnum(0.0001).contains('e'));
+    }
+}

@@ -1,0 +1,228 @@
+//! Dense feature matrices and the uniform-width binning used by the
+//! histogram-based tree learner.
+
+/// Row-major dense `f32` feature matrix.
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    data: Vec<f32>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl DenseMatrix {
+    /// Builds a matrix from equal-length rows.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "ragged feature rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { data, n_rows, n_cols }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != n_rows * n_cols`.
+    pub fn from_flat(data: Vec<f32>, n_rows: usize, n_cols: usize) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "flat buffer size mismatch");
+        DenseMatrix { data, n_rows, n_cols }
+    }
+
+    /// Number of rows (samples).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (features).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Single cell.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.n_cols + j]
+    }
+}
+
+/// Per-feature uniform binning spec: `bin = clamp(round((x − lo) / width))`.
+#[derive(Debug, Clone)]
+pub struct BinningSpec {
+    los: Vec<f32>,
+    widths: Vec<f32>,
+    /// Number of bins per feature.
+    pub n_bins: Vec<u16>,
+}
+
+impl BinningSpec {
+    /// Derives a spec from training data with at most `max_bins` bins per
+    /// feature. Integer-coded features with a small range get exact
+    /// value-per-bin binning.
+    pub fn fit(x: &DenseMatrix, max_bins: u16) -> Self {
+        assert!(max_bins >= 2, "need at least two bins");
+        let f = x.n_cols();
+        let mut los = vec![f32::INFINITY; f];
+        let mut his = vec![f32::NEG_INFINITY; f];
+        for i in 0..x.n_rows() {
+            let row = x.row(i);
+            for j in 0..f {
+                los[j] = los[j].min(row[j]);
+                his[j] = his[j].max(row[j]);
+            }
+        }
+        let mut widths = Vec::with_capacity(f);
+        let mut n_bins = Vec::with_capacity(f);
+        for j in 0..f {
+            if !los[j].is_finite() {
+                // Empty matrix: degenerate single-bin features.
+                los[j] = 0.0;
+                his[j] = 0.0;
+            }
+            let range = (his[j] - los[j]).max(0.0);
+            // Integer-range features bin exactly; wide/continuous features
+            // get max_bins uniform bins.
+            let bins = if range <= f32::from(max_bins - 1) && range.fract() == 0.0 {
+                range as u16 + 1
+            } else {
+                max_bins
+            };
+            n_bins.push(bins.max(1));
+            widths.push(if bins > 1 { range / f32::from(bins - 1) } else { 1.0 });
+        }
+        BinningSpec { los, widths, n_bins }
+    }
+
+    /// Bin index of value `x` for feature `j`.
+    #[inline]
+    pub fn bin(&self, j: usize, x: f32) -> u16 {
+        let w = self.widths[j];
+        if w <= 0.0 {
+            return 0;
+        }
+        let b = ((x - self.los[j]) / w).round();
+        let max = f32::from(self.n_bins[j] - 1);
+        b.clamp(0.0, max) as u16
+    }
+}
+
+/// A pre-binned matrix (u16 bin codes) plus its [`BinningSpec`].
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    bins: Vec<u16>,
+    n_rows: usize,
+    n_cols: usize,
+    /// The binning spec used (needed to bin prediction-time inputs).
+    pub spec: BinningSpec,
+}
+
+impl BinnedMatrix {
+    /// Bins `x` under `spec`.
+    pub fn from_matrix(x: &DenseMatrix, spec: BinningSpec) -> Self {
+        let (n_rows, n_cols) = (x.n_rows(), x.n_cols());
+        let mut bins = Vec::with_capacity(n_rows * n_cols);
+        for i in 0..n_rows {
+            let row = x.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                bins.push(spec.bin(j, v));
+            }
+        }
+        BinnedMatrix { bins, n_rows, n_cols, spec }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Bin code of cell (i, j).
+    #[inline]
+    pub fn bin(&self, i: usize, j: usize) -> u16 {
+        self.bins[i * self.n_cols + j]
+    }
+
+    /// Row of bin codes.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u16] {
+        &self.bins[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_accessors() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged_input() {
+        DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn integer_features_bin_exactly() {
+        let m = DenseMatrix::from_rows(&[vec![0.0], vec![3.0], vec![7.0]]);
+        let spec = BinningSpec::fit(&m, 256);
+        assert_eq!(spec.n_bins[0], 8);
+        assert_eq!(spec.bin(0, 0.0), 0);
+        assert_eq!(spec.bin(0, 3.0), 3);
+        assert_eq!(spec.bin(0, 7.0), 7);
+        // Out-of-range values clamp.
+        assert_eq!(spec.bin(0, 99.0), 7);
+        assert_eq!(spec.bin(0, -5.0), 0);
+    }
+
+    #[test]
+    fn continuous_features_use_max_bins() {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 * 0.37]).collect();
+        let m = DenseMatrix::from_rows(&rows);
+        let spec = BinningSpec::fit(&m, 16);
+        assert_eq!(spec.n_bins[0], 16);
+        let b_lo = spec.bin(0, 0.0);
+        let b_hi = spec.bin(0, 99.0 * 0.37);
+        assert_eq!(b_lo, 0);
+        assert_eq!(b_hi, 15);
+    }
+
+    #[test]
+    fn binned_matrix_roundtrips_bins() {
+        let m = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
+        let spec = BinningSpec::fit(&m, 256);
+        let bm = BinnedMatrix::from_matrix(&m, spec);
+        assert_eq!(bm.bin(0, 1), 1);
+        assert_eq!(bm.bin(1, 0), 2);
+        assert_eq!(bm.row(1), &[2, 0]);
+    }
+
+    #[test]
+    fn constant_feature_gets_single_bin() {
+        let m = DenseMatrix::from_rows(&[vec![5.0], vec![5.0]]);
+        let spec = BinningSpec::fit(&m, 256);
+        assert_eq!(spec.n_bins[0], 1);
+        assert_eq!(spec.bin(0, 5.0), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multinomial logistic regression, the linear ablation baseline for the
+//! sampled-attribute inference attack classifier.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::boosting::argmax;
+use crate::data::DenseMatrix;
+
+/// Training hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogisticParams {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Initial SGD step size (decayed as `lr / (1 + epoch)`).
+    pub learning_rate: f64,
+    /// L2 weight penalty.
+    pub l2: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        LogisticParams {
+            epochs: 25,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            batch: 64,
+        }
+    }
+}
+
+/// A fitted multinomial (softmax) logistic-regression model with bias terms.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// `weights[c]` has length `n_features + 1` (bias last).
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+fn softmax_inplace(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        total += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= total;
+    }
+}
+
+impl LogisticRegression {
+    /// Fits via mini-batch SGD on the softmax cross-entropy.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or out-of-range labels.
+    pub fn fit(
+        x: &DenseMatrix,
+        y: &[u32],
+        n_classes: usize,
+        params: &LogisticParams,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "labels must match rows");
+        assert!(n_classes >= 1);
+        assert!(y.iter().all(|&c| (c as usize) < n_classes), "label out of range");
+        let n = x.n_rows();
+        let f = x.n_cols();
+        let mut weights = vec![vec![0.0f64; f + 1]; n_classes];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut scores = vec![0.0f64; n_classes];
+
+        for epoch in 0..params.epochs {
+            order.shuffle(&mut rng);
+            let lr = params.learning_rate / (1.0 + epoch as f64);
+            for chunk in order.chunks(params.batch.max(1)) {
+                // Accumulate the batch gradient.
+                let mut grad = vec![vec![0.0f64; f + 1]; n_classes];
+                for &i in chunk {
+                    let row = x.row(i);
+                    for (c, w) in weights.iter().enumerate() {
+                        let mut s = w[f]; // bias
+                        for (j, &v) in row.iter().enumerate() {
+                            s += w[j] * f64::from(v);
+                        }
+                        scores[c] = s;
+                    }
+                    softmax_inplace(&mut scores);
+                    for c in 0..n_classes {
+                        let err = scores[c] - f64::from(u8::from(y[i] as usize == c));
+                        let g = &mut grad[c];
+                        for (j, &v) in row.iter().enumerate() {
+                            g[j] += err * f64::from(v);
+                        }
+                        g[f] += err;
+                    }
+                }
+                let scale = lr / chunk.len() as f64;
+                for c in 0..n_classes {
+                    for j in 0..=f {
+                        weights[c][j] -= scale * (grad[c][j] + params.l2 * weights[c][j]);
+                    }
+                }
+            }
+        }
+        LogisticRegression {
+            weights,
+            n_classes,
+            n_features: f,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn raw_scores(&self, row: &[f32]) -> Vec<f64> {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        self.weights
+            .iter()
+            .map(|w| {
+                let mut s = w[self.n_features];
+                for (j, &v) in row.iter().enumerate() {
+                    s += w[j] * f64::from(v);
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Class-probability predictions.
+    pub fn predict_proba(&self, x: &DenseMatrix) -> Vec<Vec<f64>> {
+        (0..x.n_rows())
+            .map(|i| {
+                let mut s = self.raw_scores(x.row(i));
+                softmax_inplace(&mut s);
+                s
+            })
+            .collect()
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<u32> {
+        (0..x.n_rows())
+            .map(|i| argmax(&self.raw_scores(x.row(i))) as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::Rng;
+
+    #[test]
+    fn learns_linearly_separable_classes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..200 {
+            let a: f32 = rng.random_range(-1.0..1.0);
+            let b: f32 = rng.random_range(-1.0..1.0);
+            rows.push(vec![a, b]);
+            y.push(u32::from(a + b > 0.0));
+        }
+        let x = DenseMatrix::from_rows(&rows);
+        let model = LogisticRegression::fit(&x, &y, 2, &LogisticParams::default(), 9);
+        let acc = accuracy(&y, &model.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let x = DenseMatrix::from_rows(&[vec![0.3, -0.7], vec![1.5, 0.2]]);
+        let model = LogisticRegression::fit(&x, &[0, 1], 2, &LogisticParams::default(), 1);
+        for p in model.predict_proba(&x) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![-1.0], vec![0.5]]);
+        let y = vec![1, 0, 1];
+        let a = LogisticRegression::fit(&x, &y, 2, &LogisticParams::default(), 3);
+        let b = LogisticRegression::fit(&x, &y, 2, &LogisticParams::default(), 3);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn three_class_problem() {
+        // One-hot features identify the class exactly.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3u32 {
+            for _ in 0..30 {
+                let mut r = vec![0.0f32; 3];
+                r[c as usize] = 1.0;
+                rows.push(r);
+                y.push(c);
+            }
+        }
+        let x = DenseMatrix::from_rows(&rows);
+        let model = LogisticRegression::fit(&x, &y, 3, &LogisticParams::default(), 5);
+        assert!(accuracy(&y, &model.predict(&x)) > 0.99);
+    }
+}

@@ -1,0 +1,79 @@
+//! Classification metrics used to score the inference attack.
+
+/// Fraction of positions where `y_true[i] == y_pred[i]`.
+///
+/// # Panics
+/// Panics when the slices have different lengths or are empty.
+pub fn accuracy(y_true: &[u32], y_pred: &[u32]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "empty label vectors");
+    let hits = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|(a, b)| a == b)
+        .count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// `n_classes × n_classes` confusion matrix; `m[t][p]` counts samples with
+/// true class `t` predicted as `p`.
+pub fn confusion_matrix(n_classes: usize, y_true: &[u32], y_pred: &[u32]) -> Vec<Vec<u64>> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut m = vec![vec![0u64; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Mean negative log-likelihood of the true classes under `probs`.
+pub fn log_loss(y_true: &[u32], probs: &[Vec<f64>]) -> f64 {
+    assert_eq!(y_true.len(), probs.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "empty label vectors");
+    let total: f64 = y_true
+        .iter()
+        .zip(probs)
+        .map(|(&t, p)| -(p[t as usize].max(1e-15)).ln())
+        .sum();
+    total / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert_eq!(accuracy(&[1], &[0]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_cells() {
+        let m = confusion_matrix(3, &[0, 1, 2, 1], &[0, 2, 2, 1]);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][2], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    fn log_loss_is_zero_for_perfect_probs() {
+        let loss = log_loss(&[0, 1], &[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(loss < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_penalizes_confident_mistakes() {
+        let good = log_loss(&[0], &[vec![0.9, 0.1]]);
+        let bad = log_loss(&[0], &[vec![0.1, 0.9]]);
+        assert!(bad > good);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatched_lengths() {
+        accuracy(&[0, 1], &[0]);
+    }
+}

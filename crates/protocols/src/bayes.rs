@@ -1,0 +1,233 @@
+//! Prior-aware Bayes-optimal single-report attacker.
+//!
+//! §3.2.1 of the paper notes that the expectation of its plausible-deniability
+//! attack "could be analytically formalized with the Bayes adversary of
+//! [Gursoy et al., TIFS'22]". This module implements that stronger adversary:
+//! given a prior `π` over the domain (e.g. public Census marginals), predict
+//!
+//! `v̂ = argmax_v π(v) · Pr[M(v) = y]`.
+//!
+//! With a uniform prior this coincides in expectation with
+//! [`crate::deniability::best_guess`]; with a skewed prior it strictly
+//! dominates it, which quantifies how much *more* a background-informed
+//! adversary extracts from each report.
+
+use rand::Rng;
+
+use crate::hash::olh_hash;
+use crate::oracle::{FrequencyOracle, Oracle, Report};
+
+/// Per-value likelihood `Pr[M(v) = y]` of the observed report, up to a
+/// value-independent constant (sufficient for the argmax).
+fn likelihoods(oracle: &Oracle, report: &Report) -> Vec<f64> {
+    let k = oracle.domain_size();
+    match (oracle, report) {
+        (Oracle::Grr(grr), Report::Value(y)) => (0..k as u32)
+            .map(|v| if v == *y { grr.p() } else { grr.q() })
+            .collect(),
+        (Oracle::Olh(olh), Report::Hashed { seed, value, g }) => {
+            let q_hash = (1.0 - olh.p_hash()) / (f64::from(*g) - 1.0);
+            (0..k as u32)
+                .map(|v| {
+                    if olh_hash(*seed, v, *g) == *value {
+                        olh.p_hash()
+                    } else {
+                        q_hash
+                    }
+                })
+                .collect()
+        }
+        (Oracle::Ss(ss), Report::Subset(subset)) => {
+            // Pr[Ω ∋ v as the true value] vs not: up to the subset-choice
+            // constant, likelihood ∝ p if v ∈ Ω else (1 − p)·(adjustment).
+            // The exact ratio between members/non-members is what matters.
+            (0..k as u32)
+                .map(|v| {
+                    if subset.binary_search(&v).is_ok() {
+                        ss.p()
+                    } else {
+                        // v ∉ Ω: true value was excluded.
+                        (1.0 - ss.p()) / (k as f64 - ss.omega() as f64).max(1.0)
+                            * ss.omega() as f64
+                    }
+                })
+                .collect()
+        }
+        (Oracle::Ue(ue), Report::Bits(bits)) => {
+            // Independent bit flips: log-likelihood differs only through the
+            // bit at position v: p vs q if set, (1−p) vs (1−q) if clear.
+            let (p, q) = (ue.p(), ue.q());
+            (0..k)
+                .map(|v| if bits.get(v) { p / q } else { (1.0 - p) / (1.0 - q) })
+                .collect()
+        }
+        // Mismatched shapes carry no information.
+        _ => vec![1.0; k],
+    }
+}
+
+/// Bayes-optimal prediction under prior `prior` (uniform ties broken
+/// randomly).
+///
+/// # Panics
+/// Panics when `prior.len() != oracle.domain_size()`.
+pub fn bayes_guess<R: Rng + ?Sized>(
+    oracle: &Oracle,
+    report: &Report,
+    prior: &[f64],
+    rng: &mut R,
+) -> u32 {
+    let k = oracle.domain_size();
+    assert_eq!(prior.len(), k, "prior length must equal domain size");
+    let lik = likelihoods(oracle, report);
+    let mut best_score = f64::NEG_INFINITY;
+    let mut ties: Vec<u32> = Vec::new();
+    for v in 0..k {
+        let score = prior[v] * lik[v];
+        if score > best_score + 1e-15 {
+            best_score = score;
+            ties.clear();
+            ties.push(v as u32);
+        } else if (score - best_score).abs() <= 1e-15 {
+            ties.push(v as u32);
+        }
+    }
+    ties[rng.random_range(0..ties.len())]
+}
+
+/// Posterior distribution `P(v | y)` under `prior` (normalized).
+pub fn posterior(oracle: &Oracle, report: &Report, prior: &[f64]) -> Vec<f64> {
+    let k = oracle.domain_size();
+    assert_eq!(prior.len(), k, "prior length must equal domain size");
+    let lik = likelihoods(oracle, report);
+    let mut post: Vec<f64> = prior.iter().zip(&lik).map(|(p, l)| p * l).collect();
+    let total: f64 = post.iter().sum();
+    if total > 0.0 {
+        for x in &mut post {
+            *x /= total;
+        }
+    } else {
+        post.fill(1.0 / k as f64);
+    }
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deniability;
+    use crate::oracle::ProtocolKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Skewed domain: value 0 holds 60 % of the mass.
+    fn skewed_prior(k: usize) -> Vec<f64> {
+        let mut p = vec![0.4 / (k as f64 - 1.0); k];
+        p[0] = 0.6;
+        p
+    }
+
+    fn simulate(
+        kind: ProtocolKind,
+        k: usize,
+        eps: f64,
+        prior: &[f64],
+        trials: usize,
+    ) -> (f64, f64) {
+        let oracle = kind.build(k, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let cdf: Vec<f64> = prior
+            .iter()
+            .scan(0.0, |acc, &p| {
+                *acc += p;
+                Some(*acc)
+            })
+            .collect();
+        let (mut bayes_hits, mut pd_hits) = (0usize, 0usize);
+        for _ in 0..trials {
+            let u: f64 = rng.random();
+            let v = cdf.partition_point(|&c| c < u).min(k - 1) as u32;
+            let report = oracle.randomize(v, &mut rng);
+            if bayes_guess(&oracle, &report, prior, &mut rng) == v {
+                bayes_hits += 1;
+            }
+            if deniability::best_guess(&oracle, &report, &mut rng) == v {
+                pd_hits += 1;
+            }
+        }
+        (
+            bayes_hits as f64 / trials as f64,
+            pd_hits as f64 / trials as f64,
+        )
+    }
+
+    #[test]
+    fn bayes_dominates_plausible_deniability_under_skewed_priors() {
+        // At low ε the prior carries most of the information; the Bayes
+        // adversary must clearly beat the prior-agnostic rule.
+        for kind in ProtocolKind::ALL {
+            let prior = skewed_prior(8);
+            let (bayes, pd) = simulate(kind, 8, 0.5, &prior, 30_000);
+            assert!(
+                bayes >= pd - 0.01,
+                "{kind}: bayes {bayes} should dominate deniability {pd}"
+            );
+            // And at least match always-guess-the-mode.
+            assert!(bayes >= 0.58, "{kind}: bayes {bayes} below prior mode");
+        }
+    }
+
+    #[test]
+    fn bayes_matches_deniability_under_uniform_prior_for_grr() {
+        let k = 8;
+        let uniform = vec![1.0 / k as f64; k];
+        let (bayes, pd) = simulate(ProtocolKind::Grr, k, 2.0, &uniform, 30_000);
+        assert!(
+            (bayes - pd).abs() < 0.02,
+            "uniform prior: bayes {bayes} vs deniability {pd}"
+        );
+    }
+
+    #[test]
+    fn posterior_is_a_distribution_concentrated_on_the_report() {
+        let oracle = ProtocolKind::Grr.build(5, 3.0).unwrap();
+        let uniform = vec![0.2; 5];
+        let post = posterior(&oracle, &Report::Value(2), &uniform);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(post[2] > 0.5, "posterior should peak at the report: {post:?}");
+        for v in [0usize, 1, 3, 4] {
+            assert!(post[v] < post[2]);
+        }
+    }
+
+    #[test]
+    fn posterior_follows_prior_when_budget_is_tiny() {
+        let oracle = ProtocolKind::Grr.build(4, 0.001).unwrap();
+        let prior = vec![0.7, 0.1, 0.1, 0.1];
+        let post = posterior(&oracle, &Report::Value(3), &prior);
+        // Almost no information in the report: posterior ≈ prior.
+        assert!((post[0] - 0.7).abs() < 0.02, "{post:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "prior length")]
+    fn bayes_guess_rejects_wrong_prior_length() {
+        let oracle = ProtocolKind::Grr.build(4, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        bayes_guess(&oracle, &Report::Value(0), &[0.5, 0.5], &mut rng);
+    }
+
+    #[test]
+    fn ue_likelihood_uses_only_the_value_bit() {
+        // Two reports differing in an unrelated bit must give the same
+        // posterior ratio between two candidate values sharing bit states.
+        let oracle = ProtocolKind::Oue.build(6, 2.0).unwrap();
+        let uniform = vec![1.0 / 6.0; 6];
+        let mut bits = crate::BitVec::zeros(6);
+        bits.set(1, true);
+        let post = posterior(&oracle, &Report::Bits(bits), &uniform);
+        assert!(post[1] > post[0], "{post:?}");
+        // All clear-bit values tie.
+        assert!((post[0] - post[5]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! A compact fixed-length bit vector used for unary-encoded (UE) reports.
+//!
+//! UE protocols transmit a sanitized one-hot vector of the attribute domain
+//! size; for the paper's datasets that is up to 92 bits per attribute and up
+//! to `sum(k_j)` bits per RS+FD tuple, so a packed representation matters for
+//! the large simulation campaigns.
+
+/// Fixed-length packed bit vector backed by `u64` blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a one-hot vector of `len` bits with bit `index` set.
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    pub fn one_hot(len: usize, index: usize) -> Self {
+        let mut bv = Self::zeros(len);
+        bv.set(index, true);
+        bv
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (self.blocks[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.blocks[index / 64] |= mask;
+        } else {
+            self.blocks[index / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of the set bits, in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            bv: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the set-bit indices into a vector.
+    pub fn ones_vec(&self) -> Vec<usize> {
+        self.ones().collect()
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`].
+pub struct Ones<'a> {
+    bv: &'a BitVec,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear the lowest set bit
+                let idx = self.block_idx * 64 + bit;
+                // Trailing garbage past `len` can never be set because all
+                // mutation paths go through `set`, which bounds-checks.
+                return Some(idx);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.bv.blocks.len() {
+                return None;
+            }
+            self.current = self.bv.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let bv = BitVec::zeros(130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        assert!(bv.ones().next().is_none());
+    }
+
+    #[test]
+    fn one_hot_sets_exactly_one_bit() {
+        for k in [1usize, 2, 63, 64, 65, 92, 128] {
+            for idx in [0, k / 2, k - 1] {
+                let bv = BitVec::one_hot(k, idx);
+                assert_eq!(bv.count_ones(), 1);
+                assert!(bv.get(idx));
+                assert_eq!(bv.ones_vec(), vec![idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut bv = BitVec::zeros(100);
+        bv.set(3, true);
+        bv.set(64, true);
+        bv.set(99, true);
+        assert_eq!(bv.ones_vec(), vec![3, 64, 99]);
+        bv.set(64, false);
+        assert_eq!(bv.ones_vec(), vec![3, 99]);
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bv = BitVec::zeros(10);
+        bv.get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut bv = BitVec::zeros(10);
+        bv.set(10, true);
+    }
+
+    #[test]
+    fn ones_iterator_matches_naive_scan() {
+        let mut bv = BitVec::zeros(200);
+        let idxs = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idxs {
+            bv.set(i, true);
+        }
+        let naive: Vec<usize> = (0..200).filter(|&i| bv.get(i)).collect();
+        assert_eq!(bv.ones_vec(), naive);
+        assert_eq!(naive, idxs.to_vec());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the protocol constructors and aggregation paths.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or running an LDP protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The privacy budget must be finite and strictly positive.
+    InvalidEpsilon(f64),
+    /// Frequency oracles need at least two values in the domain.
+    DomainTooSmall(usize),
+    /// A value outside `0..k` was passed to a randomizer or estimator.
+    ValueOutOfRange {
+        /// Offending value.
+        value: u32,
+        /// Domain size of the attribute.
+        domain: usize,
+    },
+    /// A report of the wrong shape was handed to an aggregator
+    /// (e.g. a unary-encoded report given to a GRR aggregator).
+    ReportMismatch {
+        /// Protocol that received the report.
+        expected: &'static str,
+    },
+    /// A prior distribution has the wrong length or does not sum to ~1.
+    InvalidPrior {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A parameter that must lie in `(0, 1)` (e.g. a probability) was not.
+    InvalidProbability(f64),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidEpsilon(eps) => {
+                write!(f, "privacy budget must be finite and > 0, got {eps}")
+            }
+            ProtocolError::DomainTooSmall(k) => {
+                write!(f, "domain size must be >= 2, got {k}")
+            }
+            ProtocolError::ValueOutOfRange { value, domain } => {
+                write!(f, "value {value} outside domain of size {domain}")
+            }
+            ProtocolError::ReportMismatch { expected } => {
+                write!(f, "report shape does not match protocol {expected}")
+            }
+            ProtocolError::InvalidPrior { reason } => {
+                write!(f, "invalid prior distribution: {reason}")
+            }
+            ProtocolError::InvalidProbability(p) => {
+                write!(f, "probability must lie in (0, 1), got {p}")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::InvalidEpsilon(-1.0);
+        assert!(e.to_string().contains("-1"));
+        let e = ProtocolError::DomainTooSmall(1);
+        assert!(e.to_string().contains('1'));
+        let e = ProtocolError::ValueOutOfRange { value: 9, domain: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error>(_: &E) {}
+        assert_err(&ProtocolError::InvalidEpsilon(0.0));
+    }
+}

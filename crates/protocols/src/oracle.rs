@@ -1,0 +1,425 @@
+//! The [`FrequencyOracle`] abstraction, sanitized [`Report`]s, the protocol
+//! dispatcher [`Oracle`], and the server-side [`Aggregator`] implementing the
+//! generic unbiased estimator of Eq. (2) in the paper.
+
+use rand::Rng;
+
+use crate::bitvec::BitVec;
+use crate::error::ProtocolError;
+use crate::grr::Grr;
+use crate::olh::Olh;
+use crate::ss::SubsetSelection;
+use crate::ue::{UeMode, UnaryEncoding};
+
+/// A sanitized client report. Each LDP protocol has a distinct output shape,
+/// which the paper's §3.2.1 adversarial analysis exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Report {
+    /// A single (possibly perturbed) categorical value — GRR.
+    Value(u32),
+    /// The hash function seed and the perturbed hashed value — OLH.
+    Hashed {
+        /// Identifies the hash function `H` chosen by the user.
+        seed: u64,
+        /// Size of the hash range `[g]`.
+        g: u32,
+        /// Perturbed value in `0..g`.
+        value: u32,
+    },
+    /// The reported subset Ω of domain values — ω-SS.
+    Subset(Vec<u32>),
+    /// A sanitized unary-encoded vector — SUE / OUE.
+    Bits(BitVec),
+}
+
+impl Report {
+    /// Short label of the report shape, for diagnostics.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            Report::Value(_) => "value",
+            Report::Hashed { .. } => "hashed",
+            Report::Subset(_) => "subset",
+            Report::Bits(_) => "bits",
+        }
+    }
+}
+
+/// Client + server sides of an LDP frequency-estimation protocol.
+///
+/// The server side is expressed through [`FrequencyOracle::supports`] plus the
+/// effective `(p*, q*)` pair: every protocol in this crate reports value `v`
+/// ("supports" it) with probability `p*` when the user's true value is `v`,
+/// and `q*` otherwise, which is exactly what the unbiased estimator
+/// `f̂(v) = (C(v)/n − q*) / (p* − q*)` (Eq. (2)) requires.
+pub trait FrequencyOracle {
+    /// Domain size `k` of the attribute.
+    fn domain_size(&self) -> usize;
+
+    /// Privacy budget ε the protocol satisfies.
+    fn epsilon(&self) -> f64;
+
+    /// Client-side sanitization of `value` (must be `< domain_size`).
+    fn randomize<R: Rng + ?Sized>(&self, value: u32, rng: &mut R) -> Report;
+
+    /// Whether `report` counts towards value `value` on the server.
+    fn supports(&self, report: &Report, value: u32) -> bool;
+
+    /// Probability that a report supports the user's own true value.
+    fn est_p(&self) -> f64;
+
+    /// Probability that a report supports any fixed *other* value.
+    fn est_q(&self) -> f64;
+
+    /// Variance of the Eq. (2) estimate of a value with true frequency `f`
+    /// from `n` reports: `γ(1−γ) / (n (p*−q*)²)` with `γ = q* + f (p*−q*)`.
+    fn variance(&self, f: f64, n: usize) -> f64 {
+        let p = self.est_p();
+        let q = self.est_q();
+        let gamma = q + f * (p - q);
+        gamma * (1.0 - gamma) / (n as f64 * (p - q) * (p - q))
+    }
+}
+
+/// The five protocol families of the paper, as a plain enum for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Generalized Randomized Response.
+    Grr,
+    /// Optimal Local Hashing.
+    Olh,
+    /// ω-Subset Selection.
+    Ss,
+    /// Symmetric Unary Encoding (Basic One-time RAPPOR).
+    Sue,
+    /// Optimized Unary Encoding.
+    Oue,
+}
+
+impl ProtocolKind {
+    /// All five protocols in the paper's plotting order.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Grr,
+        ProtocolKind::Olh,
+        ProtocolKind::Ss,
+        ProtocolKind::Sue,
+        ProtocolKind::Oue,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Grr => "GRR",
+            ProtocolKind::Olh => "OLH",
+            ProtocolKind::Ss => "SS",
+            ProtocolKind::Sue => "SUE",
+            ProtocolKind::Oue => "OUE",
+        }
+    }
+
+    /// Builds the concrete protocol for domain size `k` and budget `epsilon`.
+    pub fn build(self, k: usize, epsilon: f64) -> Result<Oracle, ProtocolError> {
+        Ok(match self {
+            ProtocolKind::Grr => Oracle::Grr(Grr::new(k, epsilon)?),
+            ProtocolKind::Olh => Oracle::Olh(Olh::new(k, epsilon)?),
+            ProtocolKind::Ss => Oracle::Ss(SubsetSelection::new(k, epsilon)?),
+            ProtocolKind::Sue => {
+                Oracle::Ue(UnaryEncoding::new(k, epsilon, UeMode::Symmetric)?)
+            }
+            ProtocolKind::Oue => {
+                Oracle::Ue(UnaryEncoding::new(k, epsilon, UeMode::Optimized)?)
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Enum dispatcher over the concrete protocols, convenient for parameter
+/// sweeps where the protocol is selected at runtime.
+#[derive(Debug, Clone)]
+pub enum Oracle {
+    /// See [`Grr`].
+    Grr(Grr),
+    /// See [`Olh`].
+    Olh(Olh),
+    /// See [`SubsetSelection`].
+    Ss(SubsetSelection),
+    /// See [`UnaryEncoding`] (covers both SUE and OUE).
+    Ue(UnaryEncoding),
+}
+
+impl Oracle {
+    /// The protocol family of this oracle.
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            Oracle::Grr(_) => ProtocolKind::Grr,
+            Oracle::Olh(_) => ProtocolKind::Olh,
+            Oracle::Ss(_) => ProtocolKind::Ss,
+            Oracle::Ue(ue) => match ue.mode() {
+                UeMode::Symmetric => ProtocolKind::Sue,
+                UeMode::Optimized => ProtocolKind::Oue,
+            },
+        }
+    }
+}
+
+impl FrequencyOracle for Oracle {
+    fn domain_size(&self) -> usize {
+        match self {
+            Oracle::Grr(p) => p.domain_size(),
+            Oracle::Olh(p) => p.domain_size(),
+            Oracle::Ss(p) => p.domain_size(),
+            Oracle::Ue(p) => p.domain_size(),
+        }
+    }
+
+    fn epsilon(&self) -> f64 {
+        match self {
+            Oracle::Grr(p) => p.epsilon(),
+            Oracle::Olh(p) => p.epsilon(),
+            Oracle::Ss(p) => p.epsilon(),
+            Oracle::Ue(p) => p.epsilon(),
+        }
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, value: u32, rng: &mut R) -> Report {
+        match self {
+            Oracle::Grr(p) => p.randomize(value, rng),
+            Oracle::Olh(p) => p.randomize(value, rng),
+            Oracle::Ss(p) => p.randomize(value, rng),
+            Oracle::Ue(p) => p.randomize(value, rng),
+        }
+    }
+
+    fn supports(&self, report: &Report, value: u32) -> bool {
+        match self {
+            Oracle::Grr(p) => p.supports(report, value),
+            Oracle::Olh(p) => p.supports(report, value),
+            Oracle::Ss(p) => p.supports(report, value),
+            Oracle::Ue(p) => p.supports(report, value),
+        }
+    }
+
+    fn est_p(&self) -> f64 {
+        match self {
+            Oracle::Grr(p) => p.est_p(),
+            Oracle::Olh(p) => p.est_p(),
+            Oracle::Ss(p) => p.est_p(),
+            Oracle::Ue(p) => p.est_p(),
+        }
+    }
+
+    fn est_q(&self) -> f64 {
+        match self {
+            Oracle::Grr(p) => p.est_q(),
+            Oracle::Olh(p) => p.est_q(),
+            Oracle::Ss(p) => p.est_q(),
+            Oracle::Ue(p) => p.est_q(),
+        }
+    }
+}
+
+/// Server-side accumulator implementing the paper's Eq. (2) estimator
+/// generically over any [`FrequencyOracle`].
+#[derive(Debug, Clone)]
+pub struct Aggregator<'a, O: FrequencyOracle> {
+    oracle: &'a O,
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl<'a, O: FrequencyOracle> Aggregator<'a, O> {
+    /// Creates an empty aggregator for `oracle`.
+    pub fn new(oracle: &'a O) -> Self {
+        Aggregator {
+            counts: vec![0; oracle.domain_size()],
+            oracle,
+            n: 0,
+        }
+    }
+
+    /// Absorbs one report, incrementing the support count of each value the
+    /// report supports.
+    pub fn absorb(&mut self, report: &Report) {
+        self.n += 1;
+        match report {
+            // Fast paths that avoid scanning the whole domain.
+            Report::Value(v) => {
+                if let Some(c) = self.counts.get_mut(*v as usize) {
+                    *c += 1;
+                }
+            }
+            Report::Subset(subset) => {
+                for &v in subset {
+                    if let Some(c) = self.counts.get_mut(v as usize) {
+                        *c += 1;
+                    }
+                }
+            }
+            Report::Bits(bits) => {
+                for idx in bits.ones() {
+                    if let Some(c) = self.counts.get_mut(idx) {
+                        *c += 1;
+                    }
+                }
+            }
+            // OLH needs the oracle's hash evaluation over the full domain.
+            Report::Hashed { .. } => {
+                for v in 0..self.counts.len() {
+                    if self.oracle.supports(report, v as u32) {
+                        self.counts[v] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of absorbed reports.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Raw support counts `C(v)`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Unbiased frequency estimates via Eq. (2):
+    /// `f̂(v) = (C(v)/n − q*) / (p* − q*)`.
+    ///
+    /// Returns all-zeros when no report has been absorbed.
+    pub fn estimate(&self) -> Vec<f64> {
+        if self.n == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let n = self.n as f64;
+        let p = self.oracle.est_p();
+        let q = self.oracle.est_q();
+        let denom = p - q;
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 / n - q) / denom)
+            .collect()
+    }
+
+    /// Estimates post-processed onto the probability simplex: negative
+    /// entries clamped to zero and the vector re-normalized to sum to one
+    /// (the standard consistency step; a uniform vector is returned when
+    /// everything clamps to zero).
+    pub fn estimate_normalized(&self) -> Vec<f64> {
+        normalize_simplex(&self.estimate())
+    }
+}
+
+/// Clamps negative entries to zero and renormalizes to sum 1. If the clamped
+/// vector sums to zero, returns the uniform distribution.
+pub fn normalize_simplex(raw: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = raw.iter().map(|&x| x.max(0.0)).collect();
+    let s: f64 = out.iter().sum();
+    if s > 0.0 {
+        for x in &mut out {
+            *x /= s;
+        }
+    } else if !out.is_empty() {
+        let u = 1.0 / out.len() as f64;
+        out.fill(u);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kind_roundtrip_through_build() {
+        for kind in ProtocolKind::ALL {
+            let oracle = kind.build(8, 1.5).unwrap();
+            assert_eq!(oracle.kind(), kind);
+            assert_eq!(oracle.domain_size(), 8);
+            assert!((oracle.epsilon() - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_parameters() {
+        for kind in ProtocolKind::ALL {
+            assert!(kind.build(1, 1.0).is_err());
+            assert!(kind.build(4, 0.0).is_err());
+            assert!(kind.build(4, f64::NAN).is_err());
+        }
+    }
+
+    #[test]
+    fn est_p_greater_than_est_q_for_all_protocols() {
+        for kind in ProtocolKind::ALL {
+            for k in [2usize, 5, 74] {
+                for eps in [0.5, 1.0, 4.0] {
+                    let o = kind.build(k, eps).unwrap();
+                    assert!(
+                        o.est_p() > o.est_q(),
+                        "{kind} k={k} eps={eps}: p={} q={}",
+                        o.est_p(),
+                        o.est_q()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregator_estimates_sum_to_about_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for kind in ProtocolKind::ALL {
+            let o = kind.build(6, 2.0).unwrap();
+            let mut agg = Aggregator::new(&o);
+            for i in 0..6000u32 {
+                agg.absorb(&o.randomize(i % 6, &mut rng));
+            }
+            let est = agg.estimate();
+            let total: f64 = est.iter().sum();
+            assert!(
+                (total - 1.0).abs() < 0.1,
+                "{kind}: estimates sum to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_aggregator_estimates_zero() {
+        let o = ProtocolKind::Grr.build(4, 1.0).unwrap();
+        let agg = Aggregator::new(&o);
+        assert_eq!(agg.estimate(), vec![0.0; 4]);
+        assert_eq!(agg.n(), 0);
+    }
+
+    #[test]
+    fn normalize_simplex_handles_all_negative() {
+        let out = normalize_simplex(&[-0.2, -0.1]);
+        assert_eq!(out, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_simplex_clamps_and_scales() {
+        let out = normalize_simplex(&[0.5, -0.5, 0.5]);
+        assert_eq!(out, vec![0.5, 0.0, 0.5]);
+        let s: f64 = out.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_default_matches_gamma_formula() {
+        let o = ProtocolKind::Grr.build(4, 1.0).unwrap();
+        let (p, q) = (o.est_p(), o.est_q());
+        let f = 0.3;
+        let gamma = q + f * (p - q);
+        let expect = gamma * (1.0 - gamma) / (1000.0 * (p - q) * (p - q));
+        assert!((o.variance(f, 1000) - expect).abs() < 1e-15);
+    }
+}

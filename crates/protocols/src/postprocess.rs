@@ -1,0 +1,150 @@
+//! Consistency post-processing for frequency estimates.
+//!
+//! Eq. (2) estimates are unbiased but unconstrained: entries can be negative
+//! and need not sum to one. The paper's pipeline (and its reference [52],
+//! Wang et al., NDSS'20) post-processes estimates onto the probability
+//! simplex. Two standard methods are provided:
+//!
+//! * [`clamp_normalize`] — clamp negatives to zero, rescale to sum 1
+//!   (the baseline used by `Aggregator::estimate_normalized`);
+//! * [`norm_sub`] — the variance-preferred "Norm-Sub": iteratively shift all
+//!   positive entries by a common δ and clamp, until the result sums to 1.
+//!   This is the exact Euclidean projection onto the simplex.
+
+/// Clamps negatives to zero and rescales to sum one (uniform on total
+/// collapse). Re-exported convenience over
+/// [`crate::oracle::normalize_simplex`].
+pub fn clamp_normalize(estimate: &[f64]) -> Vec<f64> {
+    crate::oracle::normalize_simplex(estimate)
+}
+
+/// Norm-Sub consistency step: finds δ such that
+/// `Σ max(estimate[v] − δ, 0) = 1` and returns the clamped, shifted vector —
+/// the Euclidean projection of the estimate onto the probability simplex.
+///
+/// Returns the uniform distribution for an empty or degenerate input.
+pub fn norm_sub(estimate: &[f64]) -> Vec<f64> {
+    let k = estimate.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Sort descending and find the pivot of the simplex projection.
+    let mut sorted: Vec<f64> = estimate.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let mut cumsum = 0.0;
+    let mut delta = (sorted[0] - 1.0).max(f64::NEG_INFINITY);
+    let mut rho = 0usize;
+    for (i, &x) in sorted.iter().enumerate() {
+        cumsum += x;
+        let candidate = (cumsum - 1.0) / (i + 1) as f64;
+        if x - candidate > 0.0 {
+            rho = i + 1;
+            delta = candidate;
+        }
+    }
+    if rho == 0 {
+        // All mass below the pivot — degenerate input; fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    estimate.iter().map(|&x| (x - delta).max(0.0)).collect()
+}
+
+/// Mean squared deviation between two distributions (diagnostic).
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_simplex(p: &[f64]) -> bool {
+        p.iter().all(|&x| x >= -1e-12) && (p.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+
+    #[test]
+    fn norm_sub_is_identity_on_valid_distributions() {
+        let p = vec![0.2, 0.5, 0.3];
+        let out = norm_sub(&p);
+        for (a, b) in out.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_sub_projects_noisy_estimates() {
+        let noisy = vec![0.6, -0.1, 0.4, 0.3];
+        let out = norm_sub(&noisy);
+        assert!(is_simplex(&out), "{out:?}");
+        // Ordering is preserved for surviving entries.
+        assert!(out[0] > out[2] && out[2] > out[3]);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn norm_sub_matches_euclidean_projection_property() {
+        // The projection must be no farther (in L2) from any simplex point
+        // than the original is... verify against clamp_normalize on a case
+        // where they differ.
+        let noisy = vec![0.9, 0.9, -0.5];
+        let ns = norm_sub(&noisy);
+        let cn = clamp_normalize(&noisy);
+        assert!(is_simplex(&ns));
+        assert!(is_simplex(&cn));
+        assert!(
+            l2_distance(&ns, &noisy) <= l2_distance(&cn, &noisy) + 1e-12,
+            "norm-sub {ns:?} should be the closest projection, clamp {cn:?}"
+        );
+    }
+
+    #[test]
+    fn norm_sub_handles_all_negative() {
+        let out = norm_sub(&[-0.5, -0.2]);
+        assert!(is_simplex(&out));
+    }
+
+    #[test]
+    fn norm_sub_single_entry() {
+        assert_eq!(norm_sub(&[3.7]), vec![1.0]);
+    }
+
+    #[test]
+    fn norm_sub_reduces_mse_versus_raw_noisy_estimates() {
+        // Statistical check: projecting noisy unbiased estimates toward the
+        // simplex should not hurt (and typically helps) the MSE.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let truth = [0.5, 0.3, 0.15, 0.05];
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut raw_mse, mut ns_mse) = (0.0, 0.0);
+        for _ in 0..500 {
+            let noisy: Vec<f64> = truth
+                .iter()
+                .map(|&t| t + 0.2 * (rng.random::<f64>() - 0.5))
+                .collect();
+            let ns = norm_sub(&noisy);
+            raw_mse += truth
+                .iter()
+                .zip(&noisy)
+                .map(|(t, e)| (t - e) * (t - e))
+                .sum::<f64>();
+            ns_mse += truth
+                .iter()
+                .zip(&ns)
+                .map(|(t, e)| (t - e) * (t - e))
+                .sum::<f64>();
+        }
+        assert!(ns_mse <= raw_mse, "norm-sub {ns_mse} vs raw {raw_mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn l2_distance_rejects_mismatch() {
+        l2_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Unary-encoding protocols (SUE and OUE), §2.2.4 of the paper.
+//!
+//! The input is one-hot encoded into a `k`-bit vector `B`, and every bit is
+//! flipped independently:
+//!
+//! * **SUE** (symmetric, a.k.a. Basic One-time RAPPOR):
+//!   `p = e^{ε/2} / (e^{ε/2} + 1)`, `q = 1 / (e^{ε/2} + 1)` (so `p + q = 1`).
+//! * **OUE** (optimized): `p = 1/2`, `q = 1 / (e^ε + 1)`.
+//!
+//! Both satisfy ε-LDP with `ε = ln(p(1−q) / ((1−p)q))`.
+//!
+//! Besides one-hot inputs, [`UnaryEncoding::perturb_bits`] sanitizes an
+//! arbitrary bit vector — the primitive the RS+FD solution uses to build fake
+//! reports from zero-vectors (`UE-z`) or random one-hot vectors (`UE-r`).
+
+use rand::Rng;
+
+use crate::bitvec::BitVec;
+use crate::error::ProtocolError;
+use crate::oracle::{FrequencyOracle, Report};
+use crate::{validate_domain, validate_epsilon};
+
+/// Which unary-encoding parametrization to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UeMode {
+    /// SUE / Basic One-time RAPPOR (`p + q = 1`).
+    Symmetric,
+    /// OUE, variance-optimal (`p = 1/2`).
+    Optimized,
+}
+
+impl UeMode {
+    /// Paper-style name ("SUE" or "OUE").
+    pub fn name(self) -> &'static str {
+        match self {
+            UeMode::Symmetric => "SUE",
+            UeMode::Optimized => "OUE",
+        }
+    }
+}
+
+/// Unary-encoding protocol (SUE or OUE) for one categorical attribute.
+#[derive(Debug, Clone)]
+pub struct UnaryEncoding {
+    k: usize,
+    epsilon: f64,
+    mode: UeMode,
+    p: f64,
+    q: f64,
+}
+
+impl UnaryEncoding {
+    /// Creates a UE instance for domain size `k`, budget `epsilon` and `mode`.
+    pub fn new(k: usize, epsilon: f64, mode: UeMode) -> Result<Self, ProtocolError> {
+        let k = validate_domain(k)?;
+        let epsilon = validate_epsilon(epsilon)?;
+        let (p, q) = match mode {
+            UeMode::Symmetric => {
+                let e2 = (epsilon / 2.0).exp();
+                (e2 / (e2 + 1.0), 1.0 / (e2 + 1.0))
+            }
+            UeMode::Optimized => (0.5, 1.0 / (epsilon.exp() + 1.0)),
+        };
+        Ok(UnaryEncoding {
+            k,
+            epsilon,
+            mode,
+            p,
+            q,
+        })
+    }
+
+    /// The parametrization in use.
+    pub fn mode(&self) -> UeMode {
+        self.mode
+    }
+
+    /// Probability that a 1-bit stays 1.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability that a 0-bit flips to 1.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Sanitizes an arbitrary `k`-bit input vector bit-by-bit:
+    /// 1-bits stay 1 with probability `p`, 0-bits become 1 with probability `q`.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != k`.
+    pub fn perturb_bits<R: Rng + ?Sized>(&self, input: &BitVec, rng: &mut R) -> BitVec {
+        assert_eq!(input.len(), self.k, "input length must equal domain size");
+        let mut out = BitVec::zeros(self.k);
+        for i in 0..self.k {
+            let keep_p = if input.get(i) { self.p } else { self.q };
+            if rng.random::<f64>() < keep_p {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Sanitizes the all-zero vector (the RS+FD `UE-z` fake-data primitive).
+    pub fn perturb_zero_vector<R: Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
+        self.perturb_bits(&BitVec::zeros(self.k), rng)
+    }
+}
+
+impl FrequencyOracle for UnaryEncoding {
+    fn domain_size(&self) -> usize {
+        self.k
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn randomize<R: Rng + ?Sized>(&self, value: u32, rng: &mut R) -> Report {
+        debug_assert!((value as usize) < self.k, "value out of domain");
+        let encoded = BitVec::one_hot(self.k, value as usize);
+        Report::Bits(self.perturb_bits(&encoded, rng))
+    }
+
+    fn supports(&self, report: &Report, value: u32) -> bool {
+        matches!(report, Report::Bits(bits) if bits.get(value as usize))
+    }
+
+    fn est_p(&self) -> f64 {
+        self.p
+    }
+
+    fn est_q(&self) -> f64 {
+        self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sue_parameters_are_symmetric() {
+        let ue = UnaryEncoding::new(10, 2.0, UeMode::Symmetric).unwrap();
+        assert!((ue.p() + ue.q() - 1.0).abs() < 1e-12);
+        let e2 = 1.0f64.exp(); // e^{2/2}
+        assert!((ue.p() - e2 / (e2 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oue_parameters_match_closed_form() {
+        let ue = UnaryEncoding::new(10, 2.0, UeMode::Optimized).unwrap();
+        assert!((ue.p() - 0.5).abs() < 1e-12);
+        assert!((ue.q() - 1.0 / (2.0f64.exp() + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_modes_satisfy_epsilon_ldp_identity() {
+        // ε = ln(p(1−q) / ((1−p)q)) must hold exactly.
+        for mode in [UeMode::Symmetric, UeMode::Optimized] {
+            for eps in [0.5, 1.0, 4.0] {
+                let ue = UnaryEncoding::new(7, eps, mode).unwrap();
+                let implied = (ue.p() * (1.0 - ue.q()) / ((1.0 - ue.p()) * ue.q())).ln();
+                assert!(
+                    (implied - eps).abs() < 1e-9,
+                    "{:?} eps={eps}: implied {implied}",
+                    mode
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomize_produces_k_bit_reports() {
+        let ue = UnaryEncoding::new(16, 1.0, UeMode::Optimized).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        match ue.randomize(3, &mut rng) {
+            Report::Bits(b) => assert_eq!(b.len(), 16),
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empirical_bit_rates_match_p_and_q() {
+        let ue = UnaryEncoding::new(8, 1.5, UeMode::Symmetric).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let trials = 40_000;
+        let mut true_bit = 0usize;
+        let mut other_bit = 0usize;
+        for _ in 0..trials {
+            if let Report::Bits(b) = ue.randomize(2, &mut rng) {
+                if b.get(2) {
+                    true_bit += 1;
+                }
+                if b.get(5) {
+                    other_bit += 1;
+                }
+            }
+        }
+        let p_emp = true_bit as f64 / trials as f64;
+        let q_emp = other_bit as f64 / trials as f64;
+        assert!((p_emp - ue.p()).abs() < 0.01);
+        assert!((q_emp - ue.q()).abs() < 0.01);
+    }
+
+    #[test]
+    fn perturb_zero_vector_sets_bits_at_rate_q() {
+        let ue = UnaryEncoding::new(50, 1.0, UeMode::Optimized).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 2000;
+        let total: usize = (0..trials)
+            .map(|_| ue.perturb_zero_vector(&mut rng).count_ones())
+            .sum();
+        let rate = total as f64 / (trials * 50) as f64;
+        assert!((rate - ue.q()).abs() < 0.01, "rate {rate} vs q {}", ue.q());
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn perturb_bits_rejects_wrong_length() {
+        let ue = UnaryEncoding::new(8, 1.0, UeMode::Symmetric).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = ue.perturb_bits(&BitVec::zeros(9), &mut rng);
+    }
+}

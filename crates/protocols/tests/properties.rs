@@ -1,0 +1,127 @@
+//! Property-based tests over the frequency-oracle protocols.
+
+use ldp_protocols::{
+    deniability, Aggregator, BitVec, FrequencyOracle, ProtocolKind, Report,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_kind() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Grr),
+        Just(ProtocolKind::Olh),
+        Just(ProtocolKind::Ss),
+        Just(ProtocolKind::Sue),
+        Just(ProtocolKind::Oue),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Estimator probabilities are valid and ordered for all protocols.
+    #[test]
+    fn est_params_are_probabilities(
+        kind in arb_kind(),
+        k in 2usize..120,
+        eps in 0.05f64..10.0,
+    ) {
+        let oracle = kind.build(k, eps).unwrap();
+        let (p, q) = (oracle.est_p(), oracle.est_q());
+        prop_assert!(p > 0.0 && p <= 1.0);
+        prop_assert!((0.0..1.0).contains(&q));
+        prop_assert!(p > q);
+    }
+
+    /// Every report of every protocol supports the shape invariants.
+    #[test]
+    fn reports_are_well_formed(
+        kind in arb_kind(),
+        k in 2usize..64,
+        eps in 0.1f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let oracle = kind.build(k, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = (seed % k as u64) as u32;
+        let report = oracle.randomize(value, &mut rng);
+        match &report {
+            Report::Value(v) => prop_assert!((*v as usize) < k),
+            Report::Hashed { g, value, .. } => prop_assert!(value < g),
+            Report::Subset(s) => {
+                prop_assert!(!s.is_empty());
+                prop_assert!(s.iter().all(|&v| (v as usize) < k));
+                prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            }
+            Report::Bits(b) => prop_assert_eq!(b.len(), k),
+        }
+    }
+
+    /// The best-guess attack always outputs a value inside the domain.
+    #[test]
+    fn best_guess_stays_in_domain(
+        kind in arb_kind(),
+        k in 2usize..64,
+        eps in 0.1f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let oracle = kind.build(k, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = (seed % k as u64) as u32;
+        let report = oracle.randomize(value, &mut rng);
+        let guess = deniability::best_guess(&oracle, &report, &mut rng);
+        prop_assert!((guess as usize) < k);
+    }
+
+    /// Expected deniability accuracy is a probability, at least the random
+    /// guess 1/k and at most the theoretical p of the protocol family.
+    #[test]
+    fn expected_acc_is_bounded(
+        kind in arb_kind(),
+        k in 2usize..100,
+        eps in 0.1f64..9.0,
+    ) {
+        let oracle = kind.build(k, eps).unwrap();
+        let acc = deniability::expected_acc(&oracle);
+        prop_assert!(acc > 0.0 && acc <= 1.0);
+        // Never worse than guessing uniformly (minus slack for tiny cases).
+        prop_assert!(acc >= 1.0 / k as f64 - 1e-9, "acc {} < 1/k", acc);
+    }
+
+    /// Normalized estimates form a probability distribution.
+    #[test]
+    fn normalized_estimates_form_simplex(
+        kind in arb_kind(),
+        k in 2usize..16,
+        eps in 0.2f64..6.0,
+        seed in any::<u64>(),
+    ) {
+        let oracle = kind.build(k, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agg = Aggregator::new(&oracle);
+        for i in 0..300u32 {
+            agg.absorb(&oracle.randomize(i % k as u32, &mut rng));
+        }
+        let est = agg.estimate_normalized();
+        prop_assert!(est.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        let total: f64 = est.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// BitVec one-hot/roundtrip invariants under arbitrary set/clear patterns.
+    #[test]
+    fn bitvec_roundtrips(len in 1usize..200, ops in prop::collection::vec((0usize..200, any::<bool>()), 0..50)) {
+        let mut bv = BitVec::zeros(len);
+        let mut model = vec![false; len];
+        for (idx, val) in ops {
+            let idx = idx % len;
+            bv.set(idx, val);
+            model[idx] = val;
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), m);
+        }
+        prop_assert_eq!(bv.count_ones(), model.iter().filter(|&&b| b).count());
+    }
+}

@@ -1,0 +1,144 @@
+//! Statistical validation of every frequency oracle: unbiasedness on skewed
+//! inputs, variance closed forms vs Monte-Carlo, and deniability accuracy at
+//! budget extremes.
+
+use ldp_protocols::{deniability, Aggregator, FrequencyOracle, ProtocolKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws n values from a fixed skewed distribution over 0..k.
+fn skewed_population(n: usize, k: usize, seed: u64) -> (Vec<u32>, Vec<f64>) {
+    let mut pmf: Vec<f64> = (0..k).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total: f64 = pmf.iter().sum();
+    for p in &mut pmf {
+        *p /= total;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            for (v, &p) in pmf.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    return v as u32;
+                }
+            }
+            (k - 1) as u32
+        })
+        .collect();
+    (values, pmf)
+}
+
+#[test]
+fn every_protocol_is_unbiased_on_skewed_input() {
+    let (values, pmf) = skewed_population(60_000, 12, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    for kind in ProtocolKind::ALL {
+        for eps in [0.5, 2.0] {
+            let oracle = kind.build(12, eps).unwrap();
+            let mut agg = Aggregator::new(&oracle);
+            for &v in &values {
+                agg.absorb(&oracle.randomize(v, &mut rng));
+            }
+            let est = agg.estimate();
+            // Empirical marginal of the drawn sample (not the pmf itself) is
+            // the estimator's actual target.
+            let mut emp = [0.0; 12];
+            for &v in &values {
+                emp[v as usize] += 1.0 / values.len() as f64;
+            }
+            for v in 0..12 {
+                let tol = 5.0 * oracle.variance(pmf[v], values.len()).sqrt() + 0.01;
+                assert!(
+                    (est[v] - emp[v]).abs() < tol,
+                    "{kind} eps={eps} v={v}: est {} vs emp {} (tol {tol})",
+                    est[v],
+                    emp[v]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn variance_closed_form_matches_monte_carlo_for_every_protocol() {
+    let k = 8;
+    let n = 500;
+    let reps = 300;
+    let (values, pmf) = skewed_population(n, k, 5);
+    for kind in ProtocolKind::ALL {
+        let oracle = kind.build(k, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = 1usize;
+        let mut estimates = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut agg = Aggregator::new(&oracle);
+            for &v in &values {
+                agg.absorb(&oracle.randomize(v, &mut rng));
+            }
+            estimates.push(agg.estimate()[target]);
+        }
+        let mean = estimates.iter().sum::<f64>() / reps as f64;
+        let var =
+            estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / reps as f64;
+        let predicted = oracle.variance(pmf[target], n);
+        let rel = (var - predicted).abs() / predicted;
+        assert!(
+            rel < 0.4,
+            "{kind}: Monte-Carlo var {var:.6} vs closed form {predicted:.6} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn deniability_accuracy_approaches_one_at_extreme_budget() {
+    // At ε = 20 every protocol's report pins the true value (GRR/SS/UE) or
+    // its hash bucket; all accuracies must be far above 1/k, and the
+    // non-hashed protocols near 1.
+    for kind in ProtocolKind::ALL {
+        let oracle = kind.build(10, 20.0).unwrap();
+        let acc = deniability::expected_acc(&oracle);
+        assert!(acc > 0.45, "{kind}: acc {acc} at eps=20");
+        if matches!(kind, ProtocolKind::Grr | ProtocolKind::Ss) {
+            assert!(acc > 0.95, "{kind}: acc {acc} should pin the value");
+        }
+    }
+}
+
+#[test]
+fn deniability_accuracy_degrades_to_chance_at_tiny_budget() {
+    for kind in ProtocolKind::ALL {
+        let oracle = kind.build(10, 0.01).unwrap();
+        let acc = deniability::expected_acc(&oracle);
+        assert!(
+            acc < 0.3,
+            "{kind}: acc {acc} at eps=0.01 should be near chance"
+        );
+        assert!(acc >= 0.1 - 1e-9, "{kind}: never below the 1/k floor");
+    }
+}
+
+#[test]
+fn aggregated_counts_match_support_semantics() {
+    // C(v) must equal the number of reports supporting v, for every shape.
+    let mut rng = StdRng::seed_from_u64(7);
+    for kind in ProtocolKind::ALL {
+        let oracle = kind.build(6, 1.0).unwrap();
+        let reports: Vec<_> = (0..200u32)
+            .map(|i| oracle.randomize(i % 6, &mut rng))
+            .collect();
+        let mut agg = Aggregator::new(&oracle);
+        for r in &reports {
+            agg.absorb(r);
+        }
+        for v in 0..6u32 {
+            let manual = reports.iter().filter(|r| oracle.supports(r, v)).count() as u64;
+            assert_eq!(
+                agg.counts()[v as usize],
+                manual,
+                "{kind}: count mismatch for value {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The SMP multi-collection campaign (§4.2): data collection, adversary
+//! observation and per-user profiling in one deterministic, thread-parallel
+//! pipeline.
+
+use ldp_core::pie::{self, PieDecision};
+use ldp_core::profiling::Profile;
+use ldp_datasets::Dataset;
+use ldp_protocols::hash::mix3;
+use ldp_protocols::{deniability, FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::par::par_chunks;
+use crate::survey::SurveyPlan;
+
+/// Privacy model the server enforces per attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrivacyModel {
+    /// Standard ε-LDP with one frequency oracle per attribute.
+    Ldp {
+        /// Whole-budget ε (SMP spends it all on the sampled attribute).
+        epsilon: f64,
+    },
+    /// The relaxed α-PIE model of Appendix C, parameterized by the target
+    /// Bayes error β: small-domain attributes are sent in the clear.
+    Pie {
+        /// Target Bayes error probability `β_{U|S}`.
+        beta: f64,
+    },
+}
+
+/// How users sample attributes across surveys (§3.2.2–3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingSetting {
+    /// Without replacement: a fresh attribute every survey (uniform privacy
+    /// metric across users).
+    Uniform,
+    /// With replacement + memoization: repeated attributes re-send the first
+    /// sanitized report (non-uniform privacy metric).
+    NonUniform,
+}
+
+#[derive(Debug, Clone)]
+enum AttrMechanism {
+    /// α-PIE pass-through: the true value is sent unrandomized.
+    Pass,
+    /// An ε-LDP oracle.
+    Oracle(Oracle),
+}
+
+/// A configured SMP collection campaign over one dataset schema.
+#[derive(Debug, Clone)]
+pub struct SmpCampaign {
+    mechanisms: Vec<AttrMechanism>,
+    setting: SamplingSetting,
+}
+
+impl SmpCampaign {
+    /// Builds the per-attribute mechanisms. For [`PrivacyModel::Pie`], `n` is
+    /// the population size entering the Bayes-error bound.
+    pub fn new(
+        kind: ProtocolKind,
+        ks: &[usize],
+        model: &PrivacyModel,
+        n: usize,
+        setting: SamplingSetting,
+    ) -> Result<Self, ProtocolError> {
+        let mechanisms = ks
+            .iter()
+            .map(|&k| match model {
+                PrivacyModel::Ldp { epsilon } => Ok(AttrMechanism::Oracle(kind.build(k, *epsilon)?)),
+                PrivacyModel::Pie { beta } => match pie::decide(*beta, n, k) {
+                    PieDecision::PassThrough => Ok(AttrMechanism::Pass),
+                    PieDecision::Randomize { epsilon } => {
+                        Ok(AttrMechanism::Oracle(kind.build(k, epsilon)?))
+                    }
+                },
+            })
+            .collect::<Result<Vec<_>, ProtocolError>>()?;
+        Ok(SmpCampaign {
+            mechanisms,
+            setting,
+        })
+    }
+
+    /// Number of attributes covered.
+    pub fn d(&self) -> usize {
+        self.mechanisms.len()
+    }
+
+    /// How many attributes are sent in the clear (non-zero only under PIE).
+    pub fn pass_through_count(&self) -> usize {
+        self.mechanisms
+            .iter()
+            .filter(|m| matches!(m, AttrMechanism::Pass))
+            .count()
+    }
+
+    /// Runs the full campaign: every user answers every survey, the adversary
+    /// predicts each report's value and accumulates profiles.
+    ///
+    /// Returns one profile snapshot per survey:
+    /// `snapshots[sv][uid]` is user `uid`'s profile after survey `sv + 1`.
+    /// Deterministic in `seed`, independent of `threads`.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        plan: &SurveyPlan,
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Vec<Profile>> {
+        assert_eq!(dataset.d(), self.d(), "dataset does not match campaign schema");
+        let n = dataset.n();
+        let n_surveys = plan.n_surveys();
+        // Per-user sequential simulation, users in parallel.
+        let per_user: Vec<Vec<Profile>> = par_chunks(n, threads, |range| {
+            range
+                .map(|uid| {
+                    let mut rng = StdRng::seed_from_u64(mix3(seed, uid as u64, 0x005A_3D17));
+                    self.simulate_user(dataset.row(uid), plan, &mut rng)
+                })
+                .collect()
+        });
+        // Transpose user-major → survey-major.
+        let mut snapshots = vec![Vec::with_capacity(n); n_surveys];
+        for user_snaps in per_user {
+            for (sv, p) in user_snaps.into_iter().enumerate() {
+                snapshots[sv].push(p);
+            }
+        }
+        snapshots
+    }
+
+    /// One user's trajectory through all surveys; returns the profile after
+    /// each survey.
+    fn simulate_user<R: Rng + ?Sized>(
+        &self,
+        record: &[u32],
+        plan: &SurveyPlan,
+        rng: &mut R,
+    ) -> Vec<Profile> {
+        let d = self.d();
+        let mut already = vec![false; d];
+        let mut memo: Vec<Option<Report>> = vec![None; d];
+        let mut profile = Profile::new();
+        let mut out = Vec::with_capacity(plan.n_surveys());
+
+        for attrs in plan.iter() {
+            let attr = match self.setting {
+                SamplingSetting::Uniform => {
+                    let fresh: Vec<usize> =
+                        attrs.iter().copied().filter(|&a| !already[a]).collect();
+                    if fresh.is_empty() {
+                        // Every survey attribute was already sampled; fall
+                        // back to re-reporting a memoized one.
+                        attrs[rng.random_range(0..attrs.len())]
+                    } else {
+                        fresh[rng.random_range(0..fresh.len())]
+                    }
+                }
+                SamplingSetting::NonUniform => attrs[rng.random_range(0..attrs.len())],
+            };
+            already[attr] = true;
+
+            // Memoization: a repeated attribute re-sends its first report.
+            if memo[attr].is_none() {
+                let report = match &self.mechanisms[attr] {
+                    AttrMechanism::Pass => Report::Value(record[attr]),
+                    AttrMechanism::Oracle(o) => o.randomize(record[attr], rng),
+                };
+                memo[attr] = Some(report);
+            }
+            let report = memo[attr].as_ref().expect("just inserted");
+
+            let predicted = match &self.mechanisms[attr] {
+                AttrMechanism::Pass => match report {
+                    Report::Value(v) => *v,
+                    _ => unreachable!("pass-through reports are plain values"),
+                },
+                AttrMechanism::Oracle(o) => deniability::best_guess(o, report, rng),
+            };
+            profile.observe(attr, predicted);
+            out.push(profile.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_datasets::corpora::adult_like;
+    use ldp_datasets::Schema;
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        let schema = Schema::from_cardinalities(&[4, 3, 5, 2]);
+        let data: Vec<u32> = (0..n)
+            .flat_map(|i| {
+                let i = i as u32;
+                [i % 4, i % 3, i % 5, i % 2]
+            })
+            .collect();
+        Dataset::new(schema, data)
+    }
+
+    #[test]
+    fn snapshots_have_expected_shape_and_growth() {
+        let ds = tiny_dataset(50);
+        let plan = SurveyPlan::full(4, 3);
+        let campaign = SmpCampaign::new(
+            ProtocolKind::Grr,
+            &[4, 3, 5, 2],
+            &PrivacyModel::Ldp { epsilon: 2.0 },
+            ds.n(),
+            SamplingSetting::Uniform,
+        )
+        .unwrap();
+        let snaps = campaign.run(&ds, &plan, 1, 2);
+        assert_eq!(snaps.len(), 3);
+        for (sv, users) in snaps.iter().enumerate() {
+            assert_eq!(users.len(), 50);
+            for p in users {
+                // Uniform setting with full surveys: exactly sv+1 attributes.
+                assert_eq!(p.len(), sv + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_setting_never_repeats_attributes() {
+        let ds = tiny_dataset(30);
+        let plan = SurveyPlan::full(4, 4);
+        let campaign = SmpCampaign::new(
+            ProtocolKind::Oue,
+            &[4, 3, 5, 2],
+            &PrivacyModel::Ldp { epsilon: 1.0 },
+            ds.n(),
+            SamplingSetting::Uniform,
+        )
+        .unwrap();
+        let snaps = campaign.run(&ds, &plan, 2, 1);
+        for p in &snaps[3] {
+            assert_eq!(p.len(), 4, "all four attributes must be distinct");
+        }
+    }
+
+    #[test]
+    fn nonuniform_setting_can_repeat_attributes() {
+        let ds = tiny_dataset(200);
+        let plan = SurveyPlan::full(4, 4);
+        let campaign = SmpCampaign::new(
+            ProtocolKind::Grr,
+            &[4, 3, 5, 2],
+            &PrivacyModel::Ldp { epsilon: 1.0 },
+            ds.n(),
+            SamplingSetting::NonUniform,
+        )
+        .unwrap();
+        let snaps = campaign.run(&ds, &plan, 3, 2);
+        let partial = snaps[3].iter().filter(|p| p.len() < 4).count();
+        assert!(partial > 0, "with replacement some users must repeat");
+    }
+
+    #[test]
+    fn high_epsilon_profiles_are_mostly_correct_for_grr() {
+        let ds = adult_like(300, 9);
+        let ks = ds.schema().cardinalities();
+        let plan = SurveyPlan::full(ds.d(), 3);
+        let campaign = SmpCampaign::new(
+            ProtocolKind::Grr,
+            &ks,
+            &PrivacyModel::Ldp { epsilon: 10.0 },
+            ds.n(),
+            SamplingSetting::Uniform,
+        )
+        .unwrap();
+        let snaps = campaign.run(&ds, &plan, 4, 2);
+        let avg_correct: f64 = snaps[2]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.correctness(ds.row(i)))
+            .sum::<f64>()
+            / ds.n() as f64;
+        assert!(avg_correct > 0.9, "avg correctness {avg_correct}");
+    }
+
+    #[test]
+    fn pie_model_passes_small_domains_through() {
+        let ds = tiny_dataset(1000);
+        let campaign = SmpCampaign::new(
+            ProtocolKind::Grr,
+            &[4, 3, 5, 2],
+            &PrivacyModel::Pie { beta: 0.5 },
+            ds.n(),
+            SamplingSetting::Uniform,
+        )
+        .unwrap();
+        // β = 0.5, n = 1000 → α ≈ 3.98 → all of k ∈ {2,3,4,5} pass through.
+        assert_eq!(campaign.pass_through_count(), 4);
+        // Tight β randomizes everything.
+        let tight = SmpCampaign::new(
+            ProtocolKind::Grr,
+            &[4, 3, 5, 2],
+            &PrivacyModel::Pie { beta: 0.95 },
+            ds.n(),
+            SamplingSetting::Uniform,
+        )
+        .unwrap();
+        assert_eq!(tight.pass_through_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let ds = tiny_dataset(40);
+        let plan = SurveyPlan::full(4, 2);
+        let campaign = SmpCampaign::new(
+            ProtocolKind::Sue,
+            &[4, 3, 5, 2],
+            &PrivacyModel::Ldp { epsilon: 1.0 },
+            ds.n(),
+            SamplingSetting::Uniform,
+        )
+        .unwrap();
+        let a = campaign.run(&ds, &plan, 11, 1);
+        let b = campaign.run(&ds, &plan, 11, 4);
+        assert_eq!(a, b);
+    }
+}

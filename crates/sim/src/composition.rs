@@ -1,0 +1,89 @@
+//! Longitudinal privacy-loss accounting across surveys (§6 of the paper).
+//!
+//! Under standard sequential composition, every fresh ε-LDP report adds ε to
+//! a user's cumulative loss; memoized re-reports add nothing (the same
+//! randomized value is re-sent, post-processing of the first report). The
+//! paper's §6 observation — "the overall privacy loss is excessive when using
+//! high values for ε" — is exactly what these helpers quantify.
+
+use crate::campaign::SamplingSetting;
+
+/// Worst-case cumulative privacy loss of one user after `n_surveys`
+/// collections at per-report budget `epsilon`:
+///
+/// * uniform metric (fresh attribute every survey): `n_surveys · ε`, capped
+///   at `d · ε` once every attribute has been reported;
+/// * non-uniform metric (with replacement + memoization): at most
+///   `min(n_surveys, d) · ε`, since repeats are free.
+pub fn worst_case_loss(epsilon: f64, d: usize, n_surveys: usize, setting: SamplingSetting) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(d >= 1, "need at least one attribute");
+    match setting {
+        SamplingSetting::Uniform => n_surveys.min(d) as f64 * epsilon,
+        SamplingSetting::NonUniform => n_surveys.min(d) as f64 * epsilon,
+    }
+}
+
+/// *Expected* cumulative loss under the non-uniform metric: survey `t`
+/// (1-based) samples a fresh attribute with probability `(d − E_{t−1})/d`
+/// where `E_{t−1}` is the expected number of distinct attributes so far —
+/// the coupon-collector expectation `E_t = d (1 − (1 − 1/d)^t)`, so
+///
+/// `E[loss] = ε · d · (1 − (1 − 1/d)^{n_surveys})`.
+///
+/// Under the uniform metric every survey is fresh: `E[loss] = ε · min(s, d)`.
+pub fn expected_loss(epsilon: f64, d: usize, n_surveys: usize, setting: SamplingSetting) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(d >= 1, "need at least one attribute");
+    match setting {
+        SamplingSetting::Uniform => n_surveys.min(d) as f64 * epsilon,
+        SamplingSetting::NonUniform => {
+            let d = d as f64;
+            epsilon * d * (1.0 - (1.0 - 1.0 / d).powi(n_surveys as i32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loss_is_linear_until_d() {
+        assert_eq!(worst_case_loss(2.0, 10, 3, SamplingSetting::Uniform), 6.0);
+        assert_eq!(worst_case_loss(2.0, 10, 15, SamplingSetting::Uniform), 20.0);
+    }
+
+    #[test]
+    fn nonuniform_expected_loss_is_strictly_below_uniform() {
+        for s in 2..=10usize {
+            let uni = expected_loss(1.0, 10, s, SamplingSetting::Uniform);
+            let non = expected_loss(1.0, 10, s, SamplingSetting::NonUniform);
+            assert!(
+                non < uni,
+                "s={s}: non-uniform {non} must be below uniform {uni}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonuniform_expected_loss_follows_coupon_collector() {
+        // d = 3, 3 surveys: E[distinct] = 3(1 − (2/3)³) = 3·19/27 = 19/9.
+        let e = expected_loss(1.0, 3, 3, SamplingSetting::NonUniform);
+        assert!((e - 19.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_loss_saturates_at_d_epsilon() {
+        let e = expected_loss(2.0, 5, 500, SamplingSetting::NonUniform);
+        assert!(e < 10.0 + 1e-9);
+        assert!(e > 9.9, "should approach d·eps: {e}");
+    }
+
+    #[test]
+    fn industrial_epsilons_compose_excessively() {
+        // The paper's §6 warning: 5 surveys at ε = 8 is a loss of 40.
+        let loss = worst_case_loss(8.0, 10, 5, SamplingSetting::Uniform);
+        assert!(loss >= 40.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal deterministic scoped-thread parallelism.
+//!
+//! The experiments parallelize over users or parameter points; results must
+//! not depend on the thread count, so every work item derives its randomness
+//! from its own index. These helpers only split index ranges.
+
+/// Runs `f` over `0..n` split into at most `threads` contiguous chunks and
+/// concatenates the per-chunk outputs in order. With `threads <= 1` (or tiny
+/// `n`) everything runs inline.
+pub fn par_chunks<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 2 {
+        return f(0..n);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move || f(start..end)));
+        }
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+    });
+    let mut flat = Vec::with_capacity(n);
+    for v in out {
+        flat.extend(v);
+    }
+    flat
+}
+
+/// Maps `f` over `0..n` in parallel, one output per index, in order.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_chunks(n, threads, |range| range.map(&f).collect())
+}
+
+/// A sensible default thread count for the current machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(100, 7, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_order() {
+        let out = par_chunks(10, 3, |r| r.map(|i| i as u32).collect());
+        assert_eq!(out, (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 4, |i| i), vec![0]);
+        assert_eq!(par_map(5, 100, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = par_map(8, 1, |i| i + 1);
+        assert_eq!(out.len(), 8);
+    }
+}

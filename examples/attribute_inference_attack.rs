@@ -1,0 +1,69 @@
+//! The §3.3 sampled-attribute inference attack against RS+FD, with no prior
+//! knowledge (NK model): the attacker estimates frequencies from the LDP
+//! reports themselves, fabricates labelled training data, and learns to spot
+//! which attribute of each tuple carries the real report.
+//!
+//! ```sh
+//! cargo run --release --example attribute_inference_attack
+//! ```
+
+use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
+use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol};
+use ldp_datasets::corpora::acs_employment_like;
+use ldp_gbdt::GbdtParams;
+use ldp_protocols::UeMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = acs_employment_like(2_000, 3);
+    let ks = dataset.schema().cardinalities();
+    let mut rng = StdRng::seed_from_u64(17);
+    let classifier = AttackClassifier::Gbdt(GbdtParams {
+        rounds: 15,
+        max_depth: 4,
+        min_child_weight: 0.05,
+        ..GbdtParams::default()
+    });
+
+    println!(
+        "ACSEmployment-like population: n = {}, d = {} (baseline = {:.1}%)\n",
+        dataset.n(),
+        dataset.d(),
+        100.0 / dataset.d() as f64
+    );
+    println!("{:<15} {:>4} {:>10}", "protocol", "eps", "AIF-ACC %");
+
+    let protocols = [
+        RsFdProtocol::Grr,
+        RsFdProtocol::UeZ(UeMode::Symmetric),
+        RsFdProtocol::UeZ(UeMode::Optimized),
+        RsFdProtocol::UeR(UeMode::Optimized),
+    ];
+    for protocol in protocols {
+        for epsilon in [2.0, 6.0, 10.0] {
+            let solution = RsFd::new(protocol, &ks, epsilon).expect("rsfd");
+            let observed: Vec<_> = dataset
+                .rows()
+                .map(|t| solution.report(t, &mut rng))
+                .collect();
+            let outcome = SampledAttributeAttack::evaluate(
+                &solution,
+                &observed,
+                &AttackModel::NoKnowledge { synth_factor: 1.0 },
+                &classifier,
+                &mut rng,
+            );
+            println!(
+                "{:<15} {:>4.0} {:>10.1}",
+                protocol.name(),
+                epsilon,
+                outcome.aif_acc
+            );
+        }
+    }
+
+    println!("\nRS+FD[SUE-z] leaks the sampled attribute almost completely at high");
+    println!("epsilon (fake zero-vectors are distinguishable); the paper recommends");
+    println!("never deploying it. GRR/UE-r leak less but still beat the baseline.");
+}

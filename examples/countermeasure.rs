@@ -1,0 +1,72 @@
+//! The RS+RFD countermeasure (§5): realistic fake data simultaneously
+//! improves utility and almost fully blocks the sampled-attribute inference
+//! attack.
+//!
+//! ```sh
+//! cargo run --release --example countermeasure
+//! ```
+
+use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
+use ldp_core::metrics::mse_avg;
+use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
+use ldp_datasets::corpora::{acs_employment_like, ACS_EMPLOYMENT_N};
+use ldp_datasets::priors::{correct_priors_scaled, IncorrectPrior};
+use ldp_gbdt::GbdtParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = acs_employment_like(2_500, 21);
+    let ks = dataset.schema().cardinalities();
+    let truth = dataset.marginals();
+    let epsilon = 4.0;
+    let mut rng = StdRng::seed_from_u64(31);
+    let classifier = AttackClassifier::Gbdt(GbdtParams {
+        rounds: 15,
+        max_depth: 4,
+        min_child_weight: 0.05,
+        ..GbdtParams::default()
+    });
+    let nk = AttackModel::NoKnowledge { synth_factor: 1.0 };
+
+    println!(
+        "n = {}, d = {}, eps = {epsilon} (attack baseline = {:.1}%)\n",
+        dataset.n(),
+        dataset.d(),
+        100.0 / dataset.d() as f64
+    );
+    println!("{:<26} {:>10} {:>12}", "solution", "MSE_avg", "AIF-ACC %");
+
+    // RS+FD with uniform fakes (the attack target).
+    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, epsilon).expect("rsfd");
+    let reports: Vec<_> = dataset.rows().map(|t| rsfd.report(t, &mut rng)).collect();
+    let mse = mse_avg(&truth, &rsfd.estimate(&reports));
+    let attack = SampledAttributeAttack::evaluate(&rsfd, &reports, &nk, &classifier, &mut rng);
+    println!("{:<26} {:>10.6} {:>12.1}", "RS+FD[GRR]", mse, attack.aif_acc);
+
+    // RS+RFD with "correct" Census-style priors.
+    let priors = correct_priors_scaled(&dataset, 0.1, ACS_EMPLOYMENT_N, &mut rng);
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, epsilon, priors).expect("rsrfd");
+    let reports: Vec<_> = dataset.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    let mse = mse_avg(&truth, &rsrfd.estimate(&reports));
+    let attack = SampledAttributeAttack::evaluate(&rsrfd, &reports, &nk, &classifier, &mut rng);
+    println!(
+        "{:<26} {:>10.6} {:>12.1}",
+        "RS+RFD[GRR] correct prior", mse, attack.aif_acc
+    );
+
+    // RS+RFD with deliberately wrong (Zipf) priors — still robust.
+    let priors = IncorrectPrior::Zipf.generate_all(&ks, &mut rng);
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, epsilon, priors).expect("rsrfd");
+    let reports: Vec<_> = dataset.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    let mse = mse_avg(&truth, &rsrfd.estimate(&reports));
+    let attack = SampledAttributeAttack::evaluate(&rsrfd, &reports, &nk, &classifier, &mut rng);
+    println!(
+        "{:<26} {:>10.6} {:>12.1}",
+        "RS+RFD[GRR] zipf prior", mse, attack.aif_acc
+    );
+
+    println!("\nWith correct priors RS+RFD lowers both the estimation error and the");
+    println!("attacker's accuracy (to near-baseline); even wrong priors beat uniform");
+    println!("fakes — the paper's closing recommendation.");
+}

@@ -1,0 +1,81 @@
+//! A mobile-app telemetry scenario: the server wants histograms of d = 5
+//! user attributes under one ε budget, comparing the three collection
+//! solutions of the paper (SPL, SMP, RS+FD) plus the RS+RFD countermeasure.
+//!
+//! ```sh
+//! cargo run --release --example multidim_survey
+//! ```
+
+use ldp_core::metrics::mse_avg;
+use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol, Smp, Spl};
+use ldp_datasets::priors::correct_priors;
+use ldp_datasets::{Dataset, GeneratorConfig, LatentClassGenerator, Schema};
+use ldp_protocols::ProtocolKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn population(n: usize, seed: u64) -> Dataset {
+    // Five app-usage attributes: session bucket, favourite widget, theme,
+    // notification level, subscription tier.
+    let schema = Schema::new(vec![
+        ldp_datasets::Attribute::new("session-bucket", 12),
+        ldp_datasets::Attribute::new("widget", 8),
+        ldp_datasets::Attribute::new("theme", 3),
+        ldp_datasets::Attribute::new("notifications", 4),
+        ldp_datasets::Attribute::new("tier", 3),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    LatentClassGenerator::new(
+        schema,
+        GeneratorConfig {
+            n,
+            clusters: 6,
+            skew: 1.6,
+            uniform_mix: 0.1,
+            cluster_skew: 0.5,
+        },
+        &mut rng,
+    )
+    .generate(&mut rng)
+}
+
+fn main() {
+    let n = 30_000;
+    let epsilon = 1.5;
+    let ds = population(n, 7);
+    let ks = ds.schema().cardinalities();
+    let truth = ds.marginals();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    println!("d = {}, n = {n}, epsilon = {epsilon}\n", ds.d());
+    println!("{:<28} {:>12}", "solution", "MSE_avg");
+
+    // SPL: split the budget (the paper's high-error baseline).
+    let spl = Spl::new(ProtocolKind::Grr, &ks, epsilon).expect("spl");
+    let spl_reports: Vec<_> = ds.rows().map(|t| spl.report(t, &mut rng)).collect();
+    println!("{:<28} {:>12.6}", "SPL[GRR] (eps/d)", mse_avg(&truth, &spl.estimate(&spl_reports)));
+
+    // SMP: sample one attribute, full budget — discloses the sampled attribute.
+    let smp = Smp::new(ProtocolKind::Grr, &ks, epsilon).expect("smp");
+    let smp_reports: Vec<_> = ds.rows().map(|t| smp.report(t, &mut rng)).collect();
+    println!("{:<28} {:>12.6}", "SMP[GRR]", mse_avg(&truth, &smp.estimate(&smp_reports)));
+
+    // RS+FD: hide the sampled attribute behind uniform fakes.
+    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, epsilon).expect("rsfd");
+    let rsfd_reports: Vec<_> = ds.rows().map(|t| rsfd.report(t, &mut rng)).collect();
+    println!("{:<28} {:>12.6}", "RS+FD[GRR]", mse_avg(&truth, &rsfd.estimate(&rsfd_reports)));
+
+    // RS+RFD: fakes follow last year's (noisy) statistics — better on both
+    // axes, per the paper's §5.
+    let priors = correct_priors(&ds, 0.1, &mut rng);
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, epsilon, priors).expect("rsrfd");
+    let rsrfd_reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    println!(
+        "{:<28} {:>12.6}",
+        "RS+RFD[GRR] (correct prior)",
+        mse_avg(&truth, &rsrfd.estimate(&rsrfd_reports))
+    );
+
+    println!("\nExpected ordering (paper): SPL worst; RS+RFD improves on RS+FD;");
+    println!("SMP is most accurate but leaks which attribute each user reported.");
+}

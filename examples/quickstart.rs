@@ -1,0 +1,66 @@
+//! Quickstart: single-attribute frequency estimation with all five LDP
+//! protocols.
+//!
+//! A population of users holds one categorical value each; every user
+//! sanitizes it locally and the untrusted server reconstructs the value
+//! histogram from the noisy reports. Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ldp_protocols::{Aggregator, FrequencyOracle, ProtocolKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let k = 8; // attribute domain size
+    let n = 50_000; // population
+    let epsilon = 1.0;
+
+    // A skewed ground-truth distribution the server wants to estimate.
+    let truth = [0.35, 0.22, 0.15, 0.10, 0.08, 0.05, 0.03, 0.02];
+    let values: Vec<u32> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut v = 0u32;
+            for (i, &p) in truth.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    v = i as u32;
+                    break;
+                }
+            }
+            v
+        })
+        .collect();
+
+    println!("n = {n}, k = {k}, epsilon = {epsilon}");
+    println!("{:<10} {:>10} {:>12}", "protocol", "max |err|", "avg |err|");
+    for kind in ProtocolKind::ALL {
+        let oracle = kind.build(k, epsilon).expect("valid parameters");
+        let mut agg = Aggregator::new(&oracle);
+        for &v in &values {
+            // Client side: one local randomization per user.
+            agg.absorb(&oracle.randomize(v, &mut rng));
+        }
+        // Server side: the unbiased Eq. (2) estimator.
+        let est = agg.estimate();
+        let max_err = est
+            .iter()
+            .zip(&truth)
+            .map(|(e, t)| (e - t).abs())
+            .fold(0.0f64, f64::max);
+        let avg_err = est
+            .iter()
+            .zip(&truth)
+            .map(|(e, t)| (e - t).abs())
+            .sum::<f64>()
+            / k as f64;
+        println!("{:<10} {:>10.4} {:>12.4}", kind.name(), max_err, avg_err);
+    }
+    println!("\nAll five protocols recover the histogram; their variances differ.");
+    println!("OUE/OLH have the lowest worst-case error at this epsilon, as in the paper.");
+}

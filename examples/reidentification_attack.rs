@@ -1,0 +1,67 @@
+//! End-to-end SMP re-identification attack (the paper's §3.2 / Fig. 2
+//! pipeline) on an Adult-like population.
+//!
+//! Five surveys are run with the SMP solution; an adversary observing
+//! ⟨sampled attribute, ε-LDP report⟩ profiles every user via plausible
+//! deniability and matches the profiles against public background knowledge.
+//!
+//! ```sh
+//! cargo run --release --example reidentification_attack
+//! ```
+
+use ldp_core::reident::ReidentAttack;
+use ldp_datasets::corpora::adult_like;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::{rid_acc_multi, PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 8_000;
+    let dataset = adult_like(n, 11);
+    let ks = dataset.schema().cardinalities();
+    let mut rng = StdRng::seed_from_u64(5);
+    let plan = SurveyPlan::generate(dataset.d(), 5, &mut rng);
+
+    // FK-RI: the attacker's background knowledge is the full population.
+    let all_attrs: Vec<usize> = (0..dataset.d()).collect();
+    let attack = ReidentAttack::build(&dataset, &all_attrs);
+
+    println!("Adult-like population: n = {n}, d = {}", dataset.d());
+    println!(
+        "full-profile uniqueness: {:.1}% of users are unique\n",
+        100.0 * dataset.uniqueness_fraction(&all_attrs)
+    );
+    println!(
+        "{:<9} {:>4} {:>9} {:>9} {:>10}",
+        "protocol", "eps", "top-1 %", "top-10 %", "baseline-1"
+    );
+
+    for kind in [ProtocolKind::Grr, ProtocolKind::Oue] {
+        for epsilon in [1.0, 4.0, 8.0] {
+            let campaign = SmpCampaign::new(
+                kind,
+                &ks,
+                &PrivacyModel::Ldp { epsilon },
+                dataset.n(),
+                SamplingSetting::Uniform,
+            )
+            .expect("campaign");
+            let snapshots = campaign.run(&dataset, &plan, 1234, 2);
+            // Profiles after all five surveys.
+            let accs = rid_acc_multi(&attack, &snapshots[4], &[1, 10], 99, 2);
+            println!(
+                "{:<9} {:>4.0} {:>9.2} {:>9.2} {:>10.3}",
+                kind.name(),
+                epsilon,
+                accs[0],
+                accs[1],
+                attack.baseline(1)
+            );
+        }
+    }
+
+    println!("\nGRR's weak plausible deniability lets the attacker re-identify a");
+    println!("substantial share of users at industrial epsilon; OUE resists far");
+    println!("better — exactly the paper's protocol-selection guidance.");
+}

@@ -1,0 +1,24 @@
+//! # risks-ldp
+//!
+//! Umbrella crate of the Rust reproduction of *"On the Risks of Collecting
+//! Multidimensional Data Under Local Differential Privacy"* (Arcolezi, Gambs,
+//! Couchot, Palamidessi — PVLDB 16(5), 2023).
+//!
+//! This crate re-exports the workspace members under stable module names and
+//! hosts the runnable examples (`cargo run --release --example quickstart`)
+//! and the cross-crate integration tests.
+//!
+//! * [`protocols`] — LDP frequency oracles (GRR, OLH, ω-SS, SUE, OUE),
+//!   estimators and the plausible-deniability attack layer.
+//! * [`datasets`] — synthetic census-like corpora and prior distributions.
+//! * [`gbdt`] — the gradient-boosted-trees / logistic-regression classifier
+//!   substrate standing in for XGBoost.
+//! * [`core`] — multidimensional solutions (SPL/SMP/RS+FD/RS+RFD), the
+//!   re-identification and attribute-inference attacks, the PIE model.
+//! * [`sim`] — the multi-survey campaign engine and parallel helpers.
+
+pub use ldp_core as core;
+pub use ldp_datasets as datasets;
+pub use ldp_gbdt as gbdt;
+pub use ldp_protocols as protocols;
+pub use ldp_sim as sim;

@@ -1,0 +1,131 @@
+//! Integration: the analytic layers (Fig. 1 math, amplification, PIE) agree
+//! with the simulation layers across crates.
+
+use ldp_core::amplification::amplify;
+use ldp_core::pie::{self, PieDecision};
+use ldp_core::profiling::{expected_acc_nonuniform, expected_acc_uniform};
+use ldp_datasets::corpora::adult_like;
+use ldp_protocols::{deniability, FrequencyOracle, ProtocolKind};
+use ldp_sim::{PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fig1_shape_grr_ss_sue_dominate() {
+    // The paper's Fig. 1(a): at ε = 10, GRR / ω-SS / SUE approach 100%
+    // expected profile accuracy while OLH / OUE stay bounded.
+    let ks = [74usize, 7, 16];
+    let acc_u = |kind: ProtocolKind| {
+        let accs: Vec<f64> = ks
+            .iter()
+            .map(|&k| deniability::expected_acc(&kind.build(k, 10.0).unwrap()))
+            .collect();
+        expected_acc_uniform(&accs)
+    };
+    assert!(acc_u(ProtocolKind::Grr) > 0.95);
+    assert!(acc_u(ProtocolKind::Ss) > 0.95);
+    // SUE's exact product is ≈ 0.64 (extra flipped bits on the k = 74
+    // attribute); still far above the OLH/OUE plateau, as in Fig. 1(a).
+    assert!(acc_u(ProtocolKind::Sue) > 0.55);
+    assert!(acc_u(ProtocolKind::Olh) < 0.25);
+    assert!(acc_u(ProtocolKind::Oue) < 0.25);
+    assert!(acc_u(ProtocolKind::Sue) > 2.0 * acc_u(ProtocolKind::Oue));
+}
+
+#[test]
+fn fig1_nonuniform_cap_is_d_factorial_over_d_pow_d() {
+    // Fig. 1(b): with perfect per-survey accuracy the non-uniform metric
+    // caps at d!/d^d (≈ 0.222 for d = 3).
+    let accs = [1.0, 1.0, 1.0];
+    let cap = expected_acc_nonuniform(&accs);
+    assert!((cap - 6.0 / 27.0).abs() < 1e-12);
+    // And every protocol's curve sits below the cap.
+    for kind in ProtocolKind::ALL {
+        let accs: Vec<f64> = [74usize, 7, 16]
+            .iter()
+            .map(|&k| deniability::expected_acc(&kind.build(k, 10.0).unwrap()))
+            .collect();
+        assert!(expected_acc_nonuniform(&accs) <= cap + 1e-12);
+    }
+}
+
+#[test]
+fn empirical_profile_correctness_tracks_eq4() {
+    // Simulated fully-correct-profile rate ≈ Π ACC_FO (Eq. 4).
+    let dataset = adult_like(2_000, 20);
+    let ks = dataset.schema().cardinalities();
+    let kind = ProtocolKind::Grr;
+    let eps = 6.0;
+    let n_surveys = 3;
+    let mut rng = StdRng::seed_from_u64(2);
+    let plan = SurveyPlan::generate(dataset.d(), n_surveys, &mut rng);
+    let campaign = SmpCampaign::new(
+        kind,
+        &ks,
+        &PrivacyModel::Ldp { epsilon: eps },
+        dataset.n(),
+        SamplingSetting::Uniform,
+    )
+    .unwrap();
+    let snaps = campaign.run(&dataset, &plan, 3, 2);
+    let perfect = snaps[n_surveys - 1]
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| (p.correctness(dataset.row(*i)) - 1.0).abs() < 1e-9)
+        .count() as f64
+        / dataset.n() as f64;
+    // Eq. (4) with the *average* per-attribute accuracy is only an
+    // approximation here because surveyed attributes vary; bound loosely.
+    let acc_mean: f64 = ks
+        .iter()
+        .map(|&k| deniability::expected_acc(&kind.build(k, eps).unwrap()))
+        .sum::<f64>()
+        / ks.len() as f64;
+    let approx = acc_mean.powi(n_surveys as i32);
+    assert!(
+        (perfect - approx).abs() < 0.25,
+        "empirical {perfect} vs Eq.4-style approx {approx}"
+    );
+}
+
+#[test]
+fn amplification_feeds_rsfd_budgets() {
+    // ε′ must exceed ε and match the closed form for the paper's settings.
+    for d in [2usize, 10, 18] {
+        for eps in [0.5, 1.0, 4.0] {
+            let amp = amplify(eps, d);
+            assert!(amp > eps);
+            assert!((amp - (d as f64 * (eps.exp() - 1.0) + 1.0).ln()).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn pie_decisions_match_campaign_pass_through_counts() {
+    let dataset = adult_like(2_000, 21);
+    let ks = dataset.schema().cardinalities();
+    let beta = 0.6;
+    let expected_pass = ks
+        .iter()
+        .filter(|&&k| matches!(pie::decide(beta, dataset.n(), k), PieDecision::PassThrough))
+        .count();
+    let campaign = SmpCampaign::new(
+        ProtocolKind::Grr,
+        &ks,
+        &PrivacyModel::Pie { beta },
+        dataset.n(),
+        SamplingSetting::Uniform,
+    )
+    .unwrap();
+    assert_eq!(campaign.pass_through_count(), expected_pass);
+    assert!(expected_pass > 0, "beta = 0.6 should clear small domains");
+}
+
+#[test]
+fn oracles_expose_consistent_epsilon() {
+    for kind in ProtocolKind::ALL {
+        let o = kind.build(16, 2.5).unwrap();
+        assert!((o.epsilon() - 2.5).abs() < 1e-12);
+        assert_eq!(o.domain_size(), 16);
+    }
+}

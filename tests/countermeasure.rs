@@ -1,0 +1,128 @@
+//! Integration: the RS+RFD countermeasure improves utility (Fig. 5) and
+//! suppresses the sampled-attribute inference attack (Fig. 6 / Fig. 17).
+
+use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
+use ldp_core::metrics::mse_avg;
+use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
+use ldp_datasets::corpora::{acs_employment_like, ACS_EMPLOYMENT_N};
+use ldp_datasets::priors::{correct_priors_scaled, IncorrectPrior};
+use ldp_gbdt::GbdtParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn classifier() -> AttackClassifier {
+    AttackClassifier::Gbdt(GbdtParams {
+        rounds: 15,
+        max_depth: 4,
+        min_child_weight: 0.05,
+        ..GbdtParams::default()
+    })
+}
+
+#[test]
+fn correct_priors_beat_uniform_fakes_on_mse() {
+    let ds = acs_employment_like(4_000, 9);
+    let ks = ds.schema().cardinalities();
+    let truth = ds.marginals();
+    let eps = 2.0f64.ln();
+    // Average over a few seeds to stabilize the comparison.
+    let (mut mse_fd, mut mse_rfd) = (0.0, 0.0);
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, eps).expect("rsfd");
+        let reports: Vec<_> = ds.rows().map(|t| rsfd.report(t, &mut rng)).collect();
+        mse_fd += mse_avg(&truth, &rsfd.estimate(&reports));
+
+        let priors = correct_priors_scaled(&ds, 0.1, ACS_EMPLOYMENT_N, &mut rng);
+        let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, eps, priors).expect("rsrfd");
+        let reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+        mse_rfd += mse_avg(&truth, &rsrfd.estimate(&reports));
+    }
+    assert!(
+        mse_rfd < mse_fd,
+        "RS+RFD (correct priors) must beat RS+FD: {mse_rfd} vs {mse_fd}"
+    );
+}
+
+#[test]
+fn correct_priors_suppress_the_inference_attack() {
+    let ds = acs_employment_like(1_500, 10);
+    let ks = ds.schema().cardinalities();
+    let mut rng = StdRng::seed_from_u64(11);
+    let nk = AttackModel::NoKnowledge { synth_factor: 1.0 };
+
+    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, 10.0).expect("rsfd");
+    let fd_reports: Vec<_> = ds.rows().map(|t| rsfd.report(t, &mut rng)).collect();
+    let fd = SampledAttributeAttack::evaluate(&rsfd, &fd_reports, &nk, &classifier(), &mut rng);
+
+    let priors = correct_priors_scaled(&ds, 0.1, ACS_EMPLOYMENT_N, &mut rng);
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, 10.0, priors).expect("rsrfd");
+    let rfd_reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    let rfd =
+        SampledAttributeAttack::evaluate(&rsrfd, &rfd_reports, &nk, &classifier(), &mut rng);
+
+    assert!(
+        rfd.aif_acc < fd.aif_acc,
+        "countermeasure must reduce AIF-ACC: {} vs {}",
+        rfd.aif_acc,
+        fd.aif_acc
+    );
+    assert!(
+        rfd.aif_acc < rfd.baseline + 6.0,
+        "RS+RFD AIF-ACC {} should hug the baseline {}",
+        rfd.aif_acc,
+        rfd.baseline
+    );
+}
+
+#[test]
+fn even_wrong_zipf_priors_help_against_the_attack() {
+    let ds = acs_employment_like(1_500, 12);
+    let ks = ds.schema().cardinalities();
+    let mut rng = StdRng::seed_from_u64(13);
+    let nk = AttackModel::NoKnowledge { synth_factor: 1.0 };
+
+    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, 10.0).expect("rsfd");
+    let fd_reports: Vec<_> = ds.rows().map(|t| rsfd.report(t, &mut rng)).collect();
+    let fd = SampledAttributeAttack::evaluate(&rsfd, &fd_reports, &nk, &classifier(), &mut rng);
+
+    let priors = IncorrectPrior::Zipf.generate_all(&ks, &mut rng);
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, 10.0, priors).expect("rsrfd");
+    let rfd_reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    let rfd =
+        SampledAttributeAttack::evaluate(&rsrfd, &rfd_reports, &nk, &classifier(), &mut rng);
+
+    assert!(
+        rfd.aif_acc < fd.aif_acc,
+        "Zipf priors should still blunt the attack: {} vs {}",
+        rfd.aif_acc,
+        fd.aif_acc
+    );
+}
+
+#[test]
+fn rsrfd_estimators_recover_marginals_with_wrong_priors() {
+    // Unbiasedness holds for *any* valid prior — the estimator subtracts the
+    // exact fake-data bias. Wrong priors cost variance, not bias.
+    let ds = acs_employment_like(6_000, 14);
+    let ks = ds.schema().cardinalities();
+    let truth = ds.marginals();
+    let mut rng = StdRng::seed_from_u64(15);
+    let priors = IncorrectPrior::Dirichlet.generate_all(&ks, &mut rng);
+    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, 3.0, priors).expect("rsrfd");
+    let reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    let est = rsrfd.estimate(&reports);
+    // Spot-check the largest attribute's head value.
+    let head = truth[0]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(
+        (est[0][head] - truth[0][head]).abs() < 0.15,
+        "estimate {} vs truth {}",
+        est[0][head],
+        truth[0][head]
+    );
+}
