@@ -15,7 +15,13 @@ fn bench_deniability(c: &mut Criterion) {
         let mut rng = bench_rng();
         let report = oracle.randomize(12, &mut rng);
         group.bench_function(kind.name(), |b| {
-            b.iter(|| black_box(deniability::best_guess(&oracle, black_box(&report), &mut rng)))
+            b.iter(|| {
+                black_box(deniability::best_guess(
+                    &oracle,
+                    black_box(&report),
+                    &mut rng,
+                ))
+            })
         });
     }
     group.finish();
@@ -64,5 +70,10 @@ fn bench_expected_acc(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_deniability, bench_matching, bench_expected_acc);
+criterion_group!(
+    benches,
+    bench_deniability,
+    bench_matching,
+    bench_expected_acc
+);
 criterion_main!(benches);

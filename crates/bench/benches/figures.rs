@@ -118,8 +118,7 @@ fn fig03_kernel(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = bench_rng();
                 let solution = RsFd::new(protocol, &ks, 6.0).unwrap();
-                let observed: Vec<_> =
-                    ds.rows().map(|t| solution.report(t, &mut rng)).collect();
+                let observed: Vec<_> = ds.rows().map(|t| solution.report(t, &mut rng)).collect();
                 black_box(SampledAttributeAttack::evaluate(
                     &solution,
                     &observed,

@@ -12,13 +12,9 @@ fn bench_randomize(c: &mut Criterion) {
         for k in [16usize, 74] {
             let oracle = kind.build(k, 2.0).unwrap();
             let mut rng = bench_rng();
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), k),
-                &oracle,
-                |b, oracle| {
-                    b.iter(|| black_box(oracle.randomize(black_box(3), &mut rng)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), k), &oracle, |b, oracle| {
+                b.iter(|| black_box(oracle.randomize(black_box(3), &mut rng)));
+            });
         }
     }
     group.finish();
@@ -59,5 +55,10 @@ fn bench_estimator_math(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_randomize, bench_aggregate, bench_estimator_math);
+criterion_group!(
+    benches,
+    bench_randomize,
+    bench_aggregate,
+    bench_estimator_math
+);
 criterion_main!(benches);

@@ -198,14 +198,15 @@ impl SampledAttributeAttack {
         );
 
         let x = encode_features(&train_refs, solution.ks(), unary);
-        let model = match classifier {
-            AttackClassifier::Gbdt(params) => {
-                TrainedModel::Gbdt(GbdtClassifier::fit(&x, &labels, d, params, rng.random()))
-            }
-            AttackClassifier::Logistic(params) => TrainedModel::Logistic(
-                LogisticRegression::fit(&x, &labels, d, params, rng.random()),
-            ),
-        };
+        let model =
+            match classifier {
+                AttackClassifier::Gbdt(params) => {
+                    TrainedModel::Gbdt(GbdtClassifier::fit(&x, &labels, d, params, rng.random()))
+                }
+                AttackClassifier::Logistic(params) => TrainedModel::Logistic(
+                    LogisticRegression::fit(&x, &labels, d, params, rng.random()),
+                ),
+            };
         (
             SampledAttributeAttack {
                 model,
@@ -302,8 +303,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let solution = RsFd::new(RsFdProtocol::UeZ(UeMode::Symmetric), &ks, 10.0).unwrap();
         let tuples = skewed_tuples(1200, &ks, &mut rng);
-        let observed: Vec<MultidimReport> =
-            tuples.iter().map(|t| solution.report(t, &mut rng)).collect();
+        let observed: Vec<MultidimReport> = tuples
+            .iter()
+            .map(|t| solution.report(t, &mut rng))
+            .collect();
         let out = SampledAttributeAttack::evaluate(
             &solution,
             &observed,
@@ -324,8 +327,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let solution = RsFd::new(RsFdProtocol::Grr, &ks, 6.0).unwrap();
         let tuples = skewed_tuples(1500, &ks, &mut rng);
-        let observed: Vec<MultidimReport> =
-            tuples.iter().map(|t| solution.report(t, &mut rng)).collect();
+        let observed: Vec<MultidimReport> = tuples
+            .iter()
+            .map(|t| solution.report(t, &mut rng))
+            .collect();
         let out = SampledAttributeAttack::evaluate(
             &solution,
             &observed,
@@ -347,12 +352,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let solution = RsFd::new(RsFdProtocol::Grr, &ks, 4.0).unwrap();
         let tuples = skewed_tuples(600, &ks, &mut rng);
-        let observed: Vec<MultidimReport> =
-            tuples.iter().map(|t| solution.report(t, &mut rng)).collect();
+        let observed: Vec<MultidimReport> = tuples
+            .iter()
+            .map(|t| solution.report(t, &mut rng))
+            .collect();
         let out = SampledAttributeAttack::evaluate(
             &solution,
             &observed,
-            &AttackModel::PartialKnowledge { compromised_frac: 0.3 },
+            &AttackModel::PartialKnowledge {
+                compromised_frac: 0.3,
+            },
             &fast_gbdt(),
             &mut rng,
         );
@@ -375,8 +384,10 @@ mod tests {
             }
         }
         let solution = RsRfd::new(RsRfdProtocol::Grr, &ks, 8.0, priors).unwrap();
-        let observed: Vec<MultidimReport> =
-            tuples.iter().map(|t| solution.report(t, &mut rng)).collect();
+        let observed: Vec<MultidimReport> = tuples
+            .iter()
+            .map(|t| solution.report(t, &mut rng))
+            .collect();
         let out = SampledAttributeAttack::evaluate(
             &solution,
             &observed,
@@ -400,8 +411,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let solution = RsFd::new(RsFdProtocol::UeZ(UeMode::Optimized), &ks, 8.0).unwrap();
         let tuples = skewed_tuples(800, &ks, &mut rng);
-        let observed: Vec<MultidimReport> =
-            tuples.iter().map(|t| solution.report(t, &mut rng)).collect();
+        let observed: Vec<MultidimReport> = tuples
+            .iter()
+            .map(|t| solution.report(t, &mut rng))
+            .collect();
         let out = SampledAttributeAttack::evaluate(
             &solution,
             &observed,
@@ -423,8 +436,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let solution = RsFd::new(RsFdProtocol::Grr, &ks, 4.0).unwrap();
         let tuples = skewed_tuples(400, &ks, &mut rng);
-        let observed: Vec<MultidimReport> =
-            tuples.iter().map(|t| solution.report(t, &mut rng)).collect();
+        let observed: Vec<MultidimReport> = tuples
+            .iter()
+            .map(|t| solution.report(t, &mut rng))
+            .collect();
         let (attack, test_idx) = SampledAttributeAttack::train(
             &solution,
             &observed,

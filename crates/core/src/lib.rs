@@ -35,4 +35,7 @@ pub mod reident;
 pub mod solutions;
 
 pub use amplification::amplify;
-pub use solutions::{MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol, Smp, Spl};
+pub use solutions::{
+    DynSolution, MultidimAggregator, MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd,
+    RsRfdProtocol, Smp, SolutionKind, SolutionReport, Spl,
+};

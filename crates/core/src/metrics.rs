@@ -13,12 +13,8 @@ pub fn mse_avg(truth: &[Vec<f64>], estimate: &[Vec<f64>]) -> f64 {
     for (t, e) in truth.iter().zip(estimate) {
         assert_eq!(t.len(), e.len(), "domain size mismatch");
         assert!(!t.is_empty(), "empty domain");
-        let per: f64 = t
-            .iter()
-            .zip(e)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            / t.len() as f64;
+        let per: f64 =
+            t.iter().zip(e).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / t.len() as f64;
         total += per;
     }
     total / truth.len() as f64
@@ -36,7 +32,10 @@ pub struct MeanStd {
 /// Aggregates run measurements; an empty slice yields zeros.
 pub fn mean_std(xs: &[f64]) -> MeanStd {
     if xs.is_empty() {
-        return MeanStd { mean: 0.0, std: 0.0 };
+        return MeanStd {
+            mean: 0.0,
+            std: 0.0,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
@@ -76,6 +75,12 @@ mod tests {
         let ms = mean_std(&[1.0, 3.0]);
         assert!((ms.mean - 2.0).abs() < 1e-12);
         assert!((ms.std - 1.0).abs() < 1e-12);
-        assert_eq!(mean_std(&[]), MeanStd { mean: 0.0, std: 0.0 });
+        assert_eq!(
+            mean_std(&[]),
+            MeanStd {
+                mean: 0.0,
+                std: 0.0
+            }
+        );
     }
 }

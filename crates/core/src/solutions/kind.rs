@@ -1,0 +1,322 @@
+//! Runtime solution selection: [`SolutionKind`] + [`DynSolution`], mirroring
+//! `ldp_protocols::{ProtocolKind, Oracle}` one layer up.
+//!
+//! `DynSolution` erases both the concrete solution type and the `R: Rng`
+//! generic of the client side (randomness enters through `&mut dyn RngCore`),
+//! so sweeps, pipelines and services can pick the collection solution at
+//! runtime and drive it through one object-safe surface.
+
+use ldp_protocols::{ProtocolError, ProtocolKind, Report};
+use rand::RngCore;
+
+use super::rsfd::{RsFd, RsFdProtocol};
+use super::rsrfd::{RsRfd, RsRfdProtocol};
+use super::smp::{Smp, SmpReport};
+use super::spl::Spl;
+use super::{MultidimAggregator, MultidimReport, MultidimSolution};
+
+/// One sanitized client message, covering every solution's report shape.
+#[derive(Debug, Clone)]
+pub enum SolutionReport {
+    /// SPL: one (ε/d)-LDP report per attribute; nothing is hidden.
+    Full(Vec<Report>),
+    /// SMP: the disclosed sampled attribute plus its ε-LDP report.
+    Smp(SmpReport),
+    /// RS+FD / RS+RFD: a full fake-data tuple with a hidden sampled
+    /// attribute.
+    Tuple(MultidimReport),
+}
+
+/// The four collection solutions of the paper, as a plain enum for sweeps
+/// and runtime configuration (the counterpart of [`ProtocolKind`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolutionKind {
+    /// SPL over one frequency-oracle family at ε/d per attribute.
+    Spl(ProtocolKind),
+    /// SMP over one frequency-oracle family at the full ε.
+    Smp(ProtocolKind),
+    /// RS+FD with the given fake-data procedure.
+    RsFd(RsFdProtocol),
+    /// RS+RFD with the given protocol (priors via
+    /// [`SolutionKind::build_with_priors`], uniform otherwise).
+    RsRfd(RsRfdProtocol),
+}
+
+impl SolutionKind {
+    /// Paper-style display name, e.g. `"SPL[GRR]"` or `"RS+FD[OUE-z]"`.
+    pub fn name(self) -> String {
+        match self {
+            SolutionKind::Spl(kind) => format!("SPL[{}]", kind.name()),
+            SolutionKind::Smp(kind) => format!("SMP[{}]", kind.name()),
+            SolutionKind::RsFd(protocol) => protocol.name(),
+            SolutionKind::RsRfd(protocol) => protocol.name(),
+        }
+    }
+
+    /// Builds the solution for domain sizes `ks` and per-user budget
+    /// `epsilon` — the single construction path for every solution. RS+RFD
+    /// defaults to uniform priors (making it estimator-equivalent to RS+FD);
+    /// use [`SolutionKind::build_with_priors`] to supply real ones.
+    pub fn build(self, ks: &[usize], epsilon: f64) -> Result<DynSolution, ProtocolError> {
+        Ok(match self {
+            SolutionKind::Spl(kind) => DynSolution::Spl(Spl::new(kind, ks, epsilon)?),
+            SolutionKind::Smp(kind) => DynSolution::Smp(Smp::new(kind, ks, epsilon)?),
+            SolutionKind::RsFd(protocol) => DynSolution::RsFd(RsFd::new(protocol, ks, epsilon)?),
+            SolutionKind::RsRfd(protocol) => {
+                let uniform: Vec<Vec<f64>> = ks.iter().map(|&k| vec![1.0 / k as f64; k]).collect();
+                DynSolution::RsRfd(RsRfd::new(protocol, ks, epsilon, uniform)?)
+            }
+        })
+    }
+
+    /// [`SolutionKind::build`] with explicit per-attribute fake-data priors.
+    /// Only RS+RFD consumes priors; passing them to any other solution is
+    /// rejected so a misconfigured sweep fails loudly.
+    pub fn build_with_priors(
+        self,
+        ks: &[usize],
+        epsilon: f64,
+        priors: Vec<Vec<f64>>,
+    ) -> Result<DynSolution, ProtocolError> {
+        match self {
+            SolutionKind::RsRfd(protocol) => Ok(DynSolution::RsRfd(RsRfd::new(
+                protocol, ks, epsilon, priors,
+            )?)),
+            other => Err(ProtocolError::InvalidPrior {
+                reason: format!("{} does not take fake-data priors", other.name()),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for SolutionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Enum dispatcher over the concrete solutions (the counterpart of
+/// `ldp_protocols::Oracle`): one object-safe client/server surface with the
+/// solution chosen at runtime.
+#[derive(Debug, Clone)]
+pub enum DynSolution {
+    /// See [`Spl`].
+    Spl(Spl),
+    /// See [`Smp`].
+    Smp(Smp),
+    /// See [`RsFd`].
+    RsFd(RsFd),
+    /// See [`RsRfd`].
+    RsRfd(RsRfd),
+}
+
+impl DynSolution {
+    /// The solution family of this instance.
+    pub fn kind(&self) -> SolutionKind {
+        match self {
+            DynSolution::Spl(s) => SolutionKind::Spl(s.kind()),
+            DynSolution::Smp(s) => SolutionKind::Smp(s.kind()),
+            DynSolution::RsFd(s) => SolutionKind::RsFd(s.protocol()),
+            DynSolution::RsRfd(s) => SolutionKind::RsRfd(s.protocol()),
+        }
+    }
+
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        self.kind().name()
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        self.ks().len()
+    }
+
+    /// Domain sizes `k_j`.
+    pub fn ks(&self) -> &[usize] {
+        match self {
+            DynSolution::Spl(s) => s.ks(),
+            DynSolution::Smp(s) => s.ks(),
+            DynSolution::RsFd(s) => s.ks(),
+            DynSolution::RsRfd(s) => s.ks(),
+        }
+    }
+
+    /// User-level privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            DynSolution::Spl(s) => s.epsilon(),
+            DynSolution::Smp(s) => s.epsilon(),
+            DynSolution::RsFd(s) => s.epsilon(),
+            DynSolution::RsRfd(s) => s.epsilon(),
+        }
+    }
+
+    /// Budget actually applied to each sanitized attribute report: ε/d for
+    /// SPL, ε for SMP, the amplified ε′ for the fake-data solutions.
+    pub fn epsilon_per_report(&self) -> f64 {
+        match self {
+            DynSolution::Spl(s) => s.epsilon() / s.d() as f64,
+            DynSolution::Smp(s) => s.epsilon(),
+            DynSolution::RsFd(s) => s.epsilon_amplified(),
+            DynSolution::RsRfd(s) => s.epsilon_amplified(),
+        }
+    }
+
+    /// Client-side sanitization of one user tuple. Randomness enters through
+    /// `&mut dyn RngCore`, keeping this callable behind any object boundary.
+    pub fn report(&self, tuple: &[u32], rng: &mut dyn RngCore) -> SolutionReport {
+        match self {
+            DynSolution::Spl(s) => SolutionReport::Full(s.report(tuple, rng)),
+            DynSolution::Smp(s) => SolutionReport::Smp(s.report(tuple, rng)),
+            DynSolution::RsFd(s) => SolutionReport::Tuple(s.report_dyn(tuple, rng)),
+            DynSolution::RsRfd(s) => SolutionReport::Tuple(s.report_dyn(tuple, rng)),
+        }
+    }
+
+    /// A fresh streaming aggregator configured with this solution's
+    /// estimator.
+    pub fn aggregator(&self) -> MultidimAggregator {
+        match self {
+            DynSolution::Spl(s) => s.aggregator(),
+            DynSolution::Smp(s) => s.aggregator(),
+            DynSolution::RsFd(s) => s.aggregator(),
+            DynSolution::RsRfd(s) => s.aggregator(),
+        }
+    }
+
+    /// Batch estimation convenience over buffered reports (prefer streaming
+    /// absorption into [`DynSolution::aggregator`] at scale).
+    pub fn estimate(&self, reports: &[SolutionReport]) -> Vec<Vec<f64>> {
+        let mut agg = self.aggregator();
+        for r in reports {
+            agg.absorb(r);
+        }
+        agg.estimate()
+    }
+}
+
+impl From<Spl> for DynSolution {
+    fn from(s: Spl) -> Self {
+        DynSolution::Spl(s)
+    }
+}
+
+impl From<Smp> for DynSolution {
+    fn from(s: Smp) -> Self {
+        DynSolution::Smp(s)
+    }
+}
+
+impl From<RsFd> for DynSolution {
+    fn from(s: RsFd) -> Self {
+        DynSolution::RsFd(s)
+    }
+}
+
+impl From<RsRfd> for DynSolution {
+    fn from(s: RsRfd) -> Self {
+        DynSolution::RsRfd(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kind_roundtrips_through_build() {
+        let ks = vec![4usize, 3, 5];
+        for kind in [
+            SolutionKind::Spl(ProtocolKind::Grr),
+            SolutionKind::Smp(ProtocolKind::Sue),
+            SolutionKind::RsFd(RsFdProtocol::UeZ(ldp_protocols::UeMode::Optimized)),
+            SolutionKind::RsRfd(RsRfdProtocol::Grr),
+        ] {
+            let solution = kind.build(&ks, 1.5).unwrap();
+            assert_eq!(solution.kind(), kind);
+            assert_eq!(solution.d(), 3);
+            assert_eq!(solution.ks(), &ks[..]);
+            assert!((solution.epsilon() - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_parameters() {
+        for kind in [
+            SolutionKind::Spl(ProtocolKind::Grr),
+            SolutionKind::Smp(ProtocolKind::Grr),
+            SolutionKind::RsFd(RsFdProtocol::Grr),
+            SolutionKind::RsRfd(RsRfdProtocol::Grr),
+        ] {
+            assert!(kind.build(&[4], 1.0).is_err(), "{kind}: d < 2");
+            assert!(kind.build(&[4, 3], 0.0).is_err(), "{kind}: eps = 0");
+        }
+    }
+
+    #[test]
+    fn priors_only_accepted_by_rsrfd() {
+        let ks = [4usize, 3];
+        let priors: Vec<Vec<f64>> = ks.iter().map(|&k| vec![1.0 / k as f64; k]).collect();
+        assert!(SolutionKind::RsRfd(RsRfdProtocol::Grr)
+            .build_with_priors(&ks, 1.0, priors.clone())
+            .is_ok());
+        assert!(SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build_with_priors(&ks, 1.0, priors.clone())
+            .is_err());
+        assert!(SolutionKind::Spl(ProtocolKind::Grr)
+            .build_with_priors(&ks, 1.0, priors)
+            .is_err());
+    }
+
+    #[test]
+    fn report_shapes_match_solution_family() {
+        let ks = vec![4usize, 3];
+        let mut rng = StdRng::seed_from_u64(2);
+        let spl = SolutionKind::Spl(ProtocolKind::Grr)
+            .build(&ks, 1.0)
+            .unwrap();
+        assert!(matches!(
+            spl.report(&[1, 2], &mut rng),
+            SolutionReport::Full(v) if v.len() == 2
+        ));
+        let smp = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 1.0)
+            .unwrap();
+        assert!(matches!(
+            smp.report(&[1, 2], &mut rng),
+            SolutionReport::Smp(_)
+        ));
+        let rsfd = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&ks, 1.0)
+            .unwrap();
+        assert!(matches!(
+            rsfd.report(&[1, 2], &mut rng),
+            SolutionReport::Tuple(t) if t.values.len() == 2
+        ));
+    }
+
+    #[test]
+    fn works_behind_dyn_rng_core() {
+        // The whole point of the redesign: a boxed RNG (e.g. handed across an
+        // object boundary) can drive any solution.
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let mut rng: Box<dyn RngCore> = Box::new(StdRng::seed_from_u64(5));
+        let report = solution.report(&[0, 1], rng.as_mut());
+        assert!(matches!(report, SolutionReport::Tuple(_)));
+    }
+
+    #[test]
+    fn display_names_follow_paper_convention() {
+        assert_eq!(SolutionKind::Spl(ProtocolKind::Grr).name(), "SPL[GRR]");
+        assert_eq!(SolutionKind::Smp(ProtocolKind::Oue).name(), "SMP[OUE]");
+        assert_eq!(SolutionKind::RsFd(RsFdProtocol::Grr).name(), "RS+FD[GRR]");
+        assert_eq!(
+            SolutionKind::RsRfd(RsRfdProtocol::Grr).name(),
+            "RS+RFD[GRR]"
+        );
+    }
+}

@@ -1,18 +1,32 @@
 //! Multidimensional collection solutions: SPL, SMP, RS+FD and the RS+RFD
 //! countermeasure (§2.3 and §5 of the paper).
+//!
+//! The layer is streaming-first: every solution hands out a
+//! [`MultidimAggregator`] that absorbs sanitized reports one at a time into
+//! `O(Σ_j k_j)` support-count state and can be merged across parallel
+//! shards, so server-side memory is independent of the population size.
+//! Runtime solution selection goes through [`SolutionKind`] /
+//! [`DynSolution`], which mirror `ldp_protocols::{ProtocolKind, Oracle}` and
+//! erase the client-side `R: Rng` generic behind `&mut dyn RngCore`.
 
+mod aggregator;
+mod kind;
 mod rsfd;
 mod rsrfd;
 mod smp;
 mod spl;
 
+pub use aggregator::MultidimAggregator;
+pub use kind::{DynSolution, SolutionKind, SolutionReport};
 pub use rsfd::{RsFd, RsFdProtocol};
 pub use rsrfd::{RsRfd, RsRfdProtocol};
 pub use smp::{Smp, SmpReport};
 pub use spl::Spl;
 
+pub(crate) use aggregator::EstimatorSpec;
+
 use ldp_protocols::{ProtocolError, Report};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// A full sanitized tuple `y = [y_1, …, y_d]` as produced by the RS+FD /
 /// RS+RFD solutions, together with the (server-hidden) sampled attribute used
@@ -29,7 +43,14 @@ pub struct MultidimReport {
 
 /// Common interface of the fake-data solutions (RS+FD and RS+RFD), used by
 /// the sampled-attribute inference attack to generate attacker-side training
-/// data with the exact client mechanism.
+/// data with the exact client mechanism, and by the streaming pipeline to
+/// drive any solution behind one object boundary.
+///
+/// The trait is **object-safe**: randomness enters
+/// [`MultidimSolution::report_dyn`] through `&mut dyn RngCore`, and the
+/// server side is the streaming [`MultidimSolution::aggregator`]. The
+/// generic [`MultidimSolution::report`] convenience (gated on `Self: Sized`)
+/// keeps concrete call sites ergonomic.
 pub trait MultidimSolution {
     /// Number of attributes `d`.
     fn d(&self) -> usize;
@@ -48,11 +69,32 @@ pub trait MultidimSolution {
     /// encoding.
     fn is_unary(&self) -> bool;
 
-    /// Client-side sanitization of one user tuple.
-    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport;
+    /// Client-side sanitization of one user tuple (object-safe entry point).
+    fn report_dyn(&self, tuple: &[u32], rng: &mut dyn RngCore) -> MultidimReport;
 
-    /// Server-side unbiased frequency estimates for every attribute.
-    fn estimate(&self, reports: &[MultidimReport]) -> Vec<Vec<f64>>;
+    /// A fresh streaming server-side aggregator configured with this
+    /// solution's unbiased estimator.
+    fn aggregator(&self) -> MultidimAggregator;
+
+    /// Client-side sanitization of one user tuple.
+    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport
+    where
+        Self: Sized,
+    {
+        let mut rng = rng;
+        self.report_dyn(tuple, &mut rng)
+    }
+
+    /// Batch server-side unbiased frequency estimates for every attribute:
+    /// one streaming pass of [`MultidimSolution::aggregator`] over the
+    /// buffered reports (prefer absorbing incrementally at scale).
+    fn estimate(&self, reports: &[MultidimReport]) -> Vec<Vec<f64>> {
+        let mut agg = self.aggregator();
+        for r in reports {
+            agg.absorb_tuple(r);
+        }
+        agg.estimate()
+    }
 
     /// [`MultidimSolution::estimate`] post-processed onto the probability
     /// simplex per attribute.
@@ -68,7 +110,10 @@ pub trait MultidimSolution {
 pub(crate) fn validate_config(ks: &[usize], epsilon: f64) -> Result<(), ProtocolError> {
     if ks.len() < 2 {
         return Err(ProtocolError::InvalidPrior {
-            reason: format!("multidimensional solutions need d >= 2 attributes, got {}", ks.len()),
+            reason: format!(
+                "multidimensional solutions need d >= 2 attributes, got {}",
+                ks.len()
+            ),
         });
     }
     for &k in ks {
@@ -80,27 +125,20 @@ pub(crate) fn validate_config(ks: &[usize], epsilon: f64) -> Result<(), Protocol
 
 /// Support counts `C_j(v)` per attribute over full-tuple reports: value
 /// reports count their value, unary reports count every set bit.
+///
+/// Out-of-domain entries (a value ≥ k_j, a bit vector of the wrong width, a
+/// foreign report shape) trip a `debug_assert` so malformed reports fail
+/// loudly in tests; release builds skip them, as before.
+///
+/// Production estimation streams through [`MultidimAggregator`] instead;
+/// this batch helper remains as the tests' reference implementation.
+#[cfg(test)]
 pub(crate) fn support_counts(reports: &[MultidimReport], ks: &[usize]) -> Vec<Vec<u64>> {
     let mut counts: Vec<Vec<u64>> = ks.iter().map(|&k| vec![0u64; k]).collect();
     for r in reports {
         debug_assert_eq!(r.values.len(), ks.len(), "tuple width mismatch");
         for (j, rep) in r.values.iter().enumerate() {
-            match rep {
-                Report::Value(v) => {
-                    if let Some(c) = counts[j].get_mut(*v as usize) {
-                        *c += 1;
-                    }
-                }
-                Report::Bits(bits) => {
-                    for b in bits.ones() {
-                        if let Some(c) = counts[j].get_mut(b) {
-                            *c += 1;
-                        }
-                    }
-                }
-                // RS+FD tuples never carry hashed/subset entries.
-                _ => {}
-            }
+            aggregator::count_fake_data_entry(&mut counts[j], j, rep);
         }
     }
     counts
@@ -112,17 +150,35 @@ pub(crate) fn sample_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
     cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
 }
 
-/// Precomputes a sampling CDF from a pmf (last entry forced to 1).
+/// Precomputes a sampling CDF from a pmf.
+///
+/// The pmf must sum to ≈ 1 (checked with a `debug_assert`); numerical drift
+/// is then compensated by renormalizing the cumulative sums, so sampling
+/// always follows the pmf's *relative* masses. The historical behavior of
+/// silently forcing the last entry to 1.0 would instead dump all the missing
+/// mass of an unnormalized prior onto the final value, skewing fake-data
+/// sampling undetected.
 pub(crate) fn to_cdf(pmf: &[f64]) -> Vec<f64> {
+    let total: f64 = pmf.iter().sum();
+    debug_assert!(
+        (total - 1.0).abs() < 1e-3,
+        "pmf sums to {total}, expected ~1"
+    );
+    if total <= 0.0 || total.is_nan() {
+        // Degenerate input (all-zero / NaN): fall back to uniform sampling.
+        let k = pmf.len().max(1) as f64;
+        return (1..=pmf.len()).map(|i| i as f64 / k).collect();
+    }
     let mut acc = 0.0;
     let mut cdf: Vec<f64> = pmf
         .iter()
         .map(|&p| {
             acc += p;
-            acc
+            acc / total
         })
         .collect();
     if let Some(last) = cdf.last_mut() {
+        // Exactly 1 after renormalization, up to one rounding step.
         *last = 1.0;
     }
     cdf
@@ -182,5 +238,50 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(sample_cdf(&cdf, &mut rng), 1);
         }
+    }
+
+    #[test]
+    fn to_cdf_renormalizes_numerical_drift() {
+        // Regression: the old implementation forced the last entry to 1.0,
+        // so any missing probability mass was silently dumped onto the final
+        // value. Renormalization must preserve the relative masses instead.
+        let drift = 5e-4; // within the debug_assert tolerance
+        let cdf = to_cdf(&[0.25 + drift, 0.25, 0.5]);
+        let total = 1.0 + drift;
+        assert!((cdf[0] - (0.25 + drift) / total).abs() < 1e-12);
+        assert!((cdf[1] - (0.5 + drift) / total).abs() < 1e-12);
+        assert_eq!(cdf[2], 1.0);
+        // The tail keeps its proportional share rather than absorbing the
+        // drift: P(2) = cdf[2] − cdf[1] ≈ 0.5/total, not 0.5 + drift.
+        assert!(((cdf[2] - cdf[1]) - 0.5 / total).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pmf sums to")]
+    fn to_cdf_rejects_unnormalized_pmf_in_debug() {
+        to_cdf(&[0.2, 0.2]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside domain")]
+    fn support_counts_rejects_out_of_domain_value_in_debug() {
+        let reports = vec![MultidimReport {
+            values: vec![Report::Value(7), Report::Value(0)],
+            sampled: 0,
+        }];
+        support_counts(&reports, &[3, 4]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "bit-vector width")]
+    fn support_counts_rejects_wrong_width_bits_in_debug() {
+        let reports = vec![MultidimReport {
+            values: vec![Report::Value(0), Report::Bits(BitVec::zeros(3))],
+            sampled: 0,
+        }];
+        support_counts(&reports, &[3, 4]);
     }
 }

@@ -12,12 +12,10 @@
 //! The server-side unbiased estimators are the ones derived in [4] and
 //! restated in §2.3.2 of the paper.
 
-use ldp_protocols::{
-    BitVec, FrequencyOracle, Grr, ProtocolError, Report, UeMode, UnaryEncoding,
-};
-use rand::Rng;
+use ldp_protocols::{BitVec, FrequencyOracle, Grr, ProtocolError, Report, UeMode, UnaryEncoding};
+use rand::{Rng, RngCore};
 
-use super::{support_counts, validate_config, MultidimReport, MultidimSolution};
+use super::{validate_config, EstimatorSpec, MultidimAggregator, MultidimReport, MultidimSolution};
 use crate::amplification::amplify;
 
 /// Which LDP protocol and fake-data procedure RS+FD runs.
@@ -69,11 +67,7 @@ pub struct RsFd {
 
 impl RsFd {
     /// Builds the solution; per-attribute randomizers run at ε′.
-    pub fn new(
-        protocol: RsFdProtocol,
-        ks: &[usize],
-        epsilon: f64,
-    ) -> Result<Self, ProtocolError> {
+    pub fn new(protocol: RsFdProtocol, ks: &[usize], epsilon: f64) -> Result<Self, ProtocolError> {
         validate_config(ks, epsilon)?;
         let epsilon_amp = amplify(epsilon, ks.len());
         let randomizers = match protocol {
@@ -147,9 +141,7 @@ impl RsFd {
                 let k = self.ks[i];
                 match (&self.randomizers, i == sampled) {
                     (Randomizers::Grr(grrs), true) => grrs[i].randomize(tuple[i], rng),
-                    (Randomizers::Grr(_), false) => {
-                        Report::Value(rng.random_range(0..k as u32))
-                    }
+                    (Randomizers::Grr(_), false) => Report::Value(rng.random_range(0..k as u32)),
                     (Randomizers::Ue(ues), true) => ues[i].randomize(tuple[i], rng),
                     (Randomizers::Ue(ues), false) => match self.protocol {
                         RsFdProtocol::UeZ(_) => Report::Bits(ues[i].perturb_zero_vector(rng)),
@@ -187,45 +179,30 @@ impl MultidimSolution for RsFd {
         matches!(self.protocol, RsFdProtocol::UeZ(_) | RsFdProtocol::UeR(_))
     }
 
-    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport {
+    fn report_dyn(&self, tuple: &[u32], rng: &mut dyn RngCore) -> MultidimReport {
         let sampled = rng.random_range(0..self.d());
         self.report_with_sampled(tuple, sampled, rng)
     }
 
-    fn estimate(&self, reports: &[MultidimReport]) -> Vec<Vec<f64>> {
-        let n = reports.len() as f64;
-        let d = self.d() as f64;
-        let counts = support_counts(reports, &self.ks);
-        counts
-            .iter()
-            .enumerate()
-            .map(|(j, cj)| {
-                let k = self.ks[j] as f64;
-                let (p, q) = self.pq(j);
-                cj.iter()
-                    .map(|&c| {
-                        let c = c as f64;
-                        if n == 0.0 {
-                            return 0.0;
-                        }
-                        match self.protocol {
-                            // f̂ = (C·d·k − n(qk + d − 1)) / (n·k·(p − q))
-                            RsFdProtocol::Grr => {
-                                (c * d * k - n * (q * k + d - 1.0)) / (n * k * (p - q))
-                            }
-                            // f̂ = d(C − nq) / (n(p − q))
-                            RsFdProtocol::UeZ(_) => d * (c - n * q) / (n * (p - q)),
-                            // f̂ = (C·d·k − n(qk + (p−q)(d−1) + qk(d−1))) / (n·k·(p−q))
-                            RsFdProtocol::UeR(_) => {
-                                (c * d * k
-                                    - n * (q * k + (p - q) * (d - 1.0) + q * k * (d - 1.0)))
-                                    / (n * k * (p - q))
-                            }
-                        }
-                    })
-                    .collect()
-            })
-            .collect()
+    // Monomorphized override: keeps the hot client path free of virtual RNG
+    // dispatch (the provided method would route through `report_dyn`).
+    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport
+    where
+        Self: Sized,
+    {
+        let sampled = rng.random_range(0..self.d());
+        self.report_with_sampled(tuple, sampled, rng)
+    }
+
+    fn aggregator(&self) -> MultidimAggregator {
+        let pqs = (0..self.d()).map(|j| self.pq(j)).collect();
+        MultidimAggregator::new(
+            self.ks.clone(),
+            EstimatorSpec::RsFd {
+                protocol: self.protocol,
+                pqs,
+            },
+        )
     }
 }
 
@@ -359,7 +336,10 @@ mod tests {
             let v1 = rsfd.approx_variance(0, 1000);
             let v2 = rsfd.approx_variance(0, 10_000);
             assert!(v1 > 0.0 && v2 > 0.0);
-            assert!((v1 / v2 - 10.0).abs() < 1e-6, "variance should scale as 1/n");
+            assert!(
+                (v1 / v2 - 10.0).abs() < 1e-6,
+                "variance should scale as 1/n"
+            );
         }
     }
 

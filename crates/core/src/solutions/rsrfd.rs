@@ -10,9 +10,12 @@
 //! Theorems 2 and 4.
 
 use ldp_protocols::{FrequencyOracle, Grr, ProtocolError, Report, UeMode, UnaryEncoding};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
-use super::{sample_cdf, support_counts, to_cdf, validate_config, MultidimReport, MultidimSolution};
+use super::{
+    sample_cdf, to_cdf, validate_config, EstimatorSpec, MultidimAggregator, MultidimReport,
+    MultidimSolution,
+};
 use crate::amplification::amplify;
 
 /// Which LDP protocol RS+RFD runs on the sampled attribute.
@@ -152,9 +155,7 @@ impl RsRfd {
             // Theorem 2: γ = (q + f(p−q) + (d−1)·f̃)/d.
             RsRfdProtocol::Grr => (q + f * (p - q) + (d - 1.0) * prior) / d,
             // Theorem 4: γ = (f(p−q) + q + (d−1)(f̃(p−q) + q))/d.
-            RsRfdProtocol::UeR(_) => {
-                (f * (p - q) + q + (d - 1.0) * (prior * (p - q) + q)) / d
-            }
+            RsRfdProtocol::UeR(_) => (f * (p - q) + q + (d - 1.0) * (prior * (p - q) + q)) / d,
         };
         d * d * gamma * (1.0 - gamma) / (n as f64 * (p - q) * (p - q))
     }
@@ -218,45 +219,31 @@ impl MultidimSolution for RsRfd {
         matches!(self.protocol, RsRfdProtocol::UeR(_))
     }
 
-    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport {
+    fn report_dyn(&self, tuple: &[u32], rng: &mut dyn RngCore) -> MultidimReport {
         let sampled = rng.random_range(0..self.d());
         self.report_with_sampled(tuple, sampled, rng)
     }
 
-    fn estimate(&self, reports: &[MultidimReport]) -> Vec<Vec<f64>> {
-        let n = reports.len() as f64;
-        let d = self.d() as f64;
-        let counts = support_counts(reports, &self.ks);
-        counts
-            .iter()
-            .enumerate()
-            .map(|(j, cj)| {
-                let (p, q) = self.pq(j);
-                cj.iter()
-                    .enumerate()
-                    .map(|(v, &c)| {
-                        if n == 0.0 {
-                            return 0.0;
-                        }
-                        let c = c as f64;
-                        let prior = self.priors[j][v];
-                        match self.protocol {
-                            // Eq. (6): f̂ = (dC − n(q + (d−1)f̃)) / (n(p−q)).
-                            RsRfdProtocol::Grr => {
-                                (d * c - n * (q + (d - 1.0) * prior)) / (n * (p - q))
-                            }
-                            // Eq. (7): f̂ = (dC − n(q + (p−q)(d−1)f̃ + q(d−1)))
-                            //              / (n(p−q)).
-                            RsRfdProtocol::UeR(_) => {
-                                (d * c
-                                    - n * (q + (p - q) * (d - 1.0) * prior + q * (d - 1.0)))
-                                    / (n * (p - q))
-                            }
-                        }
-                    })
-                    .collect()
-            })
-            .collect()
+    // Monomorphized override: keeps the hot client path free of virtual RNG
+    // dispatch (the provided method would route through `report_dyn`).
+    fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> MultidimReport
+    where
+        Self: Sized,
+    {
+        let sampled = rng.random_range(0..self.d());
+        self.report_with_sampled(tuple, sampled, rng)
+    }
+
+    fn aggregator(&self) -> MultidimAggregator {
+        let pqs = (0..self.d()).map(|j| self.pq(j)).collect();
+        MultidimAggregator::new(
+            self.ks.clone(),
+            EstimatorSpec::RsRfd {
+                protocol: self.protocol,
+                pqs,
+                priors: self.priors.clone(),
+            },
+        )
     }
 }
 
@@ -272,10 +259,7 @@ mod theorems {
     const KS: [usize; 2] = [5, 3];
 
     fn priors() -> Vec<Vec<f64>> {
-        vec![
-            vec![0.4, 0.3, 0.15, 0.1, 0.05],
-            vec![0.2, 0.5, 0.3],
-        ]
+        vec![vec![0.4, 0.3, 0.15, 0.1, 0.05], vec![0.2, 0.5, 0.3]]
     }
 
     /// Population with known marginals distinct from the priors.
@@ -453,6 +437,9 @@ mod tests {
     #[test]
     fn names_follow_paper_convention() {
         assert_eq!(RsRfdProtocol::Grr.name(), "RS+RFD[GRR]");
-        assert_eq!(RsRfdProtocol::UeR(UeMode::Optimized).name(), "RS+RFD[OUE-r]");
+        assert_eq!(
+            RsRfdProtocol::UeR(UeMode::Optimized).name(),
+            "RS+RFD[OUE-r]"
+        );
     }
 }

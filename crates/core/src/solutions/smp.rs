@@ -3,10 +3,10 @@
 //! `⟨sampled attribute, ε-LDP report⟩` — disclosing the sampled attribute,
 //! which is precisely what the paper's re-identification attack exploits.
 
-use ldp_protocols::{Aggregator, FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
+use ldp_protocols::{FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
 use rand::Rng;
 
-use super::validate_config;
+use super::{validate_config, EstimatorSpec, MultidimAggregator};
 
 /// One SMP message: the disclosed attribute index plus its ε-LDP report.
 #[derive(Debug, Clone)]
@@ -93,15 +93,25 @@ impl Smp {
         }
     }
 
-    /// Server-side estimation: reports are grouped by disclosed attribute and
-    /// each group feeds the standard Eq. (2) estimator with its own `n_j`.
+    /// A fresh streaming aggregator configured with the per-attribute
+    /// full-budget Eq. (2) estimators over each attribute's own `n_j`.
+    pub fn aggregator(&self) -> MultidimAggregator {
+        MultidimAggregator::new(
+            self.ks.clone(),
+            EstimatorSpec::Smp {
+                oracles: self.oracles.clone(),
+            },
+        )
+    }
+
+    /// Batch server-side estimation: one streaming pass over the buffered
+    /// reports, grouped by disclosed attribute with its own `n_j`.
     pub fn estimate(&self, reports: &[SmpReport]) -> Vec<Vec<f64>> {
-        let mut aggs: Vec<Aggregator<'_, Oracle>> =
-            self.oracles.iter().map(Aggregator::new).collect();
+        let mut agg = self.aggregator();
         for r in reports {
-            aggs[r.attr].absorb(&r.report);
+            agg.absorb_smp(r);
         }
-        aggs.iter().map(Aggregator::estimate).collect()
+        agg.estimate()
     }
 
     /// [`Smp::estimate`] projected onto the probability simplex.
@@ -172,9 +182,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for kind in ProtocolKind::ALL {
             let smp = Smp::new(kind, &[6, 4], 2.0).unwrap();
-            let reports: Vec<SmpReport> = (0..4000)
-                .map(|_| smp.report(&[3, 1], &mut rng))
-                .collect();
+            let reports: Vec<SmpReport> =
+                (0..4000).map(|_| smp.report(&[3, 1], &mut rng)).collect();
             let est = smp.estimate(&reports);
             assert!(
                 (est[0][3] - 1.0).abs() < 0.15,

@@ -2,10 +2,10 @@
 //! ε over the `d` attributes and report all of them with ε/d-LDP each. Kept
 //! as the utility baseline the paper dismisses for its high estimation error.
 
-use ldp_protocols::{Aggregator, FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
+use ldp_protocols::{FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
 use rand::Rng;
 
-use super::validate_config;
+use super::{validate_config, EstimatorSpec, MultidimAggregator};
 
 /// SPL solution over `d` attributes with a single frequency-oracle family.
 #[derive(Debug, Clone)]
@@ -66,16 +66,25 @@ impl Spl {
             .collect()
     }
 
-    /// Server-side estimation: every user contributes to every attribute.
+    /// A fresh streaming aggregator configured with the per-attribute
+    /// (ε/d)-budget Eq. (2) estimators.
+    pub fn aggregator(&self) -> MultidimAggregator {
+        MultidimAggregator::new(
+            self.ks.clone(),
+            EstimatorSpec::Spl {
+                oracles: self.oracles.clone(),
+            },
+        )
+    }
+
+    /// Batch server-side estimation: one streaming pass over the buffered
+    /// reports (every user contributes to every attribute).
     pub fn estimate(&self, reports: &[Vec<Report>]) -> Vec<Vec<f64>> {
-        let mut aggs: Vec<Aggregator<'_, Oracle>> =
-            self.oracles.iter().map(Aggregator::new).collect();
+        let mut agg = self.aggregator();
         for tuple in reports {
-            for (j, rep) in tuple.iter().enumerate() {
-                aggs[j].absorb(rep);
-            }
+            agg.absorb_full(tuple);
         }
-        aggs.iter().map(Aggregator::estimate).collect()
+        agg.estimate()
     }
 }
 

@@ -23,7 +23,11 @@ fn smp_estimate_with_unsampled_attribute_is_zero() {
         .collect();
     let est = smp.estimate(&reports);
     assert!(est[0].iter().all(|f| f.is_finite()));
-    assert_eq!(est[1], vec![0.0; 4], "unsampled attribute must estimate zero");
+    assert_eq!(
+        est[1],
+        vec![0.0; 4],
+        "unsampled attribute must estimate zero"
+    );
 }
 
 #[test]
@@ -46,9 +50,7 @@ fn inference_attack_with_minimum_population() {
     // valid percentages.
     let rsfd = RsFd::new(RsFdProtocol::Grr, &[3, 3], 2.0).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
-    let observed: Vec<MultidimReport> = (0..2)
-        .map(|_| rsfd.report(&[1, 2], &mut rng))
-        .collect();
+    let observed: Vec<MultidimReport> = (0..2).map(|_| rsfd.report(&[1, 2], &mut rng)).collect();
     let out = SampledAttributeAttack::evaluate(
         &rsfd,
         &observed,

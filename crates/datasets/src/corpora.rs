@@ -126,7 +126,10 @@ mod tests {
         assert_eq!(acs_employment_schema().d(), 18);
         assert_eq!(acs_employment_schema().total_cells(), 198);
         assert_eq!(nursery_schema().d(), 9);
-        assert_eq!(nursery_schema().cardinalities(), vec![3, 5, 4, 4, 3, 2, 3, 3, 5]);
+        assert_eq!(
+            nursery_schema().cardinalities(),
+            vec![3, 5, 4, 4, 3, 2, 3, 3, 5]
+        );
     }
 
     #[test]

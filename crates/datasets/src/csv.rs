@@ -27,7 +27,9 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Parse { line, reason } => write!(f, "csv parse error at line {line}: {reason}"),
+            CsvError::Parse { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
         }
     }
 }
@@ -78,12 +80,10 @@ pub fn save(dataset: &Dataset, path: &Path) -> Result<(), CsvError> {
 pub fn load(path: &Path) -> Result<Dataset, CsvError> {
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Parse {
-            line: 1,
-            reason: "empty file".into(),
-        })??;
+    let header = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        reason: "empty file".into(),
+    })??;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     let d = names.len();
     if d == 0 {

@@ -124,7 +124,11 @@ impl LatentClassGenerator {
                 // cross-attribute correlation.
                 let exponent = config.skew * (0.7 + 0.6 * rng.random::<f64>());
                 let base = zipf_pmf(k, exponent);
-                let shift = if k > 2 { rng.random_range(0..=(k / 4)) } else { 0 };
+                let shift = if k > 2 {
+                    rng.random_range(0..=(k / 4))
+                } else {
+                    0
+                };
                 let u = 1.0 / k as f64;
                 let mut pmf = vec![0.0; k];
                 for (rank, &p) in base.iter().enumerate() {
@@ -206,10 +210,7 @@ mod tests {
         let ds = build(1.5, 0.05, 20_000);
         // L∞ distance from uniform should be clearly positive.
         let m = ds.marginal(0);
-        let dev = m
-            .iter()
-            .map(|&p| (p - 0.1f64).abs())
-            .fold(0.0f64, f64::max);
+        let dev = m.iter().map(|&p| (p - 0.1f64).abs()).fold(0.0f64, f64::max);
         assert!(dev > 0.05, "marginal too uniform: {m:?}");
     }
 

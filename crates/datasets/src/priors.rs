@@ -115,7 +115,10 @@ impl IncorrectPrior {
         cardinalities: &[usize],
         rng: &mut R,
     ) -> Vec<Vec<f64>> {
-        cardinalities.iter().map(|&k| self.generate(k, rng)).collect()
+        cardinalities
+            .iter()
+            .map(|&k| self.generate(k, rng))
+            .collect()
     }
 }
 
@@ -186,8 +189,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn is_distribution(p: &[f64]) -> bool {
-        p.iter().all(|&x| (0.0..=1.0).contains(&x))
-            && (p.iter().sum::<f64>() - 1.0).abs() < 1e-9
+        p.iter().all(|&x| (0.0..=1.0).contains(&x)) && (p.iter().sum::<f64>() - 1.0).abs() < 1e-9
     }
 
     #[test]
@@ -252,7 +254,11 @@ mod tests {
     #[test]
     fn incorrect_prior_generate_all_covers_every_attribute() {
         let mut rng = StdRng::seed_from_u64(15);
-        for kind in [IncorrectPrior::Dirichlet, IncorrectPrior::Zipf, IncorrectPrior::Exp] {
+        for kind in [
+            IncorrectPrior::Dirichlet,
+            IncorrectPrior::Zipf,
+            IncorrectPrior::Exp,
+        ] {
             let all = kind.generate_all(&[3, 5, 7], &mut rng);
             assert_eq!(all.len(), 3);
             assert_eq!(all[2].len(), 7);

@@ -35,7 +35,10 @@ impl Schema {
     /// static configuration, so this is a programming error, not an input
     /// error.
     pub fn new(attributes: Vec<Attribute>) -> Self {
-        assert!(!attributes.is_empty(), "schema needs at least one attribute");
+        assert!(
+            !attributes.is_empty(),
+            "schema needs at least one attribute"
+        );
         for a in &attributes {
             assert!(
                 a.cardinality >= 2,
@@ -69,7 +72,10 @@ impl Schema {
 
     /// All domain sizes as a vector (the paper's `k`).
     pub fn cardinalities(&self) -> Vec<usize> {
-        self.attributes.iter().map(|a| a.cardinality as usize).collect()
+        self.attributes
+            .iter()
+            .map(|a| a.cardinality as usize)
+            .collect()
     }
 
     /// The attributes, in order.

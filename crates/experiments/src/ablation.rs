@@ -51,24 +51,23 @@ pub fn run_classifier(cfg: &ExpConfig) -> Table {
         })
         .collect();
     let classifiers_ref = &classifiers;
-    let measurements: Vec<(usize, usize, usize, f64)> =
-        par_map(grid.len(), cfg.threads, |g| {
-            let (pi, ei, ci, run) = grid[g];
-            let mut rng = StdRng::seed_from_u64(mix3(fig_seed, g as u64, run));
-            let ds = cfg.acs(run);
-            let ks = ds.schema().cardinalities();
-            let solution = RsFd::new(protocols[pi], &ks, eps[ei]).expect("rsfd");
-            let observed: Vec<MultidimReport> =
-                ds.rows().map(|t| solution.report(t, &mut rng)).collect();
-            let out = SampledAttributeAttack::evaluate(
-                &solution,
-                &observed,
-                &AttackModel::NoKnowledge { synth_factor: 1.0 },
-                &classifiers_ref[ci].1,
-                &mut rng,
-            );
-            (pi, ei, ci, out.aif_acc)
-        });
+    let measurements: Vec<(usize, usize, usize, f64)> = par_map(grid.len(), cfg.threads, |g| {
+        let (pi, ei, ci, run) = grid[g];
+        let mut rng = StdRng::seed_from_u64(mix3(fig_seed, g as u64, run));
+        let ds = cfg.acs(run);
+        let ks = ds.schema().cardinalities();
+        let solution = RsFd::new(protocols[pi], &ks, eps[ei]).expect("rsfd");
+        let observed: Vec<MultidimReport> =
+            ds.rows().map(|t| solution.report(t, &mut rng)).collect();
+        let out = SampledAttributeAttack::evaluate(
+            &solution,
+            &observed,
+            &AttackModel::NoKnowledge { synth_factor: 1.0 },
+            &classifiers_ref[ci].1,
+            &mut rng,
+        );
+        (pi, ei, ci, out.aif_acc)
+    });
 
     let mut buckets: BTreeMap<(usize, usize, usize), Vec<f64>> = BTreeMap::new();
     for (pi, ei, ci, acc) in measurements {
@@ -76,7 +75,13 @@ pub fn run_classifier(cfg: &ExpConfig) -> Table {
     }
     let mut table = Table::new(
         "Ablation: attack classifier family (ACSEmployment, NK s=1n)",
-        &["solution", "classifier", "eps", "aif_acc_mean", "aif_acc_std"],
+        &[
+            "solution",
+            "classifier",
+            "eps",
+            "aif_acc_mean",
+            "aif_acc_std",
+        ],
     );
     for ((pi, ci, ei), accs) in buckets {
         let ms = mean_std(&accs);

@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 
 use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
 use ldp_core::metrics::mean_std;
-use ldp_core::solutions::{MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
+use ldp_core::solutions::{
+    MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol,
+};
 use ldp_datasets::priors::{correct_priors_scaled, IncorrectPrior};
 use ldp_datasets::Dataset;
 use ldp_protocols::hash::{mix2, mix3};
@@ -60,9 +62,7 @@ impl PriorSpec {
                 };
                 correct_priors_scaled(dataset, 0.1, reference_n.max(dataset.n()), rng)
             }
-            PriorSpec::Incorrect(p) => {
-                p.generate_all(&dataset.schema().cardinalities(), rng)
-            }
+            PriorSpec::Incorrect(p) => p.generate_all(&dataset.schema().cardinalities(), rng),
         }
     }
 }
@@ -110,7 +110,10 @@ fn load(cfg: &ExpConfig, choice: AifDataset, run: u64) -> Dataset {
 /// Runs the sweep and returns
 /// (`solution, model, eps, aif_acc_mean, aif_acc_std, baseline`).
 pub fn run(cfg: &ExpConfig, params: &AifParams, fig: &str) -> Table {
-    let fig_seed = mix2(cfg.seed, fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))));
+    let fig_seed = mix2(
+        cfg.seed,
+        fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))),
+    );
     let grid: Vec<(usize, usize, usize, u64)> = (0..params.specs.len())
         .flat_map(|si| {
             (0..params.eps.len()).flat_map(move |ei| {
@@ -138,7 +141,11 @@ pub fn run(cfg: &ExpConfig, params: &AifParams, fig: &str) -> Table {
                         .map(|t| solution.report(t, &mut rng))
                         .collect();
                     SampledAttributeAttack::evaluate(
-                        &solution, &observed, model, &classifier, &mut rng,
+                        &solution,
+                        &observed,
+                        model,
+                        &classifier,
+                        &mut rng,
                     )
                 }
                 SolutionSpec::RsRfd(protocol, prior_spec) => {
@@ -150,7 +157,11 @@ pub fn run(cfg: &ExpConfig, params: &AifParams, fig: &str) -> Table {
                         .map(|t| solution.report(t, &mut rng))
                         .collect();
                     SampledAttributeAttack::evaluate(
-                        &solution, &observed, model, &classifier, &mut rng,
+                        &solution,
+                        &observed,
+                        model,
+                        &classifier,
+                        &mut rng,
                     )
                 }
             };
@@ -159,13 +170,22 @@ pub fn run(cfg: &ExpConfig, params: &AifParams, fig: &str) -> Table {
 
     let mut buckets: BTreeMap<(usize, usize, usize), (Vec<f64>, f64)> = BTreeMap::new();
     for (si, ei, mi, acc, baseline) in measurements {
-        let e = buckets.entry((si, mi, ei)).or_insert((Vec::new(), baseline));
+        let e = buckets
+            .entry((si, mi, ei))
+            .or_insert((Vec::new(), baseline));
         e.0.push(acc);
     }
 
     let mut table = Table::new(
         format!("{fig}: sampled-attribute inference (AIF-ACC %)"),
-        &["solution", "model", "eps", "aif_acc_mean", "aif_acc_std", "baseline"],
+        &[
+            "solution",
+            "model",
+            "eps",
+            "aif_acc_mean",
+            "aif_acc_std",
+            "baseline",
+        ],
     );
     for ((si, mi, ei), (accs, baseline)) in buckets {
         let ms = mean_std(&accs);
@@ -193,7 +213,9 @@ pub fn paper_models() -> Vec<(String, AttackModel)> {
     for f in [0.1, 0.3, 0.5] {
         models.push((
             format!("PK npk={f}n"),
-            AttackModel::PartialKnowledge { compromised_frac: f },
+            AttackModel::PartialKnowledge {
+                compromised_frac: f,
+            },
         ));
     }
     for (s, f) in [(1.0, 0.1), (3.0, 0.3), (5.0, 0.5)] {

@@ -3,7 +3,10 @@
 
 fn main() {
     let cfg = ldp_experiments::ExpConfig::from_env();
-    eprintln!("[fig04] runs={} scale={} threads={} seed={}", cfg.runs, cfg.scale, cfg.threads, cfg.seed);
+    eprintln!(
+        "[fig04] runs={} scale={} threads={} seed={}",
+        cfg.runs, cfg.scale, cfg.threads, cfg.seed
+    );
     let start = std::time::Instant::now();
     let _ = ldp_experiments::fig04::run(&cfg);
     eprintln!("[fig04] done in {:.1?}", start.elapsed());

@@ -3,7 +3,10 @@
 
 fn main() {
     let cfg = ldp_experiments::ExpConfig::from_env();
-    eprintln!("[fig11] runs={} scale={} threads={} seed={}", cfg.runs, cfg.scale, cfg.threads, cfg.seed);
+    eprintln!(
+        "[fig11] runs={} scale={} threads={} seed={}",
+        cfg.runs, cfg.scale, cfg.threads, cfg.seed
+    );
     let start = std::time::Instant::now();
     let _ = ldp_experiments::fig11::run(&cfg);
     eprintln!("[fig11] done in {:.1?}", start.elapsed());

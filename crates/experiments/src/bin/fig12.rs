@@ -3,7 +3,10 @@
 
 fn main() {
     let cfg = ldp_experiments::ExpConfig::from_env();
-    eprintln!("[fig12] runs={} scale={} threads={} seed={}", cfg.runs, cfg.scale, cfg.threads, cfg.seed);
+    eprintln!(
+        "[fig12] runs={} scale={} threads={} seed={}",
+        cfg.runs, cfg.scale, cfg.threads, cfg.seed
+    );
     let start = std::time::Instant::now();
     let _ = ldp_experiments::fig12::run(&cfg);
     eprintln!("[fig12] done in {:.1?}", start.elapsed());

@@ -33,9 +33,8 @@ impl ExpConfig {
         let scale: f64 = env_parse("RISKS_SCALE").unwrap_or(if full { 1.0 } else { 0.15 });
         let threads = env_parse("RISKS_THREADS").unwrap_or_else(ldp_sim::par::default_threads);
         let seed = env_parse("RISKS_SEED").unwrap_or(42);
-        let out_dir = PathBuf::from(
-            std::env::var("RISKS_OUT").unwrap_or_else(|_| "results".to_string()),
-        );
+        let out_dir =
+            PathBuf::from(std::env::var("RISKS_OUT").unwrap_or_else(|_| "results".to_string()));
         ExpConfig {
             runs: runs.max(1),
             scale: scale.clamp(0.01, 1.0),
@@ -46,7 +45,9 @@ impl ExpConfig {
     }
 
     fn scaled(&self, paper_n: usize, floor: usize) -> usize {
-        ((paper_n as f64 * self.scale) as usize).max(floor).min(paper_n)
+        ((paper_n as f64 * self.scale) as usize)
+            .max(floor)
+            .min(paper_n)
     }
 
     /// Adult-like dataset at the configured scale.

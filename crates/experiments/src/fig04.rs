@@ -31,30 +31,30 @@ pub fn run(cfg: &ExpConfig) -> Table {
     // (eps index, [( (surveys, k), rid_acc )]) per grid item.
     type Point = (usize, Vec<((usize, usize), f64)>);
     let points: Vec<Point> = par_map(grid.len(), cfg.threads, |g| {
-            let (ei, run) = grid[g];
-            let item_seed = mix3(fig_seed, g as u64, run);
-            let dataset = cfg.adult(run);
-            let mut plan_rng = StdRng::seed_from_u64(mix3(fig_seed, run, 0x91A7));
-            let plan = SurveyPlan::generate(dataset.d(), n_surveys, &mut plan_rng);
-            let config = RsFdCampaignConfig {
-                protocol: RsFdProtocol::Grr,
-                epsilon: eps[ei],
-                synth_factor: 1.0,
-                classifier: AttackClassifier::Gbdt(cfg.attack_gbdt()),
-            };
-            let snapshots = run_rsfd_campaign(&dataset, &plan, &config, item_seed, 1)
-                .expect("campaign construction");
-            let all: Vec<usize> = (0..dataset.d()).collect();
-            let attack = ReidentAttack::build(&dataset, &all);
-            let mut point = Vec::new();
-            for &sv in SURVEY_COUNTS.iter().filter(|&&s| s <= n_surveys) {
-                let accs = rid_acc_multi(&attack, &snapshots[sv - 1], &TOP_KS, item_seed, 1);
-                for (slot, &k) in TOP_KS.iter().enumerate() {
-                    point.push(((sv, k), accs[slot]));
-                }
+        let (ei, run) = grid[g];
+        let item_seed = mix3(fig_seed, g as u64, run);
+        let dataset = cfg.adult(run);
+        let mut plan_rng = StdRng::seed_from_u64(mix3(fig_seed, run, 0x91A7));
+        let plan = SurveyPlan::generate(dataset.d(), n_surveys, &mut plan_rng);
+        let config = RsFdCampaignConfig {
+            protocol: RsFdProtocol::Grr,
+            epsilon: eps[ei],
+            synth_factor: 1.0,
+            classifier: AttackClassifier::Gbdt(cfg.attack_gbdt()),
+        };
+        let snapshots = run_rsfd_campaign(&dataset, &plan, &config, item_seed, 1)
+            .expect("campaign construction");
+        let all: Vec<usize> = (0..dataset.d()).collect();
+        let attack = ReidentAttack::build(&dataset, &all);
+        let mut point = Vec::new();
+        for &sv in SURVEY_COUNTS.iter().filter(|&&s| s <= n_surveys) {
+            let accs = rid_acc_multi(&attack, &snapshots[sv - 1], &TOP_KS, item_seed, 1);
+            for (slot, &k) in TOP_KS.iter().enumerate() {
+                point.push(((sv, k), accs[slot]));
             }
-            (ei, point)
-        });
+        }
+        (ei, point)
+    });
 
     let mut buckets: BTreeMap<(usize, usize, usize), Vec<f64>> = BTreeMap::new();
     for (ei, point) in points {
@@ -66,7 +66,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
     let n_population = cfg.adult(0).n();
     let mut table = Table::new(
         "Fig 4: RS+FD[GRR] re-identification on Adult (FK-RI, uniform eps-LDP)",
-        &["eps", "surveys", "top_k", "rid_acc_mean", "rid_acc_std", "baseline"],
+        &[
+            "eps",
+            "surveys",
+            "top_k",
+            "rid_acc_mean",
+            "rid_acc_std",
+            "baseline",
+        ],
     );
     for ((ei, sv, k), accs) in buckets {
         let ms = mean_std(&accs);

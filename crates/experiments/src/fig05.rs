@@ -39,8 +39,11 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         methods: methods(PriorSpec::Incorrect(IncorrectPrior::Dirichlet)),
         eps: eps_ln_grid(),
     };
-    let t_incorrect =
-        crate::mse::run(cfg, &incorrect, "Fig 5b (ACSEmployment, incorrect DIR priors)");
+    let t_incorrect = crate::mse::run(
+        cfg,
+        &incorrect,
+        "Fig 5b (ACSEmployment, incorrect DIR priors)",
+    );
     t_incorrect.print();
     t_incorrect.write_csv(&cfg.out_dir, "fig05_incorrect.csv");
     (t_correct, t_incorrect)

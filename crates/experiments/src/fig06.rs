@@ -19,8 +19,11 @@ pub fn run(cfg: &ExpConfig) -> Table {
         models: crate::aif::paper_models(),
         eps: eps_grid(),
     };
-    let table =
-        crate::aif::run(cfg, &params, "Fig 6 (ACSEmployment, RS+RFD, correct priors)");
+    let table = crate::aif::run(
+        cfg,
+        &params,
+        "Fig 6 (ACSEmployment, RS+RFD, correct priors)",
+    );
     table.print();
     table.write_csv(&cfg.out_dir, "fig06.csv");
     table

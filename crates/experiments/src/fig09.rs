@@ -18,8 +18,11 @@ pub fn run(cfg: &ExpConfig) -> Table {
         background: Background::Full,
         n_surveys: 5,
     };
-    let table =
-        crate::smp_reident::run(cfg, &params, "Fig 9 (ACSEmployment, FK-RI, uniform eps-LDP)");
+    let table = crate::smp_reident::run(
+        cfg,
+        &params,
+        "Fig 9 (ACSEmployment, FK-RI, uniform eps-LDP)",
+    );
     table.print();
     table.write_csv(&cfg.out_dir, "fig09.csv");
     table

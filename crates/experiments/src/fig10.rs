@@ -18,8 +18,7 @@ pub fn run(cfg: &ExpConfig) -> Table {
         background: Background::Partial,
         n_surveys: 5,
     };
-    let table =
-        crate::smp_reident::run(cfg, &params, "Fig 10 (Adult, PK-RI, uniform eps-LDP)");
+    let table = crate::smp_reident::run(cfg, &params, "Fig 10 (Adult, PK-RI, uniform eps-LDP)");
     table.print();
     table.write_csv(&cfg.out_dir, "fig10.csv");
     table

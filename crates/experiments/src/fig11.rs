@@ -28,8 +28,7 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         background: Background::Partial,
         ..base
     };
-    let pk =
-        crate::smp_reident::run(cfg, &pk_params, "Fig 11 PK-RI (Adult, non-uniform eps-LDP)");
+    let pk = crate::smp_reident::run(cfg, &pk_params, "Fig 11 PK-RI (Adult, non-uniform eps-LDP)");
     pk.print();
     pk.write_csv(&cfg.out_dir, "fig11_pk.csv");
     (fk, pk)

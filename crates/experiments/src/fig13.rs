@@ -19,8 +19,7 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         background: Background::Full,
         n_surveys: 5,
     };
-    let fk =
-        crate::smp_reident::run(cfg, &base, "Fig 13 FK-RI (Adult, non-uniform alpha-PIE)");
+    let fk = crate::smp_reident::run(cfg, &base, "Fig 13 FK-RI (Adult, non-uniform alpha-PIE)");
     fk.print();
     fk.write_csv(&cfg.out_dir, "fig13_fk.csv");
 
@@ -28,8 +27,11 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         background: Background::Partial,
         ..base
     };
-    let pk =
-        crate::smp_reident::run(cfg, &pk_params, "Fig 13 PK-RI (Adult, non-uniform alpha-PIE)");
+    let pk = crate::smp_reident::run(
+        cfg,
+        &pk_params,
+        "Fig 13 PK-RI (Adult, non-uniform alpha-PIE)",
+    );
     pk.print();
     pk.write_csv(&cfg.out_dir, "fig13_pk.csv");
     (fk, pk)

@@ -12,7 +12,10 @@ use crate::{eps_grid, ExpConfig};
 pub fn run(cfg: &ExpConfig) -> Table {
     let params = AifParams {
         dataset: AifDataset::Nursery,
-        specs: RsFdProtocol::ALL.iter().map(|&p| SolutionSpec::RsFd(p)).collect(),
+        specs: RsFdProtocol::ALL
+            .iter()
+            .map(|&p| SolutionSpec::RsFd(p))
+            .collect(),
         models: crate::aif::paper_models(),
         eps: eps_grid(),
     };

@@ -12,7 +12,11 @@ use crate::{eps_grid, ExpConfig};
 /// Runs the figure; prints the table and writes `fig17.csv`.
 pub fn run(cfg: &ExpConfig) -> Table {
     let mut specs = Vec::new();
-    for prior in [IncorrectPrior::Dirichlet, IncorrectPrior::Zipf, IncorrectPrior::Exp] {
+    for prior in [
+        IncorrectPrior::Dirichlet,
+        IncorrectPrior::Zipf,
+        IncorrectPrior::Exp,
+    ] {
         for protocol in RsRfdProtocol::ALL {
             specs.push(SolutionSpec::RsRfd(protocol, PriorSpec::Incorrect(prior)));
         }
@@ -32,8 +36,11 @@ pub fn run(cfg: &ExpConfig) -> Table {
         models,
         eps: eps_grid(),
     };
-    let table =
-        crate::aif::run(cfg, &params, "Fig 17 (ACSEmployment, RS+RFD, incorrect priors)");
+    let table = crate::aif::run(
+        cfg,
+        &params,
+        "Fig 17 (ACSEmployment, RS+RFD, incorrect priors)",
+    );
     table.print();
     table.write_csv(&cfg.out_dir, "fig17.csv");
     table

@@ -5,10 +5,11 @@
 use std::collections::BTreeMap;
 
 use ldp_core::metrics::{mean_std, mse_avg};
-use ldp_core::solutions::{MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
+use ldp_core::solutions::{RsFd, RsFdProtocol, RsRfd, RsRfdProtocol};
 use ldp_datasets::Dataset;
 use ldp_protocols::hash::{mix2, mix3};
 use ldp_sim::par::par_map;
+use ldp_sim::CollectionPipeline;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,7 +62,10 @@ fn load(cfg: &ExpConfig, choice: AifDataset, run: u64) -> Dataset {
 /// attributes and values (the paper's Fig. 16 analytic curves); for RS+RFD it
 /// uses the run-0 priors.
 pub fn run(cfg: &ExpConfig, params: &MseParams, fig: &str) -> Table {
-    let fig_seed = mix2(cfg.seed, fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))));
+    let fig_seed = mix2(
+        cfg.seed,
+        fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))),
+    );
     let grid: Vec<(usize, usize, u64)> = (0..params.methods.len())
         .flat_map(|mi| {
             (0..params.eps.len())
@@ -72,41 +76,39 @@ pub fn run(cfg: &ExpConfig, params: &MseParams, fig: &str) -> Table {
     let measurements: Vec<(usize, usize, f64, f64)> = par_map(grid.len(), cfg.threads, |g| {
         let (mi, ei, run) = grid[g];
         let eps = params.eps[ei];
-        let mut rng = StdRng::seed_from_u64(mix3(fig_seed, g as u64, run));
+        let collect_seed = mix3(fig_seed, g as u64, run);
+        let mut rng = StdRng::seed_from_u64(collect_seed);
         let dataset = load(cfg, params.dataset, run);
         let ks = dataset.schema().cardinalities();
         let truth = dataset.marginals();
         let n = dataset.n();
 
-        let (estimate, analytic) = match params.methods[mi] {
+        // Each grid point is already one parallel work item, so the inner
+        // pipeline streams single-threaded: sanitize → absorb, no buffering.
+        let (solution, analytic) = match params.methods[mi] {
             MseMethod::RsFd(protocol) => {
                 let solution = RsFd::new(protocol, &ks, eps).expect("rsfd construction");
-                let reports: Vec<MultidimReport> = dataset
-                    .rows()
-                    .map(|t| solution.report(t, &mut rng))
-                    .collect();
                 let analytic = (0..ks.len())
                     .map(|j| solution.approx_variance(j, n))
                     .sum::<f64>()
                     / ks.len() as f64;
-                (solution.estimate(&reports), analytic)
+                (solution.into(), analytic)
             }
             MseMethod::RsRfd(protocol, prior_spec) => {
                 let priors = prior_spec.build(&dataset, &mut rng);
-                let solution =
-                    RsRfd::new(protocol, &ks, eps, priors).expect("rsrfd construction");
-                let reports: Vec<MultidimReport> = dataset
-                    .rows()
-                    .map(|t| solution.report(t, &mut rng))
-                    .collect();
+                let solution = RsRfd::new(protocol, &ks, eps, priors).expect("rsrfd construction");
                 let analytic = (0..ks.len())
                     .map(|j| solution.approx_variance_avg(j, n))
                     .sum::<f64>()
                     / ks.len() as f64;
-                (solution.estimate(&reports), analytic)
+                (solution.into(), analytic)
             }
         };
-        (mi, ei, mse_avg(&truth, &estimate), analytic)
+        let out = CollectionPipeline::new(solution)
+            .seed(collect_seed)
+            .threads(1)
+            .run(&dataset);
+        (mi, ei, mse_avg(&truth, &out.estimates), analytic)
     });
 
     let mut buckets: BTreeMap<(usize, usize), (Vec<f64>, f64)> = BTreeMap::new();

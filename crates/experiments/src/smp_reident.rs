@@ -81,14 +81,17 @@ pub fn run(cfg: &ExpConfig, params: &SmpReidentParams, fig: &str) -> Table {
         XAxis::Epsilon(_) => "eps",
         XAxis::Beta(_) => "beta",
     };
-    let fig_seed = mix2(cfg.seed, fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))));
+    let fig_seed = mix2(
+        cfg.seed,
+        fig.bytes().fold(0u64, |h, b| mix2(h, u64::from(b))),
+    );
 
     // Flatten the (kind, x, run) grid for outer-loop parallelism.
     let grid: Vec<(usize, usize, u64)> = (0..params.kinds.len())
         .flat_map(|ki| {
-            xs.iter().enumerate().flat_map(move |(xi, _)| {
-                (0..cfg.runs as u64).map(move |run| (ki, xi, run))
-            })
+            xs.iter()
+                .enumerate()
+                .flat_map(move |(xi, _)| (0..cfg.runs as u64).map(move |run| (ki, xi, run)))
         })
         .collect();
 
@@ -146,7 +149,13 @@ pub fn run(cfg: &ExpConfig, params: &SmpReidentParams, fig: &str) -> Table {
     let mut table = Table::new(
         format!("{fig}: SMP re-identification (RID-ACC %)"),
         &[
-            "protocol", x_label, "surveys", "top_k", "rid_acc_mean", "rid_acc_std", "baseline",
+            "protocol",
+            x_label,
+            "surveys",
+            "top_k",
+            "rid_acc_mean",
+            "rid_acc_std",
+            "baseline",
         ],
     );
     for ((ki, xi, sv, k), accs) in buckets {

@@ -93,7 +93,10 @@ impl GbdtClassifier {
     ) -> Self {
         assert_eq!(x.n_rows(), y.len(), "labels must match rows");
         assert!(n_classes >= 1, "need at least one class");
-        assert!(y.iter().all(|&c| (c as usize) < n_classes), "label out of range");
+        assert!(
+            y.iter().all(|&c| (c as usize) < n_classes),
+            "label out of range"
+        );
         assert!(params.subsample > 0.0 && params.subsample <= 1.0);
         assert!(params.colsample > 0.0 && params.colsample <= 1.0);
 
@@ -146,13 +149,19 @@ impl GbdtClassifier {
 
                 let mut rows: Vec<u32> = if params.subsample < 1.0 {
                     let m = ((n as f64 * params.subsample) as usize).max(1);
-                    sample(&mut rng, n, m).into_iter().map(|i| i as u32).collect()
+                    sample(&mut rng, n, m)
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect()
                 } else {
                     (0..n as u32).collect()
                 };
                 let features: Vec<u32> = if params.colsample < 1.0 && f > 1 {
                     let m = ((f as f64 * params.colsample) as usize).clamp(1, f);
-                    sample(&mut rng, f, m).into_iter().map(|i| i as u32).collect()
+                    sample(&mut rng, f, m)
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect()
                 } else {
                     (0..f as u32).collect()
                 };
@@ -325,7 +334,10 @@ mod tests {
         let y: Vec<u32> = (0..100).map(|i| u32::from(i >= 90)).collect();
         let model = GbdtClassifier::fit(&x, &y, 2, &GbdtParams::default(), 3);
         let pred = model.predict(&x);
-        assert!(pred.iter().all(|&c| c == 0), "should predict majority class");
+        assert!(
+            pred.iter().all(|&c| c == 0),
+            "should predict majority class"
+        );
     }
 
     #[test]
@@ -369,9 +381,6 @@ mod tests {
         let model = GbdtClassifier::fit(&x, &y, 2, &params, 5);
         let imp = model.feature_importance(2);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(
-            imp[0] > 0.7,
-            "informative feature should dominate: {imp:?}"
-        );
+        assert!(imp[0] > 0.7, "informative feature should dominate: {imp:?}");
     }
 }

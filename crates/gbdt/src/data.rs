@@ -22,7 +22,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), n_cols, "ragged feature rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { data, n_rows, n_cols }
+        DenseMatrix {
+            data,
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -31,7 +35,11 @@ impl DenseMatrix {
     /// Panics when `data.len() != n_rows * n_cols`.
     pub fn from_flat(data: Vec<f32>, n_rows: usize, n_cols: usize) -> Self {
         assert_eq!(data.len(), n_rows * n_cols, "flat buffer size mismatch");
-        DenseMatrix { data, n_rows, n_cols }
+        DenseMatrix {
+            data,
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Number of rows (samples).
@@ -99,9 +107,17 @@ impl BinningSpec {
                 max_bins
             };
             n_bins.push(bins.max(1));
-            widths.push(if bins > 1 { range / f32::from(bins - 1) } else { 1.0 });
+            widths.push(if bins > 1 {
+                range / f32::from(bins - 1)
+            } else {
+                1.0
+            });
         }
-        BinningSpec { los, widths, n_bins }
+        BinningSpec {
+            los,
+            widths,
+            n_bins,
+        }
     }
 
     /// Bin index of value `x` for feature `j`.
@@ -138,7 +154,12 @@ impl BinnedMatrix {
                 bins.push(spec.bin(j, v));
             }
         }
-        BinnedMatrix { bins, n_rows, n_cols, spec }
+        BinnedMatrix {
+            bins,
+            n_rows,
+            n_cols,
+            spec,
+        }
     }
 
     /// Number of rows.

@@ -67,7 +67,10 @@ impl LogisticRegression {
     ) -> Self {
         assert_eq!(x.n_rows(), y.len(), "labels must match rows");
         assert!(n_classes >= 1);
-        assert!(y.iter().all(|&c| (c as usize) < n_classes), "label out of range");
+        assert!(
+            y.iter().all(|&c| (c as usize) < n_classes),
+            "label out of range"
+        );
         let n = x.n_rows();
         let f = x.n_cols();
         let mut weights = vec![vec![0.0f64; f + 1]; n_classes];

@@ -7,11 +7,7 @@
 pub fn accuracy(y_true: &[u32], y_pred: &[u32]) -> f64 {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
     assert!(!y_true.is_empty(), "empty label vectors");
-    let hits = y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|(a, b)| a == b)
-        .count();
+    let hits = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
     hits as f64 / y_true.len() as f64
 }
 

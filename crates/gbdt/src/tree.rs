@@ -161,11 +161,8 @@ impl<'a> Builder<'a> {
                 if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
                     continue;
                 }
-                let gain =
-                    gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score;
-                if gain > self.params.gamma
-                    && best.as_ref().is_none_or(|b| gain > b.gain)
-                {
+                let gain = gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score;
+                if gain > self.params.gamma && best.as_ref().is_none_or(|b| gain > b.gain) {
                     best = Some(BestSplit {
                         feature: f,
                         threshold_bin: b as u16,
@@ -379,8 +376,7 @@ mod tests {
         let grad = vec![0.0];
         let hess = vec![0.0];
         let mut rows: Vec<u32> = vec![];
-        let tree =
-            RegressionTree::fit(&x, &grad, &hess, &mut rows, &[0], &TreeParams::default());
+        let tree = RegressionTree::fit(&x, &grad, &hess, &mut rows, &[0], &TreeParams::default());
         assert_eq!(tree.predict_binned(&[0]), 0.0);
     }
 }

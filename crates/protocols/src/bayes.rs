@@ -47,8 +47,7 @@ fn likelihoods(oracle: &Oracle, report: &Report) -> Vec<f64> {
                         ss.p()
                     } else {
                         // v ∉ Ω: true value was excluded.
-                        (1.0 - ss.p()) / (k as f64 - ss.omega() as f64).max(1.0)
-                            * ss.omega() as f64
+                        (1.0 - ss.p()) / (k as f64 - ss.omega() as f64).max(1.0) * ss.omega() as f64
                     }
                 })
                 .collect()
@@ -58,7 +57,13 @@ fn likelihoods(oracle: &Oracle, report: &Report) -> Vec<f64> {
             // bit at position v: p vs q if set, (1−p) vs (1−q) if clear.
             let (p, q) = (ue.p(), ue.q());
             (0..k)
-                .map(|v| if bits.get(v) { p / q } else { (1.0 - p) / (1.0 - q) })
+                .map(|v| {
+                    if bits.get(v) {
+                        p / q
+                    } else {
+                        (1.0 - p) / (1.0 - q)
+                    }
+                })
                 .collect()
         }
         // Mismatched shapes carry no information.
@@ -194,7 +199,10 @@ mod tests {
         let uniform = vec![0.2; 5];
         let post = posterior(&oracle, &Report::Value(2), &uniform);
         assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert!(post[2] > 0.5, "posterior should peak at the report: {post:?}");
+        assert!(
+            post[2] > 0.5,
+            "posterior should peak at the report: {post:?}"
+        );
         for v in [0usize, 1, 3, 4] {
             assert!(post[v] < post[2]);
         }

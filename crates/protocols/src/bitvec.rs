@@ -49,7 +49,11 @@ impl BitVec {
     /// Panics if `index >= len`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.blocks[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -59,7 +63,11 @@ impl BitVec {
     /// Panics if `index >= len`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if value {
             self.blocks[index / 64] |= mask;

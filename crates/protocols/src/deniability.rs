@@ -64,9 +64,7 @@ pub fn best_guess<R: Rng + ?Sized>(oracle: &Oracle, report: &Report, rng: &mut R
 pub fn best_guess_report<R: Rng + ?Sized>(report: &Report, k: usize, rng: &mut R) -> u32 {
     match report {
         Report::Value(v) => *v,
-        Report::Subset(subset) if !subset.is_empty() => {
-            subset[rng.random_range(0..subset.len())]
-        }
+        Report::Subset(subset) if !subset.is_empty() => subset[rng.random_range(0..subset.len())],
         Report::Bits(bits) => {
             let ones = bits.ones_vec();
             match ones.len() {

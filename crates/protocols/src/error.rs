@@ -69,7 +69,10 @@ mod tests {
         assert!(e.to_string().contains("-1"));
         let e = ProtocolError::DomainTooSmall(1);
         assert!(e.to_string().contains('1'));
-        let e = ProtocolError::ValueOutOfRange { value: 9, domain: 4 };
+        let e = ProtocolError::ValueOutOfRange {
+            value: 9,
+            domain: 4,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
     }
 

@@ -126,7 +126,10 @@ mod tests {
                 other => panic!("unexpected report shape {other:?}"),
             }
         }
-        assert!(seen.iter().all(|&s| s), "all values should appear at eps=0.5");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values should appear at eps=0.5"
+        );
     }
 
     #[test]

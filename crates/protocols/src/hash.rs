@@ -90,7 +90,10 @@ mod tests {
         let expected = f64::from(k) * seeds as f64 / f64::from(g);
         for &b in &buckets {
             let rel = (b as f64 - expected).abs() / expected;
-            assert!(rel < 0.05, "bucket load {b} too far from expected {expected}");
+            assert!(
+                rel < 0.05,
+                "bucket load {b} too far from expected {expected}"
+            );
         }
     }
 

@@ -165,7 +165,14 @@ mod tests {
         if let Report::Hashed { seed, value, .. } = report {
             for v in 0..16u32 {
                 assert_eq!(
-                    o.supports(&Report::Hashed { seed, g: o.g(), value }, v),
+                    o.supports(
+                        &Report::Hashed {
+                            seed,
+                            g: o.g(),
+                            value
+                        },
+                        v
+                    ),
                     o.hash(seed, v) == value
                 );
             }

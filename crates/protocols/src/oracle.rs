@@ -122,12 +122,8 @@ impl ProtocolKind {
             ProtocolKind::Grr => Oracle::Grr(Grr::new(k, epsilon)?),
             ProtocolKind::Olh => Oracle::Olh(Olh::new(k, epsilon)?),
             ProtocolKind::Ss => Oracle::Ss(SubsetSelection::new(k, epsilon)?),
-            ProtocolKind::Sue => {
-                Oracle::Ue(UnaryEncoding::new(k, epsilon, UeMode::Symmetric)?)
-            }
-            ProtocolKind::Oue => {
-                Oracle::Ue(UnaryEncoding::new(k, epsilon, UeMode::Optimized)?)
-            }
+            ProtocolKind::Sue => Oracle::Ue(UnaryEncoding::new(k, epsilon, UeMode::Symmetric)?),
+            ProtocolKind::Oue => Oracle::Ue(UnaryEncoding::new(k, epsilon, UeMode::Optimized)?),
         })
     }
 }
@@ -246,35 +242,23 @@ impl<'a, O: FrequencyOracle> Aggregator<'a, O> {
     /// report supports.
     pub fn absorb(&mut self, report: &Report) {
         self.n += 1;
-        match report {
-            // Fast paths that avoid scanning the whole domain.
-            Report::Value(v) => {
-                if let Some(c) = self.counts.get_mut(*v as usize) {
-                    *c += 1;
-                }
-            }
-            Report::Subset(subset) => {
-                for &v in subset {
-                    if let Some(c) = self.counts.get_mut(v as usize) {
-                        *c += 1;
-                    }
-                }
-            }
-            Report::Bits(bits) => {
-                for idx in bits.ones() {
-                    if let Some(c) = self.counts.get_mut(idx) {
-                        *c += 1;
-                    }
-                }
-            }
-            // OLH needs the oracle's hash evaluation over the full domain.
-            Report::Hashed { .. } => {
-                for v in 0..self.counts.len() {
-                    if self.oracle.supports(report, v as u32) {
-                        self.counts[v] += 1;
-                    }
-                }
-            }
+        count_support(self.oracle, &mut self.counts, report);
+    }
+
+    /// Folds another aggregator's state into this one, so shards filled in
+    /// parallel can be combined into a single estimate.
+    ///
+    /// # Panics
+    /// Panics when the two aggregators cover different domain sizes.
+    pub fn merge(&mut self, other: &Aggregator<'_, O>) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge aggregators over different domains"
+        );
+        self.n += other.n;
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
         }
     }
 
@@ -312,6 +296,64 @@ impl<'a, O: FrequencyOracle> Aggregator<'a, O> {
     /// everything clamps to zero).
     pub fn estimate_normalized(&self) -> Vec<f64> {
         normalize_simplex(&self.estimate())
+    }
+}
+
+/// Adds one report's support to a raw count vector — the oracle-aware
+/// counting path shared by [`Aggregator::absorb`] and the SPL/SMP arms of
+/// the multidimensional streaming aggregator one layer up (fake-data tuples,
+/// which never need oracle support evaluation, have a direct sibling in
+/// `ldp_core`).
+///
+/// Out-of-domain reports (a `Value` ≥ k, a bit vector of the wrong width, a
+/// subset entry ≥ k) trip a `debug_assert` so malformed inputs fail loudly
+/// in tests; release builds skip the stray entries, matching the historical
+/// behavior.
+pub fn count_support<O: FrequencyOracle>(oracle: &O, counts: &mut [u64], report: &Report) {
+    match report {
+        // Fast paths that avoid scanning the whole domain.
+        Report::Value(v) => {
+            debug_assert!(
+                (*v as usize) < counts.len(),
+                "report value {v} outside domain of size {}",
+                counts.len()
+            );
+            if let Some(c) = counts.get_mut(*v as usize) {
+                *c += 1;
+            }
+        }
+        Report::Subset(subset) => {
+            for &v in subset {
+                debug_assert!(
+                    (v as usize) < counts.len(),
+                    "subset entry {v} outside domain of size {}",
+                    counts.len()
+                );
+                if let Some(c) = counts.get_mut(v as usize) {
+                    *c += 1;
+                }
+            }
+        }
+        Report::Bits(bits) => {
+            debug_assert_eq!(
+                bits.len(),
+                counts.len(),
+                "bit-vector report width does not match the domain"
+            );
+            for idx in bits.ones() {
+                if let Some(c) = counts.get_mut(idx) {
+                    *c += 1;
+                }
+            }
+        }
+        // OLH needs the oracle's hash evaluation over the full domain.
+        Report::Hashed { .. } => {
+            for (v, c) in counts.iter_mut().enumerate() {
+                if oracle.supports(report, v as u32) {
+                    *c += 1;
+                }
+            }
+        }
     }
 }
 
@@ -389,6 +431,45 @@ mod tests {
                 "{kind}: estimates sum to {total}"
             );
         }
+    }
+
+    #[test]
+    fn merged_shards_match_sequential_absorption() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for kind in ProtocolKind::ALL {
+            let o = kind.build(6, 2.0).unwrap();
+            let reports: Vec<Report> = (0..600u32).map(|i| o.randomize(i % 6, &mut rng)).collect();
+            let mut sequential = Aggregator::new(&o);
+            for r in &reports {
+                sequential.absorb(r);
+            }
+            let mut shards = [
+                Aggregator::new(&o),
+                Aggregator::new(&o),
+                Aggregator::new(&o),
+            ];
+            for (i, r) in reports.iter().enumerate() {
+                shards[i % 3].absorb(r);
+            }
+            let mut merged = Aggregator::new(&o);
+            for s in &shards {
+                merged.merge(s);
+            }
+            assert_eq!(sequential.n(), merged.n());
+            assert_eq!(sequential.counts(), merged.counts());
+            for (a, b) in sequential.estimate().iter().zip(merged.estimate()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind}: merge must be exact");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside domain")]
+    fn absorb_rejects_out_of_domain_value_in_debug() {
+        let o = ProtocolKind::Grr.build(4, 1.0).unwrap();
+        let mut agg = Aggregator::new(&o);
+        agg.absorb(&Report::Value(9));
     }
 
     #[test]

@@ -14,7 +14,12 @@ use crate::ProtocolError;
 
 /// Approximate per-value estimator variance (`f → 0`) of a protocol:
 /// `q(1−q) / (n (p−q)²)` with its effective estimator pair.
-pub fn approx_variance(kind: ProtocolKind, k: usize, epsilon: f64, n: usize) -> Result<f64, ProtocolError> {
+pub fn approx_variance(
+    kind: ProtocolKind,
+    k: usize,
+    epsilon: f64,
+    n: usize,
+) -> Result<f64, ProtocolError> {
     let oracle = kind.build(k, epsilon)?;
     Ok(oracle.variance(0.0, n))
 }
@@ -90,7 +95,11 @@ mod tests {
     #[test]
     fn small_domains_may_use_grr() {
         let rec = recommend(2, 0.5, 10_000).unwrap();
-        assert_eq!(rec.kind, ProtocolKind::Grr, "binary domains favor GRR: {rec:?}");
+        assert_eq!(
+            rec.kind,
+            ProtocolKind::Grr,
+            "binary domains favor GRR: {rec:?}"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl FrequencyOracle for SubsetSelection {
     fn randomize<R: Rng + ?Sized>(&self, value: u32, rng: &mut R) -> Report {
         debug_assert!((value as usize) < self.k, "value out of domain");
         let include_true = rng.random::<f64>() < self.p;
-        let fill = if include_true { self.omega - 1 } else { self.omega };
+        let fill = if include_true {
+            self.omega - 1
+        } else {
+            self.omega
+        };
         let mut subset = Vec::with_capacity(self.omega);
         if include_true {
             subset.push(value);

@@ -1,8 +1,6 @@
 //! Property-based tests over the frequency-oracle protocols.
 
-use ldp_protocols::{
-    deniability, Aggregator, BitVec, FrequencyOracle, ProtocolKind, Report,
-};
+use ldp_protocols::{deniability, Aggregator, BitVec, FrequencyOracle, ProtocolKind, Report};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -80,8 +80,11 @@ fn variance_closed_form_matches_monte_carlo_for_every_protocol() {
             estimates.push(agg.estimate()[target]);
         }
         let mean = estimates.iter().sum::<f64>() / reps as f64;
-        let var =
-            estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / reps as f64;
+        let var = estimates
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / reps as f64;
         let predicted = oracle.variance(pmf[target], n);
         let rel = (var - predicted).abs() / predicted;
         assert!(

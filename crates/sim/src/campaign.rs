@@ -5,12 +5,10 @@
 use ldp_core::pie::{self, PieDecision};
 use ldp_core::profiling::Profile;
 use ldp_datasets::Dataset;
-use ldp_protocols::hash::mix3;
 use ldp_protocols::{deniability, FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
-use crate::par::par_chunks;
+use crate::par::par_users;
 use crate::survey::SurveyPlan;
 
 /// Privacy model the server enforces per attribute.
@@ -68,7 +66,9 @@ impl SmpCampaign {
         let mechanisms = ks
             .iter()
             .map(|&k| match model {
-                PrivacyModel::Ldp { epsilon } => Ok(AttrMechanism::Oracle(kind.build(k, *epsilon)?)),
+                PrivacyModel::Ldp { epsilon } => {
+                    Ok(AttrMechanism::Oracle(kind.build(k, *epsilon)?))
+                }
                 PrivacyModel::Pie { beta } => match pie::decide(*beta, n, k) {
                     PieDecision::PassThrough => Ok(AttrMechanism::Pass),
                     PieDecision::Randomize { epsilon } => {
@@ -109,17 +109,16 @@ impl SmpCampaign {
         seed: u64,
         threads: usize,
     ) -> Vec<Vec<Profile>> {
-        assert_eq!(dataset.d(), self.d(), "dataset does not match campaign schema");
+        assert_eq!(
+            dataset.d(),
+            self.d(),
+            "dataset does not match campaign schema"
+        );
         let n = dataset.n();
         let n_surveys = plan.n_surveys();
         // Per-user sequential simulation, users in parallel.
-        let per_user: Vec<Vec<Profile>> = par_chunks(n, threads, |range| {
-            range
-                .map(|uid| {
-                    let mut rng = StdRng::seed_from_u64(mix3(seed, uid as u64, 0x005A_3D17));
-                    self.simulate_user(dataset.row(uid), plan, &mut rng)
-                })
-                .collect()
+        let per_user: Vec<Vec<Profile>> = par_users(n, threads, seed, 0x005A_3D17, |uid, rng| {
+            self.simulate_user(dataset.row(uid), plan, rng)
         });
         // Transpose user-major → survey-major.
         let mut snapshots = vec![Vec::with_capacity(n); n_surveys];

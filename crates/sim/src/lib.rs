@@ -12,16 +12,21 @@
 //! * [`rsfd_campaign`] — the Fig. 4 pipeline: RS+FD collection where the
 //!   adversary must first *infer* the sampled attribute with the §3.3
 //!   classifier before profiling.
+//! * [`pipeline::CollectionPipeline`] — the streaming frequency-estimation
+//!   pipeline: dataset → solution → sharded aggregators → merged estimates,
+//!   memory-flat in the population size.
 //! * [`par`] — deterministic scoped-thread parallel helpers used by the heavy
 //!   sweeps.
 
 pub mod campaign;
 pub mod composition;
 pub mod par;
+pub mod pipeline;
 pub mod rsfd_campaign;
 pub mod survey;
 
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
+pub use pipeline::{CollectionPipeline, CollectionRun};
 pub use rsfd_campaign::{run_rsfd_campaign, RsFdCampaignConfig};
 pub use survey::SurveyPlan;
 
@@ -66,9 +71,7 @@ pub fn rid_acc_multi(
             .collect()
     });
     (0..top_ks.len())
-        .map(|slot| {
-            100.0 * hits.iter().filter(|h| h[slot]).count() as f64 / profiles.len() as f64
-        })
+        .map(|slot| 100.0 * hits.iter().filter(|h| h[slot]).count() as f64 / profiles.len() as f64)
         .collect()
 }
 

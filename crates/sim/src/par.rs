@@ -41,6 +41,27 @@ where
     flat
 }
 
+/// Maps `f` over the users `0..n` in parallel, handing each user its own
+/// [`StdRng`] derived from `(seed, uid, salt)` — the single sharding idiom
+/// shared by the campaigns and the collection pipeline. Deterministic in
+/// `seed`, independent of `threads`.
+pub fn par_users<T, F>(n: usize, threads: usize, seed: u64, salt: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut rand::rngs::StdRng) -> T + Sync,
+{
+    use ldp_protocols::hash::mix3;
+    use rand::SeedableRng;
+    par_chunks(n, threads, |range| {
+        range
+            .map(|uid| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(mix3(seed, uid as u64, salt));
+                f(uid, &mut rng)
+            })
+            .collect()
+    })
+}
+
 /// Maps `f` over `0..n` in parallel, one output per index, in order.
 pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where

@@ -17,7 +17,7 @@ use ldp_protocols::ProtocolError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::par::par_chunks;
+use crate::par::par_users;
 use crate::survey::SurveyPlan;
 
 /// Configuration of an RS+FD re-identification campaign.
@@ -59,25 +59,19 @@ pub fn run_rsfd_campaign(
         // Users sample (uniform metric: without replacement on *global*
         // attribute ids) and sanitize, in parallel.
         let sv_seed = mix3(seed, sv as u64, 0xF00D_CAFE);
-        let reports: Vec<(MultidimReport, usize)> = par_chunks(n, threads, |range| {
-            range
-                .map(|uid| {
-                    let mut rng =
-                        StdRng::seed_from_u64(mix3(sv_seed, uid as u64, 0x000F_DCA3));
-                    let fresh: Vec<usize> = (0..attrs.len())
-                        .filter(|&li| !already[uid][attrs[li]])
-                        .collect();
-                    let local = if fresh.is_empty() {
-                        rng.random_range(0..attrs.len())
-                    } else {
-                        fresh[rng.random_range(0..fresh.len())]
-                    };
-                    let tuple: Vec<u32> =
-                        attrs.iter().map(|&a| dataset.value(uid, a)).collect();
-                    (rsfd.report_with_sampled(&tuple, local, &mut rng), local)
-                })
-                .collect()
-        });
+        let reports: Vec<(MultidimReport, usize)> =
+            par_users(n, threads, sv_seed, 0x000F_DCA3, |uid, rng| {
+                let fresh: Vec<usize> = (0..attrs.len())
+                    .filter(|&li| !already[uid][attrs[li]])
+                    .collect();
+                let local = if fresh.is_empty() {
+                    rng.random_range(0..attrs.len())
+                } else {
+                    fresh[rng.random_range(0..fresh.len())]
+                };
+                let tuple: Vec<u32> = attrs.iter().map(|&a| dataset.value(uid, a)).collect();
+                (rsfd.report_with_sampled(&tuple, local, rng), local)
+            });
         for (uid, &(_, local)) in reports.iter().enumerate() {
             already[uid][attrs[local]] = true;
         }
@@ -97,9 +91,7 @@ pub fn run_rsfd_campaign(
         let predicted = attack.predict(&observed.iter().collect::<Vec<_>>());
 
         // Chain: predicted attribute → deniability guess on its report.
-        for (uid, (&pred_local, (report, _))) in
-            predicted.iter().zip(reports.iter()).enumerate()
-        {
+        for (uid, (&pred_local, (report, _))) in predicted.iter().zip(reports.iter()).enumerate() {
             let pred_local = pred_local as usize;
             let global = attrs[pred_local];
             let k = ks[pred_local];

@@ -102,8 +102,7 @@ mod tests {
     fn survey_sizes_vary_across_draws() {
         let mut rng = StdRng::seed_from_u64(2);
         let plan = SurveyPlan::generate(10, 50, &mut rng);
-        let sizes: std::collections::HashSet<usize> =
-            plan.iter().map(<[usize]>::len).collect();
+        let sizes: std::collections::HashSet<usize> = plan.iter().map(<[usize]>::len).collect();
         assert!(sizes.len() > 1, "sizes never varied: {sizes:?}");
     }
 

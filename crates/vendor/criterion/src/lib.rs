@@ -1,0 +1,211 @@
+//! Offline, API-compatible subset of `criterion` (the build environment has
+//! no crates.io access; see `crates/vendor/README.md`).
+//!
+//! Implements a plain wall-clock micro-benchmark harness behind the familiar
+//! `criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! [`Bencher::iter`] surface. Each benchmark is warmed up, then timed in
+//! geometrically growing batches until a ~200 ms budget is spent, and the
+//! mean per-iteration time is printed.
+//!
+//! When the binary receives a `--test` argument — which is what `cargo test`
+//! passes to `harness = false` bench targets — every benchmark body runs
+//! exactly once as a smoke test and nothing is timed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    last_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, or runs it once in `--test` mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up.
+        std::hint::black_box(f());
+        let budget = Duration::from_millis(200);
+        let mut iters: u64 = 1;
+        let mut total = Duration::ZERO;
+        let mut done: u64 = 0;
+        while total < budget && done < 10_000_000 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            done += iters;
+            iters = iters.saturating_mul(2);
+        }
+        self.last_ns_per_iter = Some(total.as_nanos() as f64 / done as f64);
+    }
+}
+
+/// Identifies one parameterized benchmark, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver. Construct via [`Criterion::default`] (normally done
+/// by `criterion_group!`).
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.quick, None, id.into_id(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its own sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.criterion.quick, Some(&self.name), id.into_id(), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.criterion.quick, Some(&self.name), id.into_id(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(quick: bool, group: Option<&str>, id: String, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id,
+    };
+    let mut bencher = Bencher {
+        quick,
+        last_ns_per_iter: None,
+    };
+    f(&mut bencher);
+    match bencher.last_ns_per_iter {
+        Some(ns) if ns >= 1_000_000.0 => println!("{full:<60} {:>12.3} ms/iter", ns / 1e6),
+        Some(ns) if ns >= 1_000.0 => println!("{full:<60} {:>12.3} µs/iter", ns / 1e3),
+        Some(ns) => println!("{full:<60} {ns:>12.1} ns/iter"),
+        None => println!("{full:<60} ok (test mode)"),
+    }
+}
+
+/// Re-export matching criterion's convenience path.
+pub mod black_box_mod {}
+
+/// Identity function preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

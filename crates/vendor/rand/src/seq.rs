@@ -1,0 +1,126 @@
+//! Sequence-related helpers: in-place shuffling and index sampling without
+//! replacement.
+
+use crate::Rng;
+
+/// Extension trait adding random operations to slices.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Index sampling without replacement.
+pub mod index {
+    use crate::Rng;
+
+    /// A set of distinct indices in `0..length`, in sampled order.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no index was sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes into the underlying vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length` via a partial
+    /// Fisher–Yates pass. Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from 0..{length}"
+        );
+        let mut idx: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.random_range(i..length);
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        IndexVec(idx)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn sample_yields_distinct_in_range_indices() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..100 {
+                let v = sample(&mut rng, 20, 7).into_vec();
+                assert_eq!(v.len(), 7);
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 7, "duplicates in {v:?}");
+                assert!(v.iter().all(|&i| i < 20));
+            }
+        }
+
+        #[test]
+        fn sample_full_length_is_a_permutation() {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut v = sample(&mut rng, 10, 10).into_vec();
+            v.sort_unstable();
+            assert_eq!(v, (0..10).collect::<Vec<_>>());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffleable(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    fn shuffleable<R: Rng + ?Sized>(v: &mut [u32], rng: &mut R) {
+        v.shuffle(rng);
+    }
+}

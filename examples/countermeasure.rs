@@ -42,7 +42,10 @@ fn main() {
     let reports: Vec<_> = dataset.rows().map(|t| rsfd.report(t, &mut rng)).collect();
     let mse = mse_avg(&truth, &rsfd.estimate(&reports));
     let attack = SampledAttributeAttack::evaluate(&rsfd, &reports, &nk, &classifier, &mut rng);
-    println!("{:<26} {:>10.6} {:>12.1}", "RS+FD[GRR]", mse, attack.aif_acc);
+    println!(
+        "{:<26} {:>10.6} {:>12.1}",
+        "RS+FD[GRR]", mse, attack.aif_acc
+    );
 
     // RS+RFD with "correct" Census-style priors.
     let priors = correct_priors_scaled(&dataset, 0.1, ACS_EMPLOYMENT_N, &mut rng);

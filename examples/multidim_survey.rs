@@ -2,15 +2,22 @@
 //! user attributes under one ε budget, comparing the three collection
 //! solutions of the paper (SPL, SMP, RS+FD) plus the RS+RFD countermeasure.
 //!
+//! This is the streaming-first API in one screen: every solution is chosen
+//! at runtime through [`SolutionKind`], and [`CollectionPipeline`] wires
+//! dataset → solution → sharded aggregators → merged estimates without ever
+//! buffering a report — server memory stays `O(threads · Σ_j k_j)` whether
+//! the population is 30 thousand or 30 million users.
+//!
 //! ```sh
 //! cargo run --release --example multidim_survey
 //! ```
 
 use ldp_core::metrics::mse_avg;
-use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol, Smp, Spl};
+use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
 use ldp_datasets::priors::correct_priors;
 use ldp_datasets::{Dataset, GeneratorConfig, LatentClassGenerator, Schema};
 use ldp_protocols::ProtocolKind;
+use ldp_sim::CollectionPipeline;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,35 +52,41 @@ fn main() {
     let ds = population(n, 7);
     let ks = ds.schema().cardinalities();
     let truth = ds.marginals();
-    let mut rng = StdRng::seed_from_u64(99);
 
     println!("d = {}, n = {n}, epsilon = {epsilon}\n", ds.d());
     println!("{:<28} {:>12}", "solution", "MSE_avg");
 
-    // SPL: split the budget (the paper's high-error baseline).
-    let spl = Spl::new(ProtocolKind::Grr, &ks, epsilon).expect("spl");
-    let spl_reports: Vec<_> = ds.rows().map(|t| spl.report(t, &mut rng)).collect();
-    println!("{:<28} {:>12.6}", "SPL[GRR] (eps/d)", mse_avg(&truth, &spl.estimate(&spl_reports)));
-
-    // SMP: sample one attribute, full budget — discloses the sampled attribute.
-    let smp = Smp::new(ProtocolKind::Grr, &ks, epsilon).expect("smp");
-    let smp_reports: Vec<_> = ds.rows().map(|t| smp.report(t, &mut rng)).collect();
-    println!("{:<28} {:>12.6}", "SMP[GRR]", mse_avg(&truth, &smp.estimate(&smp_reports)));
-
-    // RS+FD: hide the sampled attribute behind uniform fakes.
-    let rsfd = RsFd::new(RsFdProtocol::Grr, &ks, epsilon).expect("rsfd");
-    let rsfd_reports: Vec<_> = ds.rows().map(|t| rsfd.report(t, &mut rng)).collect();
-    println!("{:<28} {:>12.6}", "RS+FD[GRR]", mse_avg(&truth, &rsfd.estimate(&rsfd_reports)));
+    // SPL splits the budget (the paper's high-error baseline), SMP samples
+    // one attribute but discloses which, RS+FD hides it behind uniform
+    // fakes. One construction path, one streaming pipeline for all three.
+    for kind in [
+        SolutionKind::Spl(ProtocolKind::Grr),
+        SolutionKind::Smp(ProtocolKind::Grr),
+        SolutionKind::RsFd(RsFdProtocol::Grr),
+    ] {
+        let run = CollectionPipeline::from_kind(kind, &ks, epsilon)
+            .expect("valid configuration")
+            .seed(99)
+            .run(&ds);
+        println!(
+            "{:<28} {:>12.6}",
+            kind.name(),
+            mse_avg(&truth, &run.estimates)
+        );
+    }
 
     // RS+RFD: fakes follow last year's (noisy) statistics — better on both
-    // axes, per the paper's §5.
+    // axes, per the paper's §5. Priors enter through build_with_priors.
+    let mut rng = StdRng::seed_from_u64(99);
     let priors = correct_priors(&ds, 0.1, &mut rng);
-    let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, epsilon, priors).expect("rsrfd");
-    let rsrfd_reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
+    let rsrfd = SolutionKind::RsRfd(RsRfdProtocol::Grr)
+        .build_with_priors(&ks, epsilon, priors)
+        .expect("valid priors");
+    let run = CollectionPipeline::new(rsrfd).seed(99).run(&ds);
     println!(
         "{:<28} {:>12.6}",
         "RS+RFD[GRR] (correct prior)",
-        mse_avg(&truth, &rsrfd.estimate(&rsrfd_reports))
+        mse_avg(&truth, &run.estimates)
     );
 
     println!("\nExpected ordering (paper): SPL worst; RS+RFD improves on RS+FD;");

@@ -20,7 +20,10 @@ fn main() {
     let ks = dataset.schema().cardinalities();
 
     println!("Per-attribute PIE decisions over the Adult schema (n = {n}):\n");
-    println!("{:<16} {:>3} {:>24}", "attribute", "k", "beta=0.9 / beta=0.6");
+    println!(
+        "{:<16} {:>3} {:>24}",
+        "attribute", "k", "beta=0.9 / beta=0.6"
+    );
     for (attr, &k) in dataset.schema().attributes().iter().zip(&ks) {
         let show = |beta: f64| match pie::decide(beta, n, k) {
             PieDecision::PassThrough => "clear".to_string(),
@@ -41,11 +44,23 @@ fn main() {
     let all: Vec<usize> = (0..dataset.d()).collect();
     let attack = ReidentAttack::build(&dataset, &all);
 
-    println!("\n{:<26} {:>9} {:>9}", "privacy model (OUE)", "top-1 %", "top-10 %");
+    println!(
+        "\n{:<26} {:>9} {:>9}",
+        "privacy model (OUE)", "top-1 %", "top-10 %"
+    );
     for (label, model) in [
-        ("eps-LDP, eps = 1".to_string(), PrivacyModel::Ldp { epsilon: 1.0 }),
-        ("alpha-PIE, beta = 0.9".to_string(), PrivacyModel::Pie { beta: 0.9 }),
-        ("alpha-PIE, beta = 0.6".to_string(), PrivacyModel::Pie { beta: 0.6 }),
+        (
+            "eps-LDP, eps = 1".to_string(),
+            PrivacyModel::Ldp { epsilon: 1.0 },
+        ),
+        (
+            "alpha-PIE, beta = 0.9".to_string(),
+            PrivacyModel::Pie { beta: 0.9 },
+        ),
+        (
+            "alpha-PIE, beta = 0.6".to_string(),
+            PrivacyModel::Pie { beta: 0.6 },
+        ),
     ] {
         let campaign = SmpCampaign::new(
             ProtocolKind::Oue,

@@ -15,7 +15,35 @@
 //!   substrate standing in for XGBoost.
 //! * [`core`] — multidimensional solutions (SPL/SMP/RS+FD/RS+RFD), the
 //!   re-identification and attribute-inference attacks, the PIE model.
-//! * [`sim`] — the multi-survey campaign engine and parallel helpers.
+//! * [`sim`] — the multi-survey campaign engine, the streaming
+//!   [`CollectionPipeline`](sim::CollectionPipeline) and parallel helpers.
+//!
+//! ## The streaming collection API
+//!
+//! The server side is streaming-first: solutions are chosen at runtime via
+//! [`core::solutions::SolutionKind`], sanitize through the object-safe
+//! [`core::solutions::DynSolution`], and aggregate incrementally through
+//! [`core::solutions::MultidimAggregator`] — `O(Σ_j k_j)` state, mergeable
+//! across shards, bit-identical to batch estimation:
+//!
+//! ```
+//! use risks_ldp::core::solutions::{RsFdProtocol, SolutionKind};
+//! use risks_ldp::datasets::corpora::adult_like;
+//! use risks_ldp::sim::CollectionPipeline;
+//!
+//! let dataset = adult_like(2_000, 7);
+//! let run = CollectionPipeline::from_kind(
+//!     SolutionKind::RsFd(RsFdProtocol::Grr),
+//!     &dataset.schema().cardinalities(),
+//!     1.0,
+//! )
+//! .unwrap()
+//! .seed(42)
+//! .threads(4)
+//! .run(&dataset);
+//! assert_eq!(run.n, 2_000);
+//! assert_eq!(run.estimates.len(), dataset.d());
+//! ```
 
 pub use ldp_core as core;
 pub use ldp_datasets as datasets;

@@ -58,8 +58,7 @@ fn correct_priors_suppress_the_inference_attack() {
     let priors = correct_priors_scaled(&ds, 0.1, ACS_EMPLOYMENT_N, &mut rng);
     let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, 10.0, priors).expect("rsrfd");
     let rfd_reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
-    let rfd =
-        SampledAttributeAttack::evaluate(&rsrfd, &rfd_reports, &nk, &classifier(), &mut rng);
+    let rfd = SampledAttributeAttack::evaluate(&rsrfd, &rfd_reports, &nk, &classifier(), &mut rng);
 
     assert!(
         rfd.aif_acc < fd.aif_acc,
@@ -89,8 +88,7 @@ fn even_wrong_zipf_priors_help_against_the_attack() {
     let priors = IncorrectPrior::Zipf.generate_all(&ks, &mut rng);
     let rsrfd = RsRfd::new(RsRfdProtocol::Grr, &ks, 10.0, priors).expect("rsrfd");
     let rfd_reports: Vec<_> = ds.rows().map(|t| rsrfd.report(t, &mut rng)).collect();
-    let rfd =
-        SampledAttributeAttack::evaluate(&rsrfd, &rfd_reports, &nk, &classifier(), &mut rng);
+    let rfd = SampledAttributeAttack::evaluate(&rsrfd, &rfd_reports, &nk, &classifier(), &mut rng);
 
     assert!(
         rfd.aif_acc < fd.aif_acc,

@@ -8,14 +8,23 @@ use ldp_sim::{rid_acc_multi, PrivacyModel, SamplingSetting, SmpCampaign, SurveyP
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn rid_after_five_surveys(kind: ProtocolKind, epsilon: f64, setting: SamplingSetting) -> (f64, f64) {
+fn rid_after_five_surveys(
+    kind: ProtocolKind,
+    epsilon: f64,
+    setting: SamplingSetting,
+) -> (f64, f64) {
     let dataset = adult_like(3_000, 5);
     let ks = dataset.schema().cardinalities();
     let mut rng = StdRng::seed_from_u64(8);
     let plan = SurveyPlan::generate(dataset.d(), 5, &mut rng);
-    let campaign =
-        SmpCampaign::new(kind, &ks, &PrivacyModel::Ldp { epsilon }, dataset.n(), setting)
-            .expect("campaign");
+    let campaign = SmpCampaign::new(
+        kind,
+        &ks,
+        &PrivacyModel::Ldp { epsilon },
+        dataset.n(),
+        setting,
+    )
+    .expect("campaign");
     let snaps = campaign.run(&dataset, &plan, 31, 2);
     let all: Vec<usize> = (0..dataset.d()).collect();
     let attack = ReidentAttack::build(&dataset, &all);
@@ -27,7 +36,10 @@ fn rid_after_five_surveys(kind: ProtocolKind, epsilon: f64, setting: SamplingSet
 fn grr_reidentification_far_exceeds_baseline_at_high_epsilon() {
     let (top1, top10) = rid_after_five_surveys(ProtocolKind::Grr, 8.0, SamplingSetting::Uniform);
     let baseline1 = 100.0 / 3000.0;
-    assert!(top1 > 50.0 * baseline1, "top-1 {top1} vs baseline {baseline1}");
+    assert!(
+        top1 > 50.0 * baseline1,
+        "top-1 {top1} vs baseline {baseline1}"
+    );
     assert!(top10 > top1, "top-10 {top10} must dominate top-1 {top1}");
 }
 
