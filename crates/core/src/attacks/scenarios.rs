@@ -1,0 +1,792 @@
+//! Concrete attack scenarios behind the object-safe [`Attack`] trait, and
+//! their fitted, shardable evaluators.
+
+use ldp_protocols::deniability::{best_guess, best_guess_report};
+use rand::RngCore;
+
+use super::kind::{
+    AttackKind, AttackOutcome, BackgroundKnowledge, InferenceConfig, PieOutcome, ReidentConfig,
+    ReidentOutcome,
+};
+use super::{AdversaryView, Attack, FittedAttack};
+use crate::inference::{AttackModel, InferenceOutcome, SampledAttributeAttack};
+use crate::pie;
+use crate::profiling::Profile;
+use crate::reident::{MatchScratch, ReidentAttack};
+use crate::solutions::{DynSolution, MultidimReport, MultidimSolution, SolutionReport};
+
+// ---------------------------------------------------------------------------
+// Re-identification
+// ---------------------------------------------------------------------------
+
+/// The §3.2.4 re-identification scenario: profile every user from the
+/// observed round via plausible deniability (chaining through the §3.3
+/// classifier for fake-data solutions), index the background knowledge, and
+/// score per-target top-`k` membership.
+#[derive(Debug, Clone)]
+pub struct ReidentScenario {
+    config: ReidentConfig,
+}
+
+impl ReidentScenario {
+    /// Wraps a validated configuration (see `AttackKind::build`).
+    pub fn new(config: ReidentConfig) -> Self {
+        ReidentScenario { config }
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &ReidentConfig {
+        &self.config
+    }
+
+    /// Builds the background-knowledge index this scenario's configuration
+    /// prescribes over `dataset` (all attributes for FK-RI, the configured
+    /// subset for PK-RI).
+    pub fn build_index(&self, dataset: &ldp_datasets::Dataset) -> ReidentAttack {
+        let bk_attrs: Vec<usize> = match &self.config.background {
+            BackgroundKnowledge::Full => (0..dataset.d()).collect(),
+            BackgroundKnowledge::Partial(attrs) => attrs.clone(),
+        };
+        ReidentAttack::build(dataset, &bk_attrs)
+    }
+
+    /// Builds one per-user [`Profile`] from the round's sanitized messages,
+    /// following the per-solution adversary rules: SMP disclosed attribute →
+    /// deniability guess; SPL → deniability guess on every attribute;
+    /// RS+FD / RS+RFD → infer the sampled attribute with the NK classifier,
+    /// then deniability-guess its report (the Fig. 4 "chained errors").
+    pub fn profile_round(&self, view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> Vec<Profile> {
+        match view.solution {
+            DynSolution::Smp(s) => view
+                .observed
+                .iter()
+                .map(|r| match r {
+                    SolutionReport::Smp(m) => {
+                        let mut p = Profile::new();
+                        p.observe(m.attr, best_guess(s.oracle(m.attr), &m.report, rng));
+                        p
+                    }
+                    _ => panic!("observed report shape does not match the SMP solution"),
+                })
+                .collect(),
+            DynSolution::Spl(s) => view
+                .observed
+                .iter()
+                .map(|r| match r {
+                    SolutionReport::Full(reports) => {
+                        let mut p = Profile::new();
+                        for (j, rep) in reports.iter().enumerate() {
+                            p.observe(j, best_guess(s.oracle(j), rep, rng));
+                        }
+                        p
+                    }
+                    _ => panic!("observed report shape does not match the SPL solution"),
+                })
+                .collect(),
+            DynSolution::RsFd(s) => self.profile_fake_data(s, &extract_tuples(view.observed), rng),
+            DynSolution::RsRfd(s) => self.profile_fake_data(s, &extract_tuples(view.observed), rng),
+        }
+    }
+
+    /// The chained fake-data profiling step shared by RS+FD and RS+RFD.
+    fn profile_fake_data<S: MultidimSolution>(
+        &self,
+        solution: &S,
+        observed: &[MultidimReport],
+        rng: &mut dyn RngCore,
+    ) -> Vec<Profile> {
+        let (attack, _) = SampledAttributeAttack::train(
+            solution,
+            observed,
+            &AttackModel::NoKnowledge {
+                synth_factor: self.config.synth_factor,
+            },
+            &self.config.classifier,
+            rng,
+        );
+        let predicted = attack.predict(&observed.iter().collect::<Vec<_>>());
+        predicted
+            .iter()
+            .zip(observed)
+            .map(|(&pred, r)| {
+                let attr = pred as usize;
+                let mut p = Profile::new();
+                p.observe(
+                    attr,
+                    best_guess_report(&r.values[attr], solution.ks()[attr], rng),
+                );
+                p
+            })
+            .collect()
+    }
+}
+
+impl Attack for ReidentScenario {
+    fn name(&self) -> String {
+        AttackKind::Reident(self.config.clone()).name()
+    }
+
+    fn fit(&self, view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> Box<dyn FittedAttack> {
+        assert_eq!(
+            view.observed.len(),
+            view.dataset.n(),
+            "need one observed message per user"
+        );
+        let index = self.build_index(view.dataset);
+        let profiles = self.profile_round(view, rng);
+        Box::new(FittedReident {
+            index,
+            profiles,
+            top_ks: self.config.top_ks.clone(),
+        })
+    }
+}
+
+/// A fitted re-identification attack: background index plus one adversary
+/// profile per target.
+#[derive(Debug, Clone)]
+pub struct FittedReident {
+    index: ReidentAttack,
+    profiles: Vec<Profile>,
+    top_ks: Vec<usize>,
+}
+
+impl FittedReident {
+    /// The per-target profiles the adversary accumulated.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// The background-knowledge index.
+    pub fn index(&self) -> &ReidentAttack {
+        &self.index
+    }
+}
+
+impl FittedAttack for FittedReident {
+    fn n_targets(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn n_slots(&self) -> usize {
+        self.top_ks.len()
+    }
+
+    fn evaluate_target(
+        &self,
+        target: usize,
+        scratch: &mut MatchScratch,
+        hits: &mut [bool],
+        rng: &mut dyn RngCore,
+    ) {
+        ReidentEval {
+            index: &self.index,
+            profiles: &self.profiles,
+            top_ks: &self.top_ks,
+        }
+        .evaluate_target(target, scratch, hits, rng);
+    }
+
+    fn outcome(&self, hit_counts: &[u64]) -> AttackOutcome {
+        reident_outcome(&self.index, &self.top_ks, hit_counts, self.profiles.len())
+    }
+}
+
+/// Borrowed re-identification evaluator over externally built profiles —
+/// e.g. multi-survey campaign snapshots — so RID-ACC over a snapshot can run
+/// through the same sharded machinery without cloning the profile set.
+/// `profiles[i]` targets background record `i` (the paper's setting).
+#[derive(Debug, Clone, Copy)]
+pub struct ReidentEval<'a> {
+    /// Background-knowledge index.
+    pub index: &'a ReidentAttack,
+    /// Per-target adversary profiles.
+    pub profiles: &'a [Profile],
+    /// Top-`k` values, one metric slot each.
+    pub top_ks: &'a [usize],
+}
+
+impl FittedAttack for ReidentEval<'_> {
+    fn n_targets(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn n_slots(&self) -> usize {
+        self.top_ks.len()
+    }
+
+    fn evaluate_target(
+        &self,
+        target: usize,
+        scratch: &mut MatchScratch,
+        hits: &mut [bool],
+        rng: &mut dyn RngCore,
+    ) {
+        self.index.hits_into(
+            &self.profiles[target],
+            target as u32,
+            self.top_ks,
+            scratch,
+            hits,
+            rng,
+        );
+    }
+
+    fn outcome(&self, hit_counts: &[u64]) -> AttackOutcome {
+        reident_outcome(self.index, self.top_ks, hit_counts, self.profiles.len())
+    }
+}
+
+fn reident_outcome(
+    index: &ReidentAttack,
+    top_ks: &[usize],
+    hit_counts: &[u64],
+    n_targets: usize,
+) -> AttackOutcome {
+    let denom = n_targets.max(1) as f64;
+    AttackOutcome::Reident(ReidentOutcome {
+        top_ks: top_ks.to_vec(),
+        rid_acc: hit_counts
+            .iter()
+            .map(|&h| 100.0 * h as f64 / denom)
+            .collect(),
+        baseline: top_ks.iter().map(|&k| index.baseline(k)).collect(),
+        n_targets,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sampled-attribute inference
+// ---------------------------------------------------------------------------
+
+/// The §3.3 sampled-attribute inference scenario against the fake-data
+/// solutions, under any attacker model × classifier combination.
+#[derive(Debug, Clone)]
+pub struct InferenceScenario {
+    config: InferenceConfig,
+}
+
+impl InferenceScenario {
+    /// Wraps a validated configuration (see `AttackKind::build`).
+    pub fn new(config: InferenceConfig) -> Self {
+        InferenceScenario { config }
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &InferenceConfig {
+        &self.config
+    }
+}
+
+impl Attack for InferenceScenario {
+    fn name(&self) -> String {
+        AttackKind::SampledAttribute(self.config.clone()).name()
+    }
+
+    fn fit(&self, view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> Box<dyn FittedAttack> {
+        assert!(
+            matches!(view.solution, DynSolution::RsFd(_) | DynSolution::RsRfd(_)),
+            "sampled-attribute inference needs a fake-data solution, got {}",
+            view.solution.name()
+        );
+        let tuples = extract_tuples(view.observed);
+        let (attack, test_idx) = match view.solution {
+            DynSolution::RsFd(s) => SampledAttributeAttack::train(
+                s,
+                &tuples,
+                &self.config.model,
+                &self.config.classifier,
+                rng,
+            ),
+            DynSolution::RsRfd(s) => SampledAttributeAttack::train(
+                s,
+                &tuples,
+                &self.config.model,
+                &self.config.classifier,
+                rng,
+            ),
+            _ => unreachable!("solution family guarded by the assert above"),
+        };
+        let n_train = tuples.len() - test_idx.len() + self.config.model.synth_count(tuples.len());
+        // Prediction is rng-free, so the per-target success bits are fixed at
+        // fit time: one batch encode/predict instead of per-target calls.
+        let tests: Vec<&MultidimReport> = test_idx.iter().map(|&i| &tuples[i]).collect();
+        let correct: Vec<bool> = attack
+            .predict(&tests)
+            .iter()
+            .zip(&tests)
+            .map(|(&pred, t)| pred as usize == t.sampled)
+            .collect();
+        Box::new(FittedInference {
+            attack,
+            correct,
+            d: view.solution.d(),
+            n_train,
+        })
+    }
+}
+
+/// A fitted inference attack: the trained classifier plus the (rng-free,
+/// batch-precomputed) per-test-user success bits.
+#[derive(Debug, Clone)]
+pub struct FittedInference {
+    attack: SampledAttributeAttack,
+    correct: Vec<bool>,
+    d: usize,
+    n_train: usize,
+}
+
+impl FittedInference {
+    /// The trained classifier.
+    pub fn attack(&self) -> &SampledAttributeAttack {
+        &self.attack
+    }
+}
+
+impl FittedAttack for FittedInference {
+    fn n_targets(&self) -> usize {
+        self.correct.len()
+    }
+
+    fn n_slots(&self) -> usize {
+        1
+    }
+
+    fn evaluate_target(
+        &self,
+        target: usize,
+        _scratch: &mut MatchScratch,
+        hits: &mut [bool],
+        _rng: &mut dyn RngCore,
+    ) {
+        hits[0] = self.correct[target];
+    }
+
+    fn outcome(&self, hit_counts: &[u64]) -> AttackOutcome {
+        AttackOutcome::Inference(InferenceOutcome {
+            aif_acc: 100.0 * hit_counts[0] as f64 / self.correct.len().max(1) as f64,
+            baseline: 100.0 / self.d as f64,
+            n_train: self.n_train,
+            n_test: self.correct.len(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PIE audit
+// ---------------------------------------------------------------------------
+
+/// The Appendix C PIE audit: an analytic "attack" reporting which attributes
+/// a `(U, α)`-PIE server discloses unrandomized at target Bayes error β.
+#[derive(Debug, Clone, Copy)]
+pub struct PieScenario {
+    beta: f64,
+}
+
+impl PieScenario {
+    /// Wraps a validated β (see `AttackKind::build`).
+    pub fn new(beta: f64) -> Self {
+        PieScenario { beta }
+    }
+
+    /// Target Bayes error β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Attack for PieScenario {
+    fn name(&self) -> String {
+        AttackKind::PieAudit { beta: self.beta }.name()
+    }
+
+    fn needs_observation(&self) -> bool {
+        false // analytic: only n and the domain sizes enter the decision
+    }
+
+    fn fit(&self, view: &AdversaryView<'_>, _rng: &mut dyn RngCore) -> Box<dyn FittedAttack> {
+        let n = view.dataset.n();
+        let decisions = view
+            .solution
+            .ks()
+            .iter()
+            .map(|&k| pie::decide(self.beta, n, k))
+            .collect();
+        Box::new(FittedPie {
+            outcome: PieOutcome {
+                beta: self.beta,
+                alpha: pie::alpha_from_bayes_error(self.beta, n),
+                decisions,
+            },
+        })
+    }
+}
+
+/// A "fitted" PIE audit — analytic, so it has no targets to score.
+#[derive(Debug, Clone)]
+pub struct FittedPie {
+    outcome: PieOutcome,
+}
+
+impl FittedAttack for FittedPie {
+    fn n_targets(&self) -> usize {
+        0
+    }
+
+    fn n_slots(&self) -> usize {
+        0
+    }
+
+    fn evaluate_target(
+        &self,
+        _target: usize,
+        _scratch: &mut MatchScratch,
+        _hits: &mut [bool],
+        _rng: &mut dyn RngCore,
+    ) {
+        unreachable!("the PIE audit has no per-target evaluation");
+    }
+
+    fn outcome(&self, _hit_counts: &[u64]) -> AttackOutcome {
+        AttackOutcome::Pie(self.outcome.clone())
+    }
+}
+
+/// Extracts the fake-data tuples from a round of observed messages.
+///
+/// Clones the wire: `SampledAttributeAttack::train` (and the
+/// `MultidimSolution::estimate*` surface underneath) consumes owned
+/// `&[MultidimReport]` slices, so the fit phase transiently holds a second
+/// copy of the round. Borrowing would require threading `&[&MultidimReport]`
+/// through that trait surface.
+///
+/// # Panics
+/// Panics when a message is not a full-tuple report.
+fn extract_tuples(observed: &[SolutionReport]) -> Vec<MultidimReport> {
+    observed
+        .iter()
+        .map(|r| match r {
+            SolutionReport::Tuple(t) => t.clone(),
+            _ => panic!("expected full fake-data tuples in the observed round"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{evaluate_serial, fit_rng};
+    use crate::inference::AttackClassifier;
+    use crate::solutions::{RsFdProtocol, SolutionKind};
+    use ldp_datasets::{Dataset, Schema};
+    use ldp_gbdt::LogisticParams;
+    use ldp_protocols::ProtocolKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed_dataset(n: usize, ks: &[usize], seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u32> = (0..n)
+            .flat_map(|_| {
+                ks.iter()
+                    .map(|&k| {
+                        if rng.random::<f64>() < 0.6 {
+                            0
+                        } else {
+                            rng.random_range(0..k as u32)
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let cards: Vec<u32> = ks.iter().map(|&k| k as u32).collect();
+        Dataset::new(Schema::from_cardinalities(&cards), data)
+    }
+
+    fn observe(solution: &DynSolution, dataset: &Dataset, seed: u64) -> Vec<SolutionReport> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..dataset.n())
+            .map(|i| solution.report(dataset.row(i), &mut rng))
+            .collect()
+    }
+
+    fn logistic() -> AttackClassifier {
+        AttackClassifier::Logistic(LogisticParams::default())
+    }
+
+    #[test]
+    fn smp_reident_beats_baseline_at_high_epsilon() {
+        let ks = [6usize, 8, 5, 4];
+        let ds = skewed_dataset(300, &ks, 1);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 8.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 2);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let attack = AttackKind::Reident(ReidentConfig::default())
+            .build()
+            .unwrap();
+        let fitted = Attack::fit(&attack, &view, &mut fit_rng(3));
+        let outcome = evaluate_serial(fitted.as_ref(), 3);
+        let o = outcome.reident().expect("reident outcome");
+        assert_eq!(o.n_targets, 300);
+        // A single high-ε GRR report re-identifies well above the 10/300
+        // top-10 baseline on a skewed population.
+        assert!(
+            o.acc_at(10).unwrap() > 2.0 * o.baseline[1],
+            "top-10 {} vs baseline {}",
+            o.acc_at(10).unwrap(),
+            o.baseline[1]
+        );
+    }
+
+    #[test]
+    fn spl_reident_profiles_every_attribute() {
+        let ks = [5usize, 4, 3];
+        let ds = skewed_dataset(120, &ks, 4);
+        let solution = SolutionKind::Spl(ProtocolKind::Grr)
+            .build(&ks, 9.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 5);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let scenario = ReidentScenario::new(ReidentConfig::default());
+        let profiles = scenario.profile_round(&view, &mut fit_rng(6));
+        assert_eq!(profiles.len(), 120);
+        assert!(profiles.iter().all(|p| p.len() == 3));
+    }
+
+    #[test]
+    fn chained_fake_data_reident_runs_end_to_end() {
+        let ks = [5usize, 4, 6];
+        let ds = skewed_dataset(250, &ks, 7);
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&ks, 6.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 8);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let attack = AttackKind::Reident(ReidentConfig {
+            classifier: logistic(),
+            ..ReidentConfig::default()
+        })
+        .build()
+        .unwrap();
+        let outcome = evaluate_serial(Attack::fit(&attack, &view, &mut fit_rng(9)).as_ref(), 9);
+        let o = outcome.reident().expect("reident outcome");
+        // One classifier-predicted attribute per user: weak but valid.
+        assert!(o.rid_acc.iter().all(|&a| (0.0..=100.0).contains(&a)));
+    }
+
+    #[test]
+    fn inference_scenario_matches_direct_evaluate() {
+        // The pipeline decomposition (train → per-target predict) must agree
+        // with SampledAttributeAttack::evaluate on identical rng streams.
+        let ks = [5usize, 4, 6];
+        let ds = skewed_dataset(400, &ks, 10);
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&ks, 6.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 11);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let model = AttackModel::NoKnowledge { synth_factor: 1.0 };
+        let attack = AttackKind::SampledAttribute(InferenceConfig {
+            model,
+            classifier: logistic(),
+        })
+        .build()
+        .unwrap();
+        let fitted = Attack::fit(&attack, &view, &mut fit_rng(12));
+        let got = evaluate_serial(fitted.as_ref(), 12);
+        let got = got.inference().expect("inference outcome");
+
+        let tuples: Vec<MultidimReport> = observed
+            .iter()
+            .map(|r| match r {
+                SolutionReport::Tuple(t) => t.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let reference = match &solution {
+            DynSolution::RsFd(s) => {
+                SampledAttributeAttack::evaluate(s, &tuples, &model, &logistic(), &mut fit_rng(12))
+            }
+            _ => unreachable!(),
+        };
+        assert_eq!(got.aif_acc.to_bits(), reference.aif_acc.to_bits());
+        assert_eq!(got.n_test, reference.n_test);
+        assert_eq!(got.n_train, reference.n_train);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a fake-data solution")]
+    fn inference_rejects_smp() {
+        let ks = [4usize, 3];
+        let ds = skewed_dataset(40, &ks, 13);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 1.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 14);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let attack = AttackKind::SampledAttribute(InferenceConfig {
+            model: AttackModel::NoKnowledge { synth_factor: 1.0 },
+            classifier: logistic(),
+        })
+        .build()
+        .unwrap();
+        Attack::fit(&attack, &view, &mut fit_rng(15));
+    }
+
+    #[test]
+    fn pie_audit_reports_pass_through_decisions() {
+        let ks = [4usize, 3, 5, 2];
+        let ds = skewed_dataset(1000, &ks, 16);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 1.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 17);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let attack = AttackKind::PieAudit { beta: 0.5 }.build().unwrap();
+        let outcome = evaluate_serial(Attack::fit(&attack, &view, &mut fit_rng(18)).as_ref(), 18);
+        let audit = outcome.pie().expect("pie outcome");
+        // β = 0.5, n = 1000 → α ≈ 3.98 → every k ∈ {2,3,4,5} passes through.
+        assert_eq!(audit.pass_through_count(), 4);
+        assert!(audit.alpha > 3.9 && audit.alpha < 4.0);
+    }
+
+    #[test]
+    fn attack_kind_build_validates() {
+        assert!(AttackKind::Reident(ReidentConfig {
+            top_ks: vec![],
+            ..ReidentConfig::default()
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::Reident(ReidentConfig {
+            top_ks: vec![0],
+            ..ReidentConfig::default()
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::Reident(ReidentConfig {
+            background: BackgroundKnowledge::Partial(vec![]),
+            ..ReidentConfig::default()
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::SampledAttribute(InferenceConfig {
+            model: AttackModel::NoKnowledge { synth_factor: 0.0 },
+            classifier: logistic(),
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::SampledAttribute(InferenceConfig {
+            model: AttackModel::PartialKnowledge {
+                compromised_frac: 1.0
+            },
+            classifier: logistic(),
+        })
+        .build()
+        .is_err());
+        // Degenerate configurations that would train on nothing are rejected
+        // at build time rather than panicking inside fit.
+        assert!(AttackKind::Reident(ReidentConfig {
+            synth_factor: 0.0,
+            ..ReidentConfig::default()
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::SampledAttribute(InferenceConfig {
+            model: AttackModel::PartialKnowledge {
+                compromised_frac: 0.0
+            },
+            classifier: logistic(),
+        })
+        .build()
+        .is_err());
+        // Hybrid may round its PK share to zero users; frac = 0 stays legal.
+        assert!(AttackKind::SampledAttribute(InferenceConfig {
+            model: AttackModel::Hybrid {
+                synth_factor: 1.0,
+                compromised_frac: 0.0
+            },
+            classifier: logistic(),
+        })
+        .build()
+        .is_ok());
+        // The u64 hit-mask bounds the metric-slot count.
+        assert!(AttackKind::Reident(ReidentConfig {
+            top_ks: (1..=65).collect(),
+            ..ReidentConfig::default()
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::PieAudit { beta: 1.5 }.build().is_err());
+        assert!(AttackKind::PieAudit { beta: 0.9 }.build().is_ok());
+    }
+
+    #[test]
+    fn display_names_follow_convention() {
+        assert_eq!(
+            AttackKind::Reident(ReidentConfig::default()).name(),
+            "RID(FK-RI)[1,10]"
+        );
+        assert_eq!(
+            AttackKind::SampledAttribute(InferenceConfig {
+                model: AttackModel::NoKnowledge { synth_factor: 1.0 },
+                classifier: logistic(),
+            })
+            .name(),
+            "AIF[NK]"
+        );
+        assert_eq!(AttackKind::PieAudit { beta: 0.5 }.name(), "PIE[beta=0.5]");
+    }
+
+    #[test]
+    fn works_behind_dyn_attack_object() {
+        // The whole point of the redesign: a boxed attack behind the
+        // object-safe trait, driven with a boxed rng.
+        let ks = [4usize, 3];
+        let ds = skewed_dataset(60, &ks, 19);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 2.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 20);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+        };
+        let attack: Box<dyn Attack> = Box::new(
+            AttackKind::Reident(ReidentConfig::default())
+                .build()
+                .unwrap(),
+        );
+        let mut rng: Box<dyn RngCore> = Box::new(StdRng::seed_from_u64(21));
+        let fitted = attack.fit(&view, rng.as_mut());
+        assert_eq!(fitted.n_targets(), 60);
+        assert_eq!(fitted.n_slots(), 2);
+    }
+}

@@ -54,6 +54,19 @@ impl AttackModel {
             AttackModel::Hybrid { .. } => "HM",
         }
     }
+
+    /// Number of synthetic training profiles this model generates for a
+    /// population of `n` observed users — the single source of the
+    /// `n_train` bookkeeping.
+    pub fn synth_count(&self, n: usize) -> usize {
+        match *self {
+            AttackModel::NoKnowledge { synth_factor }
+            | AttackModel::Hybrid { synth_factor, .. } => {
+                (synth_factor * n as f64).round() as usize
+            }
+            AttackModel::PartialKnowledge { .. } => 0,
+        }
+    }
 }
 
 /// Which classifier family the attacker trains.
@@ -174,7 +187,7 @@ impl SampledAttributeAttack {
         // Attacker-side frequency estimates over everything it observed,
         // projected onto the simplex for sampling synthetic profiles.
         let mut train_reports: Vec<MultidimReport> = Vec::new();
-        let n_synth = (synth_factor * n as f64).round() as usize;
+        let n_synth = model.synth_count(n);
         if n_synth > 0 {
             let est = solution.estimate_normalized(observed);
             let cdfs: Vec<Vec<f64>> = est.iter().map(|f| to_cdf(f)).collect();
@@ -245,14 +258,7 @@ impl SampledAttributeAttack {
             .zip(&test_idx)
             .filter(|&(&p, &i)| p as usize == observed[i].sampled)
             .count();
-        let n_train = observed.len() - test_idx.len()
-            + match *model {
-                AttackModel::NoKnowledge { synth_factor }
-                | AttackModel::Hybrid { synth_factor, .. } => {
-                    (synth_factor * observed.len() as f64).round() as usize
-                }
-                AttackModel::PartialKnowledge { .. } => 0,
-            };
+        let n_train = observed.len() - test_idx.len() + model.synth_count(observed.len());
         InferenceOutcome {
             aif_acc: 100.0 * hits as f64 / test_idx.len().max(1) as f64,
             baseline: 100.0 / solution.d() as f64,

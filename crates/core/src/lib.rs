@@ -18,6 +18,11 @@
 //!
 //! ## Attacks
 //!
+//! * [`attacks`] — the unified adversary layer: every attack behind the
+//!   object-safe [`attacks::Attack`] trait, runtime-selected through
+//!   [`attacks::AttackKind`] / [`attacks::DynAttack`] and reported through
+//!   [`attacks::AttackOutcome`] (the adversary mirror of the
+//!   `SolutionKind`/`DynSolution`/`SolutionReport` collection surface).
 //! * [`profiling`] — multi-collection profiling math (Eqs. 4–5) and profile
 //!   construction under uniform / non-uniform privacy metrics.
 //! * [`reident`] — the §3.2.4 re-identification attack: inverted-index
@@ -27,6 +32,7 @@
 //! * [`pie`] — the relaxed PIE privacy model of Appendix C.
 
 pub mod amplification;
+pub mod attacks;
 pub mod inference;
 pub mod metrics;
 pub mod pie;
@@ -35,6 +41,7 @@ pub mod reident;
 pub mod solutions;
 
 pub use amplification::amplify;
+pub use attacks::{Attack, AttackKind, AttackOutcome, DynAttack, FittedAttack};
 pub use solutions::{
     DynSolution, MultidimAggregator, MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd,
     RsRfdProtocol, Smp, SolutionKind, SolutionReport, Spl,

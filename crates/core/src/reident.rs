@@ -85,6 +85,8 @@ impl ReidentAttack {
     /// [`ReidentAttack::hit_in_top_k`] for several `k` values sharing one
     /// matching pass (the experiments evaluate top-1 and top-10 together).
     ///
+    /// Allocating convenience over [`ReidentAttack::hits_into`].
+    ///
     /// # Panics
     /// Panics when `ks` is empty or contains 0.
     pub fn hits_in_top_ks<R: Rng + ?Sized>(
@@ -95,10 +97,33 @@ impl ReidentAttack {
         scratch: &mut MatchScratch,
         rng: &mut R,
     ) -> Vec<bool> {
+        let mut hits = vec![false; ks.len()];
+        self.hits_into(profile, true_id, ks, scratch, &mut hits, rng);
+        hits
+    }
+
+    /// Whether the true record lands in the top-k candidate set for each `k`
+    /// of `ks`, written into the caller-provided `hits` buffer — the
+    /// allocation-free kernel behind [`ReidentAttack::hits_in_top_ks`],
+    /// letting sharded evaluators reuse one buffer per worker.
+    ///
+    /// # Panics
+    /// Panics when `ks` is empty, contains 0, or `hits.len() != ks.len()`.
+    pub fn hits_into<R: Rng + ?Sized>(
+        &self,
+        profile: &Profile,
+        true_id: u32,
+        ks: &[usize],
+        scratch: &mut MatchScratch,
+        hits: &mut [bool],
+        rng: &mut R,
+    ) {
         assert!(!ks.is_empty(), "need at least one k");
         assert!(ks.iter().all(|&k| k >= 1), "top-k needs k >= 1");
+        assert_eq!(hits.len(), ks.len(), "hits buffer width mismatch");
         if self.n == 0 {
-            return vec![false; ks.len()];
+            hits.fill(false);
+            return;
         }
         scratch.counts.resize(self.n, 0);
 
@@ -121,11 +146,11 @@ impl ReidentAttack {
             }
         }
 
-        let hits = if usable_entries == 0 {
+        if usable_entries == 0 {
             // Nothing to match on: the decision is a uniform top-k guess.
-            ks.iter()
-                .map(|&k| rng.random::<f64>() < k as f64 / self.n as f64)
-                .collect()
+            for (slot, &k) in ks.iter().enumerate() {
+                hits[slot] = rng.random::<f64>() < k as f64 / self.n as f64;
+            }
         } else {
             let c_true = scratch.counts[true_id as usize];
             // Match-count comparison over touched records (counts >= 1).
@@ -146,24 +171,21 @@ impl ReidentAttack {
                 tied = self.n - better;
             }
             debug_assert!(tied >= 1, "the tie group always contains the true record");
-            ks.iter()
-                .map(|&k| {
-                    if better >= k {
-                        false
-                    } else {
-                        let slots = (k - better) as f64;
-                        slots >= tied as f64 || rng.random::<f64>() < slots / tied as f64
-                    }
-                })
-                .collect()
-        };
+            for (slot, &k) in ks.iter().enumerate() {
+                hits[slot] = if better >= k {
+                    false
+                } else {
+                    let slots = (k - better) as f64;
+                    slots >= tied as f64 || rng.random::<f64>() < slots / tied as f64
+                };
+            }
+        }
 
         // Reset scratch for the next user.
         for &id in &scratch.touched {
             scratch.counts[id as usize] = 0;
         }
         scratch.touched.clear();
-        hits
     }
 
     /// RID-ACC (%) over per-user profiles, where `profiles[i]` targets the
@@ -182,8 +204,13 @@ impl ReidentAttack {
         100.0 * hits as f64 / profiles.len() as f64
     }
 
-    /// Expected RID-ACC (%) of the random-guess baseline: `100·k/n`.
+    /// Expected RID-ACC (%) of the random-guess baseline: `100·k/n`, or 0
+    /// when the background is empty (no record to guess — the former
+    /// `100·k/0` returned NaN and poisoned downstream aggregation).
     pub fn baseline(&self, k: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
         100.0 * k as f64 / self.n as f64
     }
 }
@@ -318,6 +345,36 @@ mod tests {
         assert!((acc - 100.0).abs() < 1e-9);
         assert!((attack.baseline(1) - 25.0).abs() < 1e-12);
         assert!((attack.baseline(2) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_background_baseline_is_zero_not_nan() {
+        let ds = Dataset::new(Schema::from_cardinalities(&[3, 3]), vec![]);
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        assert_eq!(attack.n(), 0);
+        assert_eq!(attack.baseline(1), 0.0);
+        assert_eq!(attack.baseline(10), 0.0);
+        // Matching against nothing never hits either.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut scratch = MatchScratch::default();
+        let p = profile(&[(0, 1)]);
+        assert!(!attack.hit_in_top_k(&p, 0, 1, &mut scratch, &mut rng));
+    }
+
+    #[test]
+    fn hits_into_matches_allocating_wrapper() {
+        let ds = background();
+        let attack = ReidentAttack::build(&ds, &[0, 1]);
+        let mut scratch = MatchScratch::default();
+        let p = profile(&[(1, 2)]);
+        for seed in 0..50 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let alloc = attack.hits_in_top_ks(&p, 2, &[1, 2, 4], &mut scratch, &mut rng_a);
+            let mut buf = [true; 3];
+            attack.hits_into(&p, 2, &[1, 2, 4], &mut scratch, &mut buf, &mut rng_b);
+            assert_eq!(alloc, buf.to_vec());
+        }
     }
 
     #[test]

@@ -53,6 +53,12 @@ impl Spl {
         &self.ks
     }
 
+    /// The per-attribute (ε/d)-budget oracle (used by attack code needing
+    /// protocol internals, e.g. OLH preimages).
+    pub fn oracle(&self, j: usize) -> &Oracle {
+        &self.oracles[j]
+    }
+
     /// Sanitizes the full tuple, one (ε/d)-LDP report per attribute.
     ///
     /// # Panics

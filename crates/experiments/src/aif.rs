@@ -3,15 +3,15 @@
 
 use std::collections::BTreeMap;
 
-use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
+use ldp_core::attacks::{AttackKind, InferenceConfig};
+use ldp_core::inference::{AttackClassifier, AttackModel};
 use ldp_core::metrics::mean_std;
-use ldp_core::solutions::{
-    MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol,
-};
+use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
 use ldp_datasets::priors::{correct_priors_scaled, IncorrectPrior};
 use ldp_datasets::Dataset;
 use ldp_protocols::hash::{mix2, mix3};
 use ldp_sim::par::par_map;
+use ldp_sim::{AttackPipeline, CollectionPipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -127,44 +127,44 @@ pub fn run(cfg: &ExpConfig, params: &AifParams, fig: &str) -> Table {
         par_map(grid.len(), cfg.threads, |g| {
             let (si, ei, mi, run) = grid[g];
             let eps = params.eps[ei];
-            let mut rng = StdRng::seed_from_u64(mix3(fig_seed, g as u64, run));
+            let item_seed = mix3(fig_seed, g as u64, run);
             let dataset = load(cfg, params.dataset, run);
             let ks = dataset.schema().cardinalities();
             let classifier = AttackClassifier::Gbdt(cfg.attack_gbdt());
-            let model = &params.models[mi].1;
+            let model = params.models[mi].1;
 
-            let outcome = match params.specs[si] {
+            // Collection: the deployed fake-data solution, streamed with the
+            // item's own seed (grid items already run in parallel, so both
+            // pipelines evaluate inline).
+            let collection = match params.specs[si] {
                 SolutionSpec::RsFd(protocol) => {
-                    let solution = RsFd::new(protocol, &ks, eps).expect("rsfd construction");
-                    let observed: Vec<MultidimReport> = dataset
-                        .rows()
-                        .map(|t| solution.report(t, &mut rng))
-                        .collect();
-                    SampledAttributeAttack::evaluate(
-                        &solution,
-                        &observed,
-                        model,
-                        &classifier,
-                        &mut rng,
-                    )
+                    CollectionPipeline::from_kind(SolutionKind::RsFd(protocol), &ks, eps)
+                        .expect("rsfd construction")
                 }
                 SolutionSpec::RsRfd(protocol, prior_spec) => {
-                    let priors = prior_spec.build(&dataset, &mut rng);
-                    let solution =
-                        RsRfd::new(protocol, &ks, eps, priors).expect("rsrfd construction");
-                    let observed: Vec<MultidimReport> = dataset
-                        .rows()
-                        .map(|t| solution.report(t, &mut rng))
-                        .collect();
-                    SampledAttributeAttack::evaluate(
-                        &solution,
-                        &observed,
-                        model,
-                        &classifier,
-                        &mut rng,
+                    let mut prior_rng = StdRng::seed_from_u64(mix3(item_seed, 0x9812, 0));
+                    let priors = prior_spec.build(&dataset, &mut prior_rng);
+                    CollectionPipeline::new(
+                        SolutionKind::RsRfd(protocol)
+                            .build_with_priors(&ks, eps, priors)
+                            .expect("rsrfd construction"),
                     )
                 }
-            };
+            }
+            .seed(item_seed)
+            .threads(1);
+
+            // Attack: the §3.3 inference scenario through the unified
+            // pipeline — fit on the observed round, sharded ASR evaluation.
+            let run = AttackPipeline::from_kind(AttackKind::SampledAttribute(InferenceConfig {
+                model,
+                classifier,
+            }))
+            .expect("inference attack kind")
+            .seed(item_seed)
+            .threads(1)
+            .run(&collection, &dataset);
+            let outcome = run.outcome.inference().expect("inference outcome");
             (si, ei, mi, outcome.aif_acc, outcome.baseline)
         });
 
@@ -228,4 +228,40 @@ pub fn paper_models() -> Vec<(String, AttackModel)> {
         ));
     }
     models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn aif_runner_sweeps_through_the_attack_pipeline() {
+        let cfg = ExpConfig {
+            runs: 1,
+            scale: 0.01,
+            threads: 2,
+            seed: 7,
+            out_dir: PathBuf::from("/tmp/risks-ldp-test"),
+        };
+        let params = AifParams {
+            dataset: AifDataset::Adult,
+            specs: vec![
+                SolutionSpec::RsFd(RsFdProtocol::Grr),
+                SolutionSpec::RsRfd(RsRfdProtocol::Grr, PriorSpec::Correct),
+            ],
+            models: vec![(
+                "NK s=1n".to_string(),
+                AttackModel::NoKnowledge { synth_factor: 1.0 },
+            )],
+            eps: vec![4.0],
+        };
+        let table = run(&cfg, &params, "smoke");
+        // One row per (solution, model, eps); AIF-ACC within [0, 100].
+        assert_eq!(table.rows().len(), 2);
+        for row in table.rows() {
+            let acc: f64 = row[3].parse().unwrap();
+            assert!((0.0..=100.0).contains(&acc), "AIF-ACC {acc}");
+        }
+    }
 }

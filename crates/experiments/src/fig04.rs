@@ -5,13 +5,13 @@
 
 use std::collections::BTreeMap;
 
+use ldp_core::attacks::{AttackKind, ReidentConfig};
 use ldp_core::inference::AttackClassifier;
 use ldp_core::metrics::mean_std;
-use ldp_core::reident::ReidentAttack;
 use ldp_core::solutions::RsFdProtocol;
 use ldp_protocols::hash::{mix2, mix3};
 use ldp_sim::par::par_map;
-use ldp_sim::{rid_acc_multi, run_rsfd_campaign, RsFdCampaignConfig, SurveyPlan};
+use ldp_sim::{run_rsfd_campaign, AttackPipeline, RsFdCampaignConfig, SurveyPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,11 +44,17 @@ pub fn run(cfg: &ExpConfig) -> Table {
         };
         let snapshots = run_rsfd_campaign(&dataset, &plan, &config, item_seed, 1)
             .expect("campaign construction");
-        let all: Vec<usize> = (0..dataset.d()).collect();
-        let attack = ReidentAttack::build(&dataset, &all);
+        let evaluator = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig {
+            top_ks: TOP_KS.to_vec(),
+            ..ReidentConfig::default()
+        }))
+        .expect("reident attack kind")
+        .seed(item_seed)
+        .threads(1);
+        let attack = evaluator.reident_index(&dataset);
         let mut point = Vec::new();
         for &sv in SURVEY_COUNTS.iter().filter(|&&s| s <= n_surveys) {
-            let accs = rid_acc_multi(&attack, &snapshots[sv - 1], &TOP_KS, item_seed, 1);
+            let accs = evaluator.rid_acc(&attack, &snapshots[sv - 1]);
             for (slot, &k) in TOP_KS.iter().enumerate() {
                 point.push(((sv, k), accs[slot]));
             }

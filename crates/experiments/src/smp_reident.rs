@@ -3,13 +3,13 @@
 
 use std::collections::BTreeMap;
 
+use ldp_core::attacks::{AttackKind, BackgroundKnowledge, ReidentConfig};
 use ldp_core::metrics::mean_std;
-use ldp_core::reident::ReidentAttack;
 use ldp_datasets::Dataset;
 use ldp_protocols::hash::{mix2, mix3};
 use ldp_protocols::ProtocolKind;
 use ldp_sim::par::par_map;
-use ldp_sim::{rid_acc_multi, PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan};
+use ldp_sim::{AttackPipeline, PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
@@ -114,22 +114,33 @@ pub fn run(cfg: &ExpConfig, params: &SmpReidentParams, fig: &str) -> Table {
             .expect("campaign construction");
         let snapshots = campaign.run(&dataset, &plan, item_seed, 1);
 
-        let bk_attrs: Vec<usize> = match params.background {
-            Background::Full => (0..dataset.d()).collect(),
+        let background = match params.background {
+            Background::Full => BackgroundKnowledge::Full,
             Background::Partial => {
                 let mut rng = StdRng::seed_from_u64(mix3(fig_seed, run, 0xB0_0C));
                 let d = dataset.d();
                 let size = rng.random_range(d.div_ceil(2)..d);
                 let mut a: Vec<usize> = sample(&mut rng, d, size).into_iter().collect();
                 a.sort_unstable();
-                a
+                BackgroundKnowledge::Partial(a)
             }
         };
-        let attack = ReidentAttack::build(&dataset, &bk_attrs);
+        // Sharded, per-target-seeded RID-ACC evaluation at the configured
+        // top-ks and background knowledge (grid items already run in
+        // parallel, so each pipeline evaluates inline).
+        let evaluator = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig {
+            top_ks: TOP_KS.to_vec(),
+            background,
+            ..ReidentConfig::default()
+        }))
+        .expect("reident attack kind")
+        .seed(item_seed)
+        .threads(1);
+        let attack = evaluator.reident_index(&dataset);
 
         let mut point = Vec::new();
         for &sv in SURVEY_COUNTS.iter().filter(|&&s| s <= params.n_surveys) {
-            let accs = rid_acc_multi(&attack, &snapshots[sv - 1], &TOP_KS, item_seed, 1);
+            let accs = evaluator.rid_acc(&attack, &snapshots[sv - 1]);
             for (k_slot, &k) in TOP_KS.iter().enumerate() {
                 point.push(((sv, k), accs[k_slot]));
             }
@@ -171,4 +182,36 @@ pub fn run(cfg: &ExpConfig, params: &SmpReidentParams, fig: &str) -> Table {
         ]);
     }
     table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn smp_reident_runner_sweeps_through_the_attack_pipeline() {
+        let cfg = ExpConfig {
+            runs: 1,
+            scale: 0.01,
+            threads: 2,
+            seed: 7,
+            out_dir: PathBuf::from("/tmp/risks-ldp-test"),
+        };
+        let params = SmpReidentParams {
+            dataset: DatasetChoice::Adult,
+            kinds: vec![ProtocolKind::Grr],
+            xaxis: XAxis::Epsilon(vec![6.0]),
+            setting: SamplingSetting::Uniform,
+            background: Background::Partial,
+            n_surveys: 2,
+        };
+        let table = run(&cfg, &params, "smoke");
+        // One row per (kind, eps, surveys<=2, top_k): 1 x 1 x 1 x 2.
+        assert_eq!(table.rows().len(), 2);
+        for row in table.rows() {
+            let acc: f64 = row[4].parse().unwrap();
+            assert!((0.0..=100.0).contains(&acc), "RID-ACC {acc}");
+        }
+    }
 }

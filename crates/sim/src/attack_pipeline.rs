@@ -1,0 +1,366 @@
+//! The seeded, sharded attack pipeline: dataset → [`CollectionPipeline`]
+//! run → adversary fit (profiles / classifier / index) → **per-target-seeded
+//! ASR evaluation**, thread-count-independent end to end.
+//!
+//! The adversary mirror of [`CollectionPipeline`]: where the collection side
+//! streams reports into per-thread aggregator shards, the attack side shards
+//! *evaluation targets* across threads via [`par::par_users_with`], each
+//! target drawing its randomness from its own
+//! [`target_rng`](ldp_core::attacks::target_rng) stream derived from the
+//! pipeline seed — replacing the single serial rng the old
+//! `ReidentAttack::rid_acc` threaded through all users. One
+//! [`MatchScratch`] is reused per shard, so evaluation is allocation-flat.
+//! Results are **bit-identical** to the serial
+//! [`evaluate_serial`](ldp_core::attacks::evaluate_serial) reference for
+//! every thread count.
+//!
+//! ```
+//! use ldp_core::attacks::{AttackKind, ReidentConfig};
+//! use ldp_core::solutions::SolutionKind;
+//! use ldp_datasets::corpora::adult_like;
+//! use ldp_protocols::ProtocolKind;
+//! use ldp_sim::{AttackPipeline, CollectionPipeline};
+//!
+//! let dataset = adult_like(2_000, 7);
+//! let collection = CollectionPipeline::from_kind(
+//!     SolutionKind::Smp(ProtocolKind::Grr),
+//!     &dataset.schema().cardinalities(),
+//!     4.0,
+//! )
+//! .unwrap()
+//! .seed(42)
+//! .threads(4);
+//! let run = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default()))
+//!     .unwrap()
+//!     .seed(42)
+//!     .threads(4)
+//!     .run(&collection, &dataset);
+//! let outcome = run.outcome.reident().unwrap();
+//! assert_eq!(outcome.n_targets, 2_000);
+//! ```
+
+use ldp_core::attacks::{
+    self, AdversaryView, Attack, AttackKind, AttackOutcome, DynAttack, FittedAttack, ReidentEval,
+};
+use ldp_core::profiling::Profile;
+use ldp_core::reident::{MatchScratch, ReidentAttack};
+use ldp_datasets::Dataset;
+use ldp_protocols::ProtocolError;
+
+use crate::par;
+use crate::pipeline::{CollectionPipeline, CollectionRun};
+
+/// Configurable sharded attack run. Build with [`AttackPipeline::new`] /
+/// [`AttackPipeline::from_kind`], chain the builder setters, then either
+/// [`AttackPipeline::run`] end-to-end over a collection, or
+/// [`AttackPipeline::evaluate`] / [`AttackPipeline::rid_acc`] over
+/// already-fitted adversary state.
+#[derive(Debug, Clone)]
+pub struct AttackPipeline {
+    attack: DynAttack,
+    seed: u64,
+    threads: usize,
+}
+
+/// The outcome of one end-to-end attack pass.
+pub struct AttackRun {
+    /// The attack's result (RID-ACC / AIF accuracy / PIE audit).
+    pub outcome: AttackOutcome,
+    /// The server-side collection pass the adversary observed (estimates and
+    /// merged aggregator included — collection and observation share one
+    /// sanitization pass, so the attack does not re-sanitize the
+    /// population).
+    pub collection: CollectionRun,
+    /// The fitted adversary, reusable for further [`AttackPipeline::evaluate`]
+    /// calls (e.g. at different evaluation seeds).
+    pub fitted: Box<dyn FittedAttack>,
+}
+
+impl AttackPipeline {
+    /// Wraps an already-built attack with default seed and thread count.
+    pub fn new(attack: DynAttack) -> Self {
+        AttackPipeline {
+            attack,
+            seed: 0,
+            threads: par::default_threads(),
+        }
+    }
+
+    /// Builds the attack from its kind — the one-stop constructor for sweeps
+    /// (`AttackKind::build` under the hood).
+    pub fn from_kind(kind: AttackKind) -> Result<Self, ProtocolError> {
+        Ok(AttackPipeline::new(kind.build()?))
+    }
+
+    /// Sets the attack seed (fit-phase and per-target randomness derive from
+    /// it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (`1` runs inline; results are identical
+    /// for every value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured attack.
+    pub fn attack(&self) -> &DynAttack {
+        &self.attack
+    }
+
+    /// Runs the full pass: the collection pipeline streams the dataset into
+    /// server estimates while the adversary observes the wire
+    /// ([`CollectionPipeline::run_with_observation`] — each user is
+    /// sanitized once), the attack fits its model, and every target is
+    /// scored in parallel shards with per-target rng streams.
+    ///
+    /// # Panics
+    /// Panics when the dataset does not match the collection solution, or
+    /// when the configured attack cannot run against the solution family
+    /// (e.g. sampled-attribute inference against SPL/SMP).
+    pub fn run(&self, collection: &CollectionPipeline, dataset: &Dataset) -> AttackRun {
+        // Analytic attacks never read the wire: keep those runs memory-flat.
+        let (crun, observed) = if self.attack.needs_observation() {
+            collection.run_with_observation(dataset)
+        } else {
+            (collection.run(dataset), Vec::new())
+        };
+        let view = AdversaryView {
+            dataset,
+            solution: collection.solution(),
+            observed: &observed,
+        };
+        let fitted = self.attack.fit(&view, &mut attacks::fit_rng(self.seed));
+        let outcome = self.evaluate(fitted.as_ref());
+        AttackRun {
+            outcome,
+            collection: crun,
+            fitted,
+        }
+    }
+
+    /// Sharded, per-target-seeded evaluation of a fitted attack —
+    /// bit-identical to
+    /// [`evaluate_serial`](ldp_core::attacks::evaluate_serial) at the same
+    /// seed, for every thread count.
+    pub fn evaluate(&self, fitted: &dyn FittedAttack) -> AttackOutcome {
+        evaluate_sharded(fitted, self.seed, self.threads)
+    }
+
+    /// The configured [`Reident`](DynAttack::Reident) scenario, or a panic —
+    /// shared guard of the profile-evaluation entry points below.
+    fn reident_scenario(&self) -> &ldp_core::attacks::ReidentScenario {
+        match &self.attack {
+            DynAttack::Reident(s) => s,
+            other => panic!(
+                "this entry point needs a Reident attack, the pipeline is configured with {}",
+                other.name()
+            ),
+        }
+    }
+
+    /// Builds the background-knowledge index the configured
+    /// [`Reident`](DynAttack::Reident) scenario prescribes over `dataset`
+    /// (FK-RI or the configured PK-RI subset).
+    ///
+    /// # Panics
+    /// Panics when the configured attack is not `Reident`.
+    pub fn reident_index(&self, dataset: &Dataset) -> ReidentAttack {
+        self.reident_scenario().build_index(dataset)
+    }
+
+    /// Sharded RID-ACC (%) over externally built profiles (e.g. multi-survey
+    /// campaign snapshots), where `profiles[i]` targets background record
+    /// `i`. One entry per top-`k` of the configured
+    /// [`Reident`](DynAttack::Reident) scenario.
+    ///
+    /// # Panics
+    /// Panics when the configured attack is not `Reident`.
+    pub fn rid_acc(&self, index: &ReidentAttack, profiles: &[Profile]) -> Vec<f64> {
+        let top_ks = &self.reident_scenario().config().top_ks;
+        rid_acc_sharded(index, profiles, top_ks, self.seed, self.threads)
+    }
+}
+
+/// The shared sharded evaluator: targets fan out over
+/// [`par::par_users_with`] (per-target rng streams salted with
+/// [`attacks::TARGET_SALT`]), per-target hit bits come back packed in a
+/// `u64` mask, and per-slot counts feed [`FittedAttack::outcome`].
+pub(crate) fn evaluate_sharded(
+    fitted: &dyn FittedAttack,
+    seed: u64,
+    threads: usize,
+) -> AttackOutcome {
+    let slots = fitted.n_slots();
+    assert!(
+        slots <= attacks::MAX_METRIC_SLOTS,
+        "at most {} metric slots per attack (hits are packed into a u64 mask)",
+        attacks::MAX_METRIC_SLOTS
+    );
+    let masks: Vec<u64> = par::par_users_with(
+        fitted.n_targets(),
+        threads,
+        seed,
+        attacks::TARGET_SALT,
+        || (MatchScratch::default(), vec![false; slots]),
+        |target, (scratch, hits), rng| {
+            fitted.evaluate_target(target, scratch, hits, rng);
+            hits.iter()
+                .enumerate()
+                .fold(0u64, |mask, (slot, &hit)| mask | (u64::from(hit) << slot))
+        },
+    );
+    let mut counts = vec![0u64; slots];
+    for mask in masks {
+        for (slot, count) in counts.iter_mut().enumerate() {
+            *count += (mask >> slot) & 1;
+        }
+    }
+    fitted.outcome(&counts)
+}
+
+/// Sharded RID-ACC over borrowed profiles (the engine behind
+/// [`AttackPipeline::rid_acc`] and the legacy `rid_acc_multi` helpers).
+pub(crate) fn rid_acc_sharded(
+    index: &ReidentAttack,
+    profiles: &[Profile],
+    top_ks: &[usize],
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
+    let eval = ReidentEval {
+        index,
+        profiles,
+        top_ks,
+    };
+    match evaluate_sharded(&eval, seed, threads) {
+        AttackOutcome::Reident(o) => o.rid_acc,
+        _ => unreachable!("ReidentEval always yields a reident outcome"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::attacks::{evaluate_serial, InferenceConfig, ReidentConfig};
+    use ldp_core::inference::{AttackClassifier, AttackModel};
+    use ldp_core::solutions::{RsFdProtocol, SolutionKind};
+    use ldp_datasets::corpora::adult_like;
+    use ldp_gbdt::LogisticParams;
+    use ldp_protocols::ProtocolKind;
+
+    fn logistic() -> AttackClassifier {
+        AttackClassifier::Logistic(LogisticParams::default())
+    }
+
+    #[test]
+    fn sharded_reident_is_bit_identical_to_serial() {
+        let ds = adult_like(400, 5);
+        let ks = ds.schema().cardinalities();
+        let collection =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, 4.0)
+                .unwrap()
+                .seed(11)
+                .threads(3);
+        let pipeline = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default()))
+            .unwrap()
+            .seed(11);
+        let run = pipeline.clone().threads(1).run(&collection, &ds);
+        let serial = evaluate_serial(run.fitted.as_ref(), 11);
+        for threads in [2usize, 8] {
+            let sharded = pipeline
+                .clone()
+                .threads(threads)
+                .evaluate(run.fitted.as_ref());
+            let (a, b) = (serial.reident().unwrap(), sharded.reident().unwrap());
+            assert_eq!(a.n_targets, b.n_targets);
+            for (x, y) in a.rid_acc.iter().zip(&b.rid_acc) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_inference_attack_runs_sharded() {
+        let ds = adult_like(600, 6);
+        let ks = ds.schema().cardinalities();
+        let collection =
+            CollectionPipeline::from_kind(SolutionKind::RsFd(RsFdProtocol::Grr), &ks, 6.0)
+                .unwrap()
+                .seed(3)
+                .threads(2);
+        let pipeline = AttackPipeline::from_kind(AttackKind::SampledAttribute(InferenceConfig {
+            model: AttackModel::NoKnowledge { synth_factor: 1.0 },
+            classifier: logistic(),
+        }))
+        .unwrap()
+        .seed(3);
+        let run_a = pipeline.clone().threads(1).run(&collection, &ds);
+        let run_b = pipeline.clone().threads(4).run(&collection, &ds);
+        let (a, b) = (
+            run_a.outcome.inference().unwrap(),
+            run_b.outcome.inference().unwrap(),
+        );
+        assert_eq!(a.aif_acc.to_bits(), b.aif_acc.to_bits());
+        assert_eq!(a.n_test, 600);
+        assert_eq!(run_a.collection.n, 600);
+    }
+
+    #[test]
+    fn rid_acc_helper_matches_evaluate_on_reident_eval() {
+        let ds = adult_like(200, 9);
+        let all: Vec<usize> = (0..ds.d()).collect();
+        let index = ReidentAttack::build(&ds, &all);
+        let profiles: Vec<Profile> = (0..ds.n())
+            .map(|i| {
+                let mut p = Profile::new();
+                for j in 0..3 {
+                    p.observe(j, ds.value(i, j));
+                }
+                p
+            })
+            .collect();
+        let pipeline = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default()))
+            .unwrap()
+            .seed(5)
+            .threads(4);
+        let accs = pipeline.rid_acc(&index, &profiles);
+        let via_eval = pipeline.evaluate(&ReidentEval {
+            index: &index,
+            profiles: &profiles,
+            top_ks: &[1, 10],
+        });
+        assert_eq!(accs, via_eval.reident().unwrap().rid_acc);
+    }
+
+    #[test]
+    fn empty_profile_set_yields_zero_not_nan() {
+        let ds = adult_like(50, 2);
+        let all: Vec<usize> = (0..ds.d()).collect();
+        let index = ReidentAttack::build(&ds, &all);
+        let pipeline =
+            AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default())).unwrap();
+        let accs = pipeline.rid_acc(&index, &[]);
+        assert_eq!(accs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn pie_audit_runs_through_the_pipeline() {
+        let ds = adult_like(2_000, 4);
+        let ks = ds.schema().cardinalities();
+        let collection =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, 1.0)
+                .unwrap()
+                .seed(1);
+        let run = AttackPipeline::from_kind(AttackKind::PieAudit { beta: 0.5 })
+            .unwrap()
+            .seed(1)
+            .run(&collection, &ds);
+        let audit = run.outcome.pie().unwrap();
+        assert_eq!(audit.decisions.len(), ds.d());
+        assert!(audit.alpha > 0.0);
+    }
+}

@@ -15,9 +15,14 @@
 //! * [`pipeline::CollectionPipeline`] — the streaming frequency-estimation
 //!   pipeline: dataset → solution → sharded aggregators → merged estimates,
 //!   memory-flat in the population size.
+//! * [`attack_pipeline::AttackPipeline`] — the adversary mirror: dataset →
+//!   collection run → adversary fit (profiles / classifier / index) →
+//!   sharded, per-target-seeded ASR evaluation, bit-identical for every
+//!   thread count.
 //! * [`par`] — deterministic scoped-thread parallel helpers used by the heavy
 //!   sweeps.
 
+pub mod attack_pipeline;
 pub mod campaign;
 pub mod composition;
 pub mod par;
@@ -25,20 +30,21 @@ pub mod pipeline;
 pub mod rsfd_campaign;
 pub mod survey;
 
+pub use attack_pipeline::{AttackPipeline, AttackRun};
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
 pub use pipeline::{CollectionPipeline, CollectionRun};
 pub use rsfd_campaign::{run_rsfd_campaign, RsFdCampaignConfig};
 pub use survey::SurveyPlan;
 
 use ldp_core::profiling::Profile;
-use ldp_core::reident::{MatchScratch, ReidentAttack};
-use ldp_protocols::hash::mix3;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ldp_core::reident::ReidentAttack;
 
 /// Thread-parallel RID-ACC (%) evaluation: profiles are matched against the
 /// background index in contiguous user chunks, each thread reusing one
 /// scratch buffer. Deterministic for a fixed `seed` regardless of `threads`.
+///
+/// Convenience over the [`AttackPipeline`] machinery (identical rng
+/// streams); prefer the pipeline for end-to-end runs.
 pub fn rid_acc_parallel(
     attack: &ReidentAttack,
     profiles: &[Profile],
@@ -58,21 +64,7 @@ pub fn rid_acc_multi(
     seed: u64,
     threads: usize,
 ) -> Vec<f64> {
-    if profiles.is_empty() {
-        return vec![0.0; top_ks.len()];
-    }
-    let hits: Vec<Vec<bool>> = par::par_chunks(profiles.len(), threads, |range| {
-        let mut scratch = MatchScratch::default();
-        range
-            .map(|uid| {
-                let mut rng = StdRng::seed_from_u64(mix3(seed, uid as u64, 0xA11C_E5EED));
-                attack.hits_in_top_ks(&profiles[uid], uid as u32, top_ks, &mut scratch, &mut rng)
-            })
-            .collect()
-    });
-    (0..top_ks.len())
-        .map(|slot| 100.0 * hits.iter().filter(|h| h[slot]).count() as f64 / profiles.len() as f64)
-        .collect()
+    attack_pipeline::rid_acc_sharded(attack, profiles, top_ks, seed, threads)
 }
 
 #[cfg(test)]

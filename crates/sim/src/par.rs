@@ -43,20 +43,44 @@ where
 
 /// Maps `f` over the users `0..n` in parallel, handing each user its own
 /// [`StdRng`] derived from `(seed, uid, salt)` — the single sharding idiom
-/// shared by the campaigns and the collection pipeline. Deterministic in
-/// `seed`, independent of `threads`.
+/// shared by the campaigns, the collection pipeline and the attack pipeline.
+/// Deterministic in `seed`, independent of `threads`.
 pub fn par_users<T, F>(n: usize, threads: usize, seed: u64, salt: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, &mut rand::rngs::StdRng) -> T + Sync,
 {
+    par_users_with(n, threads, seed, salt, || (), |uid, (), rng| f(uid, rng))
+}
+
+/// [`par_users`] with a per-shard scratch state: `init` builds one `S` per
+/// worker chunk and `f` reuses it across that chunk's users, so hot loops
+/// (e.g. the re-identification matcher's [`MatchScratch`]) stay
+/// allocation-flat. Same per-user rng streams as [`par_users`], so results
+/// remain independent of the thread count.
+///
+/// [`MatchScratch`]: ldp_core::reident::MatchScratch
+pub fn par_users_with<S, T, I, F>(
+    n: usize,
+    threads: usize,
+    seed: u64,
+    salt: u64,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S, &mut rand::rngs::StdRng) -> T + Sync,
+{
     use ldp_protocols::hash::mix3;
     use rand::SeedableRng;
     par_chunks(n, threads, |range| {
+        let mut state = init();
         range
             .map(|uid| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(mix3(seed, uid as u64, salt));
-                f(uid, &mut rng)
+                f(uid, &mut state, &mut rng)
             })
             .collect()
     })

@@ -38,7 +38,7 @@ use rand::SeedableRng;
 use crate::par;
 
 /// Salt separating pipeline user streams from the campaign engines'.
-const USER_SALT: u64 = 0x00C0_11EC_7A11;
+pub(crate) const USER_SALT: u64 = 0x00C0_11EC_7A11;
 
 /// Configurable streaming collection run over one dataset. Build with
 /// [`CollectionPipeline::new`] / [`CollectionPipeline::from_kind`], chain the
@@ -112,12 +112,88 @@ impl CollectionPipeline {
     /// Panics when the dataset's attribute count differs from the
     /// solution's.
     pub fn run(&self, dataset: &Dataset) -> CollectionRun {
+        let shards = self.sanitize_shards(
+            dataset,
+            || self.solution.aggregator(),
+            |agg, report| agg.absorb(&report),
+        );
+        self.merge_shards(shards)
+    }
+
+    /// [`CollectionPipeline::run`] that also hands back the wire: each user
+    /// is sanitized **once**, the report is absorbed into its thread's
+    /// aggregator shard *and* kept as the §3.1 adversary's observation.
+    /// Buffers `O(n)` reports (the adversary must hold the wire anyway);
+    /// use [`CollectionPipeline::run`] when nothing observes the messages.
+    ///
+    /// # Panics
+    /// Panics when the dataset's attribute count differs from the
+    /// solution's.
+    pub fn run_with_observation(
+        &self,
+        dataset: &Dataset,
+    ) -> (CollectionRun, Vec<ldp_core::solutions::SolutionReport>) {
+        let chunks = self.sanitize_shards(
+            dataset,
+            || (self.solution.aggregator(), Vec::new()),
+            |(agg, reports), report| {
+                agg.absorb(&report);
+                reports.push(report);
+            },
+        );
+        let mut shards = Vec::with_capacity(chunks.len());
+        let mut observed = Vec::with_capacity(dataset.n());
+        for (agg, reports) in chunks {
+            shards.push(agg);
+            observed.extend(reports);
+        }
+        (self.merge_shards(shards), observed)
+    }
+
+    /// Regenerates the exact sanitized messages a [`CollectionPipeline::run`]
+    /// with this configuration absorbs — the §3.1 adversary's wire view.
+    /// Per-user randomness derives from the same `(seed, uid)` streams as
+    /// the collection pass, so what the attack observes is bit-identical to
+    /// what the server aggregated. Prefer
+    /// [`CollectionPipeline::run_with_observation`] when the collection run
+    /// is needed too (one sanitization pass instead of two).
+    pub fn observe(&self, dataset: &Dataset) -> Vec<ldp_core::solutions::SolutionReport> {
+        self.sanitize_shards(dataset, Vec::new, |reports, report| reports.push(report))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// The single seeded per-user sanitize loop behind `run`, `observe` and
+    /// `run_with_observation`: each worker chunk folds its users' reports
+    /// into one `A` via `absorb`, with user `uid`'s randomness drawn from
+    /// `StdRng(mix3(seed, uid, USER_SALT))`. Chunk outputs come back in user
+    /// order. Keeping every caller on this loop is what guarantees the
+    /// adversary's observed wire is bit-identical to what the server
+    /// aggregated.
+    fn sanitize_shards<A: Send>(
+        &self,
+        dataset: &Dataset,
+        init: impl Fn() -> A + Sync,
+        absorb: impl Fn(&mut A, ldp_core::solutions::SolutionReport) + Sync,
+    ) -> Vec<A> {
         assert_eq!(
             dataset.d(),
             self.solution.d(),
             "dataset does not match the solution schema"
         );
-        let shards = self.collect_shards(dataset);
+        par::par_chunks(dataset.n(), self.threads, |range| {
+            let mut acc = init();
+            for uid in range {
+                let mut rng = StdRng::seed_from_u64(mix3(self.seed, uid as u64, USER_SALT));
+                absorb(&mut acc, self.solution.report(dataset.row(uid), &mut rng));
+            }
+            vec![acc]
+        })
+    }
+
+    /// Merges per-thread shards into the final [`CollectionRun`].
+    fn merge_shards(&self, shards: Vec<MultidimAggregator>) -> CollectionRun {
         let mut aggregator = self.solution.aggregator();
         let n_shards = shards.len();
         for shard in &shards {
@@ -135,18 +211,6 @@ impl CollectionPipeline {
             shards: n_shards.max(1),
             aggregator,
         }
-    }
-
-    /// Sanitizes and absorbs each user range into its own aggregator shard.
-    fn collect_shards(&self, dataset: &Dataset) -> Vec<MultidimAggregator> {
-        par::par_chunks(dataset.n(), self.threads, |range| {
-            let mut agg = self.solution.aggregator();
-            for uid in range {
-                let mut rng = StdRng::seed_from_u64(mix3(self.seed, uid as u64, USER_SALT));
-                agg.absorb(&self.solution.report(dataset.row(uid), &mut rng));
-            }
-            vec![agg]
-        })
     }
 }
 
@@ -213,6 +277,53 @@ mod tests {
         );
         let total: f64 = run.normalized[1].iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observe_replays_the_collected_messages_exactly() {
+        let ds = adult_like(300, 3);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::RsFd(RsFdProtocol::Grr), &ks, 2.0)
+                .unwrap()
+                .seed(9)
+                .threads(3);
+        let run = pipeline.run(&ds);
+        let observed = pipeline.observe(&ds);
+        assert_eq!(observed.len(), 300);
+        // Absorbing the observed wire messages reproduces the server state
+        // bit for bit: the adversary saw exactly what was collected.
+        let mut agg = pipeline.solution().aggregator();
+        for r in &observed {
+            agg.absorb(r);
+        }
+        assert_eq!(agg.counts(), run.aggregator.counts());
+    }
+
+    #[test]
+    fn run_with_observation_matches_separate_run_and_observe() {
+        let ds = adult_like(250, 6);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Oue), &ks, 2.0)
+                .unwrap()
+                .seed(13)
+                .threads(4);
+        let (run, observed) = pipeline.run_with_observation(&ds);
+        assert_eq!(
+            run.aggregator.counts(),
+            pipeline.run(&ds).aggregator.counts()
+        );
+        let replayed = pipeline.observe(&ds);
+        assert_eq!(observed.len(), replayed.len());
+        // Same rng streams → the single-pass wire equals the replayed wire.
+        let mut a = pipeline.solution().aggregator();
+        let mut b = pipeline.solution().aggregator();
+        for (x, y) in observed.iter().zip(&replayed) {
+            a.absorb(x);
+            b.absorb(y);
+        }
+        assert_eq!(a.counts(), b.counts());
     }
 
     #[test]

@@ -1,24 +1,23 @@
 //! The §3.3 sampled-attribute inference attack against RS+FD, with no prior
-//! knowledge (NK model): the attacker estimates frequencies from the LDP
-//! reports themselves, fabricates labelled training data, and learns to spot
-//! which attribute of each tuple carries the real report.
+//! knowledge (NK model), driven through the unified adversary API: each
+//! protocol × ε point is one `CollectionPipeline` (streamed collection) plus
+//! one `AttackPipeline` (classifier fit + sharded ASR evaluation).
 //!
 //! ```sh
 //! cargo run --release --example attribute_inference_attack
 //! ```
 
-use ldp_core::inference::{AttackClassifier, AttackModel, SampledAttributeAttack};
-use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol};
+use ldp_core::attacks::{AttackKind, InferenceConfig};
+use ldp_core::inference::{AttackClassifier, AttackModel};
+use ldp_core::solutions::{RsFdProtocol, SolutionKind};
 use ldp_datasets::corpora::acs_employment_like;
 use ldp_gbdt::GbdtParams;
 use ldp_protocols::UeMode;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ldp_sim::{AttackPipeline, CollectionPipeline};
 
 fn main() {
     let dataset = acs_employment_like(2_000, 3);
     let ks = dataset.schema().cardinalities();
-    let mut rng = StdRng::seed_from_u64(17);
     let classifier = AttackClassifier::Gbdt(GbdtParams {
         rounds: 15,
         max_depth: 4,
@@ -42,18 +41,23 @@ fn main() {
     ];
     for protocol in protocols {
         for epsilon in [2.0, 6.0, 10.0] {
-            let solution = RsFd::new(protocol, &ks, epsilon).expect("rsfd");
-            let observed: Vec<_> = dataset
-                .rows()
-                .map(|t| solution.report(t, &mut rng))
-                .collect();
-            let outcome = SampledAttributeAttack::evaluate(
-                &solution,
-                &observed,
-                &AttackModel::NoKnowledge { synth_factor: 1.0 },
-                &classifier,
-                &mut rng,
-            );
+            // Collection: the deployed RS+FD solution, streamed and sharded.
+            let collection =
+                CollectionPipeline::from_kind(SolutionKind::RsFd(protocol), &ks, epsilon)
+                    .expect("rsfd collection")
+                    .seed(17)
+                    .threads(2);
+            // Attack: NK classifier fit on the observed wire, then sharded,
+            // per-target-seeded ASR evaluation over the test users.
+            let run = AttackPipeline::from_kind(AttackKind::SampledAttribute(InferenceConfig {
+                model: AttackModel::NoKnowledge { synth_factor: 1.0 },
+                classifier: classifier.clone(),
+            }))
+            .expect("attack kind")
+            .seed(17)
+            .threads(2)
+            .run(&collection, &dataset);
+            let outcome = run.outcome.inference().expect("inference outcome");
             println!(
                 "{:<15} {:>4.0} {:>10.1}",
                 protocol.name(),

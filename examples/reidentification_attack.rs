@@ -1,5 +1,6 @@
 //! End-to-end SMP re-identification attack (the paper's §3.2 / Fig. 2
-//! pipeline) on an Adult-like population.
+//! pipeline) on an Adult-like population, driven through the unified
+//! adversary API: `AttackKind` → `AttackPipeline` → sharded RID-ACC.
 //!
 //! Five surveys are run with the SMP solution; an adversary observing
 //! ⟨sampled attribute, ε-LDP report⟩ profiles every user via plausible
@@ -9,10 +10,13 @@
 //! cargo run --release --example reidentification_attack
 //! ```
 
-use ldp_core::reident::ReidentAttack;
+use ldp_core::attacks::{AttackKind, ReidentConfig};
+use ldp_core::solutions::SolutionKind;
 use ldp_datasets::corpora::adult_like;
 use ldp_protocols::ProtocolKind;
-use ldp_sim::{rid_acc_multi, PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan};
+use ldp_sim::{
+    AttackPipeline, CollectionPipeline, PrivacyModel, SamplingSetting, SmpCampaign, SurveyPlan,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,9 +27,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let plan = SurveyPlan::generate(dataset.d(), 5, &mut rng);
 
-    // FK-RI: the attacker's background knowledge is the full population.
+    // One sharded, per-target-seeded evaluator for every sweep point; its
+    // default config is FK-RI (full background knowledge) at top-1/top-10.
+    let evaluator = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default()))
+        .expect("attack kind")
+        .seed(99)
+        .threads(2);
+    let attack = evaluator.reident_index(&dataset);
     let all_attrs: Vec<usize> = (0..dataset.d()).collect();
-    let attack = ReidentAttack::build(&dataset, &all_attrs);
 
     println!("Adult-like population: n = {n}, d = {}", dataset.d());
     println!(
@@ -48,8 +57,8 @@ fn main() {
             )
             .expect("campaign");
             let snapshots = campaign.run(&dataset, &plan, 1234, 2);
-            // Profiles after all five surveys.
-            let accs = rid_acc_multi(&attack, &snapshots[4], &[1, 10], 99, 2);
+            // Profiles after all five surveys, matched in parallel shards.
+            let accs = evaluator.rid_acc(&attack, &snapshots[4]);
             println!(
                 "{:<9} {:>4.0} {:>9.2} {:>9.2} {:>10.3}",
                 kind.name(),
@@ -60,6 +69,22 @@ fn main() {
             );
         }
     }
+
+    // The same adversary, end to end in one call: a single SMP collection
+    // round streamed through CollectionPipeline, observed, profiled and
+    // matched — AttackPipeline::run chains all of it.
+    let collection = CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, 8.0)
+        .expect("collection")
+        .seed(42)
+        .threads(2);
+    let run = evaluator.run(&collection, &dataset);
+    let outcome = run.outcome.reident().expect("reident outcome");
+    println!(
+        "\nsingle GRR collection round at eps = 8: top-10 RID-ACC {:.2}% \
+         (baseline {:.3}%)",
+        outcome.acc_at(10).unwrap(),
+        outcome.baseline[1]
+    );
 
     println!("\nGRR's weak plausible deniability lets the attacker re-identify a");
     println!("substantial share of users at industrial epsilon; OUE resists far");

@@ -14,9 +14,11 @@
 //! * [`gbdt`] — the gradient-boosted-trees / logistic-regression classifier
 //!   substrate standing in for XGBoost.
 //! * [`core`] — multidimensional solutions (SPL/SMP/RS+FD/RS+RFD), the
-//!   re-identification and attribute-inference attacks, the PIE model.
+//!   unified adversary layer (`core::attacks`), the re-identification and
+//!   attribute-inference attacks, the PIE model.
 //! * [`sim`] — the multi-survey campaign engine, the streaming
-//!   [`CollectionPipeline`](sim::CollectionPipeline) and parallel helpers.
+//!   [`CollectionPipeline`](sim::CollectionPipeline), the sharded
+//!   [`AttackPipeline`](sim::AttackPipeline) and parallel helpers.
 //!
 //! ## The streaming collection API
 //!
@@ -43,6 +45,38 @@
 //! .run(&dataset);
 //! assert_eq!(run.n, 2_000);
 //! assert_eq!(run.estimates.len(), dataset.d());
+//! ```
+//!
+//! ## The adversary API
+//!
+//! The attack side mirrors this surface: threat models are chosen at runtime
+//! via [`core::attacks::AttackKind`], fit through the object-safe
+//! [`core::attacks::Attack`] trait, and evaluated by the seeded, sharded
+//! [`AttackPipeline`](sim::AttackPipeline) — bit-identical RID-ACC/ASR for
+//! every thread count:
+//!
+//! ```
+//! use risks_ldp::core::attacks::{AttackKind, ReidentConfig};
+//! use risks_ldp::core::solutions::SolutionKind;
+//! use risks_ldp::datasets::corpora::adult_like;
+//! use risks_ldp::protocols::ProtocolKind;
+//! use risks_ldp::sim::{AttackPipeline, CollectionPipeline};
+//!
+//! let dataset = adult_like(1_000, 7);
+//! let collection = CollectionPipeline::from_kind(
+//!     SolutionKind::Smp(ProtocolKind::Grr),
+//!     &dataset.schema().cardinalities(),
+//!     4.0,
+//! )
+//! .unwrap()
+//! .seed(42)
+//! .threads(4);
+//! let run = AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default()))
+//!     .unwrap()
+//!     .seed(42)
+//!     .threads(4)
+//!     .run(&collection, &dataset);
+//! assert_eq!(run.outcome.reident().unwrap().n_targets, 1_000);
 //! ```
 
 pub use ldp_core as core;
