@@ -1,8 +1,8 @@
 //! The unified adversary layer: every attack of the paper behind one
 //! object-safe surface, mirroring the collection side's
 //! [`SolutionKind`](crate::solutions::SolutionKind) /
-//! [`DynSolution`](crate::solutions::DynSolution) /
-//! [`SolutionReport`](crate::solutions::SolutionReport) redesign.
+//! [`DynSolution`] /
+//! [`SolutionReport`] redesign.
 //!
 //! * [`AttackKind`] — plain configuration enum: which threat model to run
 //!   (re-identification, sampled-attribute inference, PIE audit).
@@ -59,7 +59,7 @@ pub struct AdversaryView<'a> {
 /// An attack scenario, object-safe: randomness enters through
 /// `&mut dyn RngCore` so pipelines and services can hold any attack behind
 /// `Box<dyn Attack>` and pick the threat model at runtime — the adversary
-/// counterpart of [`DynSolution`](crate::solutions::DynSolution).
+/// counterpart of [`DynSolution`].
 pub trait Attack {
     /// Display name of the scenario (e.g. `"RID(FK-RI)[1,10]"`).
     fn name(&self) -> String;

@@ -11,7 +11,7 @@
 //! * [`solutions::Smp`] — sample one attribute, spend the whole ε on it and
 //!   disclose which attribute was sampled.
 //! * [`solutions::RsFd`] — Random Sampling + (uniform) Fake Data, with the
-//!   GRR / UE-z / UE-r variants and their unbiased estimators from [4].
+//!   GRR / UE-z / UE-r variants and their unbiased estimators from \[4\].
 //! * [`solutions::RsRfd`] — the paper's countermeasure: Random Sampling +
 //!   *Realistic* Fake Data drawn from priors, with the new estimators
 //!   (Eqs. 6–7) and closed-form variances (Theorems 2 and 4).
@@ -30,6 +30,8 @@
 //! * [`inference`] — the §3.3 sampled-attribute inference attack against
 //!   RS+FD/RS+RFD with the NK / PK / HM attacker models.
 //! * [`pie`] — the relaxed PIE privacy model of Appendix C.
+
+#![deny(missing_docs)]
 
 pub mod amplification;
 pub mod attacks;

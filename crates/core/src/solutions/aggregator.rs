@@ -7,6 +7,30 @@
 //! parallel can be [`MultidimAggregator::merge`]d, which is exact: the state
 //! is integer counts, so a merged estimate is bit-identical to a single
 //! sequential pass over the same reports.
+//!
+//! ```
+//! use ldp_core::solutions::{MultidimSolution, RsFd, RsFdProtocol};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let rsfd = RsFd::new(RsFdProtocol::Grr, &[12, 8, 3], 1.0).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//!
+//! // Two collection sites absorb their own reports — no buffering — then
+//! // the server merges the integer-count shards exactly.
+//! let (mut site_a, mut site_b) = (rsfd.aggregator(), rsfd.aggregator());
+//! for uid in 0..1_000u32 {
+//!     let tuple = [uid % 12, uid % 8, uid % 3];
+//!     let shard = if uid % 2 == 0 { &mut site_a } else { &mut site_b };
+//!     shard.absorb_tuple(&rsfd.report(&tuple, &mut rng));
+//! }
+//! let mut server = rsfd.aggregator();
+//! server.merge(&site_a);
+//! server.merge(&site_b);
+//! assert_eq!(server.n(), 1_000);
+//! let estimates = server.estimate(); // unbiased, O(Σ k_j) state throughout
+//! assert_eq!(estimates.len(), 3);
+//! ```
 
 use ldp_protocols::oracle::count_support;
 use ldp_protocols::{FrequencyOracle, Oracle, Report};

@@ -21,7 +21,7 @@ use crate::amplification::amplify;
 /// Which LDP protocol and fake-data procedure RS+FD runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RsFdProtocol {
-    /// RS+FD[GRR]: GRR reports, uniform fake values.
+    /// RS+FD\[GRR\]: GRR reports, uniform fake values.
     Grr,
     /// RS+FD[UE-z]: UE reports, fake = perturbed zero vector.
     UeZ(UeMode),

@@ -21,7 +21,7 @@ use crate::amplification::amplify;
 /// Which LDP protocol RS+RFD runs on the sampled attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RsRfdProtocol {
-    /// RS+RFD[GRR]: GRR reports; fakes drawn directly from the prior.
+    /// RS+RFD\[GRR\]: GRR reports; fakes drawn directly from the prior.
     Grr,
     /// RS+RFD[UE-r]: UE reports; fakes are UE-perturbed one-hot encodings of
     /// prior-distributed values.

@@ -19,12 +19,13 @@ use ldp_sim::{rid_acc_multi, PrivacyModel, SamplingSetting, SmpCampaign, SurveyP
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::registry::ExperimentReport;
 use crate::table::{fnum, Table};
 use crate::ExpConfig;
 
 /// Classifier-family ablation on the Fig. 3 setting (ACSEmployment, NK,
 /// s = 1n): GBDT vs logistic regression per RS+FD protocol.
-pub fn run_classifier(cfg: &ExpConfig) -> Table {
+pub fn run_classifier(cfg: &ExpConfig) -> ExperimentReport {
     let eps = [2.0, 6.0, 10.0];
     let protocols = [
         RsFdProtocol::Grr,
@@ -93,12 +94,12 @@ pub fn run_classifier(cfg: &ExpConfig) -> Table {
             fnum(ms.std),
         ]);
     }
-    table
+    ExperimentReport::new().with("ablation_classifier.csv", table)
 }
 
 /// Top-k sensitivity of the SMP re-identification decision (Adult, GRR,
 /// uniform metric, 5 surveys).
-pub fn run_topk(cfg: &ExpConfig) -> Table {
+pub fn run_topk(cfg: &ExpConfig) -> ExperimentReport {
     let eps = [2.0, 6.0, 10.0];
     let top_ks = [1usize, 5, 10, 50, 100];
     let fig_seed = mix2(cfg.seed, 0x00AB_1A70);
@@ -148,5 +149,5 @@ pub fn run_topk(cfg: &ExpConfig) -> Table {
             fnum(100.0 * top_ks[slot] as f64 / n as f64),
         ]);
     }
-    table
+    ExperimentReport::new().with("ablation_topk.csv", table)
 }

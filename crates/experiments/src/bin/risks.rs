@@ -1,0 +1,22 @@
+//! `risks` — the single registry-driven entry point for every reproduction
+//! experiment (replaces the per-figure binaries and the serial `all`):
+//!
+//! ```sh
+//! risks list                 # every figure/table/ablation in the registry
+//! risks describe fig04       # metadata: paper ref, datasets, cost
+//! risks run fig01 fig04      # parallel, cached, manifest-writing
+//! risks run all --force      # regenerate everything
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match ldp_experiments::cli::parse(&args) {
+        Ok(cmd) => ldp_experiments::cli::execute(cmd),
+        Err(msg) => {
+            eprintln!("risks: {msg}");
+            eprint!("{}", ldp_experiments::cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

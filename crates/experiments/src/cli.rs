@@ -1,0 +1,349 @@
+//! The `risks` command-line interface: `list` / `describe` / `run` over the
+//! experiment registry. Argument parsing is hand-rolled (the workspace
+//! vendors its dependencies — no clap) and lives here, out of the binary, so
+//! it is unit-testable.
+
+use crate::registry::{markdown_matrix, Experiment, ExperimentKind};
+use crate::runner::{run_experiments, ExpStatus, RunOptions};
+use crate::ExpConfig;
+
+/// Usage text printed by `risks help` and on parse errors.
+pub const USAGE: &str = "\
+risks — registry-driven runner for the PVLDB'23 reproduction experiments
+
+USAGE:
+    risks list [--markdown]            enumerate every experiment
+    risks describe <ids…|all>          metadata of selected experiments
+    risks run <ids…|all> [options]     run experiments (parallel, cached)
+    risks help                         this text
+
+RUN OPTIONS (defaults come from the RISKS_* environment variables):
+    --runs <N>       repetitions per parameter point
+    --scale <F>      dataset-size fraction of the paper's n (0.01–1.0)
+    --seed <N>       master seed
+    --threads <N>    total worker-thread budget
+    --jobs <N>       experiments in flight at once (default min(4, threads))
+    --out <DIR>      output directory for CSVs and manifests
+    --force          re-run even when a fresh manifest exists
+    --quiet          suppress table output
+
+An experiment is skipped as a cache hit when `<out>/<id>.manifest.json`
+matches the current (id, seed, runs, scale) hash and git revision and its
+CSVs exist. Exit code: 0 when everything succeeded or was cached, 1
+otherwise.
+";
+
+/// A parsed `risks` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `risks list [--markdown]`.
+    List {
+        /// Emit the README reproduction matrix instead of the plain table.
+        markdown: bool,
+    },
+    /// `risks describe <ids…|all>`.
+    Describe {
+        /// The selected experiments.
+        kinds: Vec<ExperimentKind>,
+    },
+    /// `risks run <ids…|all> [options]`.
+    Run {
+        /// The selected experiments.
+        kinds: Vec<ExperimentKind>,
+        /// `--runs` override.
+        runs: Option<usize>,
+        /// `--scale` override.
+        scale: Option<f64>,
+        /// `--seed` override.
+        seed: Option<u64>,
+        /// `--threads` override.
+        threads: Option<usize>,
+        /// `--jobs` cap on concurrent experiments.
+        jobs: Option<usize>,
+        /// `--out` override.
+        out: Option<String>,
+        /// `--force` re-run flag.
+        force: bool,
+        /// `--quiet` table suppression.
+        quiet: bool,
+    },
+    /// `risks help` / `--help`.
+    Help,
+}
+
+/// Parses argv (without the program name). Errors are user-facing messages.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => {
+            let mut markdown = false;
+            for arg in it {
+                match arg {
+                    "--markdown" => markdown = true,
+                    other => return Err(format!("unknown `list` argument `{other}`")),
+                }
+            }
+            Ok(Command::List { markdown })
+        }
+        Some("describe") => {
+            let mut it = it.peekable();
+            let kinds = parse_ids(&mut it)?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unknown `describe` argument `{extra}`"));
+            }
+            Ok(Command::Describe { kinds })
+        }
+        Some("run") => {
+            let mut it = it.peekable();
+            let kinds = parse_ids(&mut it)?;
+            let (mut runs, mut scale, mut seed, mut threads, mut jobs, mut out) =
+                (None, None, None, None, None, None);
+            let (mut force, mut quiet) = (false, false);
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--force" => force = true,
+                    "--quiet" => quiet = true,
+                    "--runs" => runs = Some(flag_value(arg, it.next())?),
+                    "--scale" => scale = Some(flag_value(arg, it.next())?),
+                    "--seed" => seed = Some(flag_value(arg, it.next())?),
+                    "--threads" => threads = Some(flag_value(arg, it.next())?),
+                    "--jobs" => jobs = Some(flag_value(arg, it.next())?),
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .ok_or("`--out` needs a directory argument")?
+                                .to_string(),
+                        )
+                    }
+                    other => return Err(format!("unknown `run` argument `{other}`")),
+                }
+            }
+            Ok(Command::Run {
+                kinds,
+                runs,
+                scale,
+                seed,
+                threads,
+                jobs,
+                out,
+                force,
+                quiet,
+            })
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `risks help`)")),
+    }
+}
+
+/// Resolves leading experiment ids (`all` expands to the whole registry),
+/// stopping at the first `--flag`. Duplicates are dropped, order kept.
+fn parse_ids<'a, I: Iterator<Item = &'a str>>(
+    it: &mut std::iter::Peekable<I>,
+) -> Result<Vec<ExperimentKind>, String> {
+    let mut kinds: Vec<ExperimentKind> = Vec::new();
+    while let Some(&arg) = it.peek() {
+        if arg.starts_with("--") {
+            break;
+        }
+        it.next();
+        if arg == "all" {
+            for k in ExperimentKind::ALL {
+                if !kinds.contains(&k) {
+                    kinds.push(k);
+                }
+            }
+            continue;
+        }
+        let kind = ExperimentKind::from_id(arg).ok_or_else(|| {
+            format!("unknown experiment `{arg}` (see `risks list` for the registry)")
+        })?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err("no experiments selected (pass ids or `all`)".to_string());
+    }
+    Ok(kinds)
+}
+
+fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&str>) -> Result<T, String> {
+    let raw = value.ok_or_else(|| format!("`{flag}` needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value `{raw}` for `{flag}`"))
+}
+
+/// The plain `risks list` table.
+pub fn list_text() -> String {
+    let mut out = String::new();
+    let width = ExperimentKind::ALL
+        .iter()
+        .map(|k| k.id().len())
+        .max()
+        .unwrap_or(0);
+    for kind in ExperimentKind::ALL {
+        let exp = kind.build();
+        out.push_str(&format!(
+            "{id:<width$}  {paper:<22} {title}\n",
+            id = exp.id(),
+            paper = exp.paper_ref(),
+            title = exp.title(),
+        ));
+    }
+    out
+}
+
+/// Executes a parsed command, returning the process exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            0
+        }
+        Command::List { markdown } => {
+            if markdown {
+                print!("{}", markdown_matrix());
+            } else {
+                print!("{}", list_text());
+            }
+            0
+        }
+        Command::Describe { kinds } => {
+            for kind in kinds {
+                print!("{}", kind.build().describe());
+            }
+            0
+        }
+        Command::Run {
+            kinds,
+            runs,
+            scale,
+            seed,
+            threads,
+            jobs,
+            out,
+            force,
+            quiet,
+        } => {
+            let mut cfg = ExpConfig::from_env();
+            if let Some(v) = runs {
+                cfg.runs = v.max(1);
+            }
+            if let Some(v) = scale {
+                cfg.scale = v.clamp(0.01, 1.0);
+            }
+            if let Some(v) = seed {
+                cfg.seed = v;
+            }
+            if let Some(v) = threads {
+                cfg.threads = v.max(1);
+            }
+            if let Some(v) = out {
+                cfg.out_dir = std::path::PathBuf::from(v);
+            }
+            let opts = RunOptions { force, jobs, quiet };
+            eprintln!(
+                "[risks] {} experiment(s): runs={} scale={} threads={} seed={} out={}",
+                kinds.len(),
+                cfg.runs,
+                cfg.scale,
+                cfg.threads,
+                cfg.seed,
+                cfg.out_dir.display()
+            );
+            let summary = run_experiments(&kinds, &cfg, &opts);
+            let (done, cached, failed) = summary.partition_ids();
+            eprintln!(
+                "[risks] finished in {:.1}s: {} completed, {} cached, {} failed",
+                summary.wall_secs,
+                done.len(),
+                cached.len(),
+                failed.len()
+            );
+            for (kind, status) in &summary.results {
+                if let ExpStatus::Failed(msg) = status {
+                    eprintln!("[risks]   {} failed: {msg}", kind.id());
+                }
+            }
+            i32::from(summary.any_failed())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_list_and_help() {
+        assert_eq!(parse(&s(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["help"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse(&s(&["list"])).unwrap(),
+            Command::List { markdown: false }
+        );
+        assert_eq!(
+            parse(&s(&["list", "--markdown"])).unwrap(),
+            Command::List { markdown: true }
+        );
+    }
+
+    #[test]
+    fn parses_run_with_overrides() {
+        let cmd = parse(&s(&[
+            "run", "fig04", "fig01", "--scale", "0.01", "--jobs", "2", "--force",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                kinds,
+                scale,
+                jobs,
+                force,
+                quiet,
+                ..
+            } => {
+                assert_eq!(kinds, vec![ExperimentKind::Fig04, ExperimentKind::Fig01]);
+                assert_eq!(scale, Some(0.01));
+                assert_eq!(jobs, Some(2));
+                assert!(force);
+                assert!(!quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_expands_and_dedupes() {
+        let cmd = parse(&s(&["describe", "fig04", "all"])).unwrap();
+        match cmd {
+            Command::Describe { kinds } => {
+                assert_eq!(kinds.len(), ExperimentKind::ALL.len());
+                assert_eq!(kinds[0], ExperimentKind::Fig04);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(parse(&s(&["run"])).is_err());
+        assert!(parse(&s(&["run", "fig99"])).is_err());
+        assert!(parse(&s(&["run", "fig01", "--bogus"])).is_err());
+        assert!(parse(&s(&["run", "fig01", "--scale"])).is_err());
+        assert!(parse(&s(&["describe", "fig01", "--markdwon"])).is_err());
+        assert!(parse(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn list_text_covers_registry() {
+        let text = list_text();
+        assert_eq!(text.lines().count(), ExperimentKind::ALL.len());
+        assert!(text.contains("fig04"));
+        assert!(text.contains("ablation_topk"));
+    }
+}

@@ -5,6 +5,7 @@
 use ldp_core::profiling::{expected_acc_nonuniform, expected_acc_uniform};
 use ldp_protocols::{deniability, ProtocolKind};
 
+use crate::registry::ExperimentReport;
 use crate::table::{fnum, Table};
 use crate::{eps_grid, ExpConfig};
 
@@ -18,8 +19,9 @@ pub fn acc_per_attribute(kind: ProtocolKind, eps: f64, ks: &[usize]) -> Vec<f64>
         .collect()
 }
 
-/// Runs the figure; prints the table and writes `fig01.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig01.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+    let _ = cfg; // analytical: nothing to scale or seed
     let mut table = Table::new(
         "Fig 1: analytical expected ACC after #surveys = d = 3 (k = [74, 7, 16])",
         &["protocol", "eps", "acc_uniform_pct", "acc_nonuniform_pct"],
@@ -35,7 +37,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
             ]);
         }
     }
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig01.csv");
-    table
+    ExperimentReport::new().with("fig01.csv", table)
 }

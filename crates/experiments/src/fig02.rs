@@ -4,12 +4,12 @@
 use ldp_protocols::ProtocolKind;
 use ldp_sim::SamplingSetting;
 
+use crate::registry::ExperimentReport;
 use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
-use crate::table::Table;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig02.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig02.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let params = SmpReidentParams {
         dataset: DatasetChoice::Adult,
         // The paper plots GRR / SUE / OLH / OUE and notes ω-SS ≈ GRR; we
@@ -21,7 +21,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         n_surveys: 5,
     };
     let table = crate::smp_reident::run(cfg, &params, "Fig 2 (Adult, FK-RI, uniform eps-LDP)");
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig02.csv");
-    table
+    ExperimentReport::new().with("fig02.csv", table)
 }

@@ -4,11 +4,11 @@
 use ldp_core::solutions::RsFdProtocol;
 
 use crate::aif::{AifDataset, AifParams, SolutionSpec};
-use crate::table::Table;
+use crate::registry::ExperimentReport;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig03.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig03.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let params = AifParams {
         dataset: AifDataset::Acs,
         specs: RsFdProtocol::ALL
@@ -19,7 +19,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         eps: eps_grid(),
     };
     let table = crate::aif::run(cfg, &params, "Fig 3 (ACSEmployment, RS+FD)");
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig03.csv");
-    table
+    ExperimentReport::new().with("fig03.csv", table)
 }

@@ -1,4 +1,4 @@
-//! Fig. 4: RID-ACC on Adult against the **RS+FD[GRR]** solution (FK-RI,
+//! Fig. 4: RID-ACC on Adult against the **RS+FD\[GRR\]** solution (FK-RI,
 //! uniform metric): the adversary must first infer the sampled attribute
 //! (NK, s = 1n), so profiling errors chain and re-identification collapses
 //! compared with SMP (Fig. 2).
@@ -15,11 +15,12 @@ use ldp_sim::{run_rsfd_campaign, AttackPipeline, RsFdCampaignConfig, SurveyPlan}
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::registry::ExperimentReport;
 use crate::table::{fnum, Table};
 use crate::{eps_grid, ExpConfig, SURVEY_COUNTS, TOP_KS};
 
-/// Runs the figure; prints the table and writes `fig04.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig04.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let eps = eps_grid();
     let fig_seed = mix2(cfg.seed, 0x000F_1604);
     let n_surveys = 5usize;
@@ -92,7 +93,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
             fnum(100.0 * k as f64 / n_population as f64),
         ]);
     }
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig04.csv");
-    table
+    ExperimentReport::new().with("fig04.csv", table)
 }

@@ -8,7 +8,7 @@ use ldp_protocols::UeMode;
 
 use crate::aif::{AifDataset, PriorSpec};
 use crate::mse::{MseMethod, MseParams};
-use crate::table::Table;
+use crate::registry::ExperimentReport;
 use crate::{eps_ln_grid, ExpConfig};
 
 fn methods(prior: PriorSpec) -> Vec<MseMethod> {
@@ -22,17 +22,15 @@ fn methods(prior: PriorSpec) -> Vec<MseMethod> {
     ]
 }
 
-/// Runs the figure; prints both tables and writes
-/// `fig05_correct.csv` / `fig05_incorrect.csv`.
-pub fn run(cfg: &ExpConfig) -> (Table, Table) {
+/// Runs the figure; the report carries `fig05_correct.csv` and
+/// `fig05_incorrect.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let correct = MseParams {
         dataset: AifDataset::Acs,
         methods: methods(PriorSpec::Correct),
         eps: eps_ln_grid(),
     };
     let t_correct = crate::mse::run(cfg, &correct, "Fig 5a (ACSEmployment, correct priors)");
-    t_correct.print();
-    t_correct.write_csv(&cfg.out_dir, "fig05_correct.csv");
 
     let incorrect = MseParams {
         dataset: AifDataset::Acs,
@@ -44,7 +42,7 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         &incorrect,
         "Fig 5b (ACSEmployment, incorrect DIR priors)",
     );
-    t_incorrect.print();
-    t_incorrect.write_csv(&cfg.out_dir, "fig05_incorrect.csv");
-    (t_correct, t_incorrect)
+    ExperimentReport::new()
+        .with("fig05_correct.csv", t_correct)
+        .with("fig05_incorrect.csv", t_incorrect)
 }

@@ -5,11 +5,11 @@
 use ldp_core::solutions::RsRfdProtocol;
 
 use crate::aif::{AifDataset, AifParams, PriorSpec, SolutionSpec};
-use crate::table::Table;
+use crate::registry::ExperimentReport;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig06.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig06.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let params = AifParams {
         dataset: AifDataset::Acs,
         specs: RsRfdProtocol::ALL
@@ -24,7 +24,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         &params,
         "Fig 6 (ACSEmployment, RS+RFD, correct priors)",
     );
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig06.csv");
-    table
+    ExperimentReport::new().with("fig06.csv", table)
 }

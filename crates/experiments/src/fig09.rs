@@ -4,12 +4,12 @@
 use ldp_protocols::ProtocolKind;
 use ldp_sim::SamplingSetting;
 
+use crate::registry::ExperimentReport;
 use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
-use crate::table::Table;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig09.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig09.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let params = SmpReidentParams {
         dataset: DatasetChoice::Acs,
         kinds: ProtocolKind::ALL.to_vec(),
@@ -23,7 +23,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         &params,
         "Fig 9 (ACSEmployment, FK-RI, uniform eps-LDP)",
     );
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig09.csv");
-    table
+    ExperimentReport::new().with("fig09.csv", table)
 }

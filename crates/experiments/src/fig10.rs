@@ -4,12 +4,12 @@
 use ldp_protocols::ProtocolKind;
 use ldp_sim::SamplingSetting;
 
+use crate::registry::ExperimentReport;
 use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
-use crate::table::Table;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig10.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig10.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let params = SmpReidentParams {
         dataset: DatasetChoice::Adult,
         kinds: ProtocolKind::ALL.to_vec(),
@@ -19,7 +19,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         n_surveys: 5,
     };
     let table = crate::smp_reident::run(cfg, &params, "Fig 10 (Adult, PK-RI, uniform eps-LDP)");
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig10.csv");
-    table
+    ExperimentReport::new().with("fig10.csv", table)
 }

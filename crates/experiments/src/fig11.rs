@@ -5,13 +5,12 @@
 use ldp_protocols::ProtocolKind;
 use ldp_sim::SamplingSetting;
 
+use crate::registry::ExperimentReport;
 use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
-use crate::table::Table;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints both tables and writes
-/// `fig11_fk.csv` / `fig11_pk.csv`.
-pub fn run(cfg: &ExpConfig) -> (Table, Table) {
+/// Runs the figure; the report carries `fig11_fk.csv` and `fig11_pk.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let base = SmpReidentParams {
         dataset: DatasetChoice::Adult,
         kinds: ProtocolKind::ALL.to_vec(),
@@ -21,15 +20,13 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         n_surveys: 5,
     };
     let fk = crate::smp_reident::run(cfg, &base, "Fig 11 FK-RI (Adult, non-uniform eps-LDP)");
-    fk.print();
-    fk.write_csv(&cfg.out_dir, "fig11_fk.csv");
 
     let pk_params = SmpReidentParams {
         background: Background::Partial,
         ..base
     };
     let pk = crate::smp_reident::run(cfg, &pk_params, "Fig 11 PK-RI (Adult, non-uniform eps-LDP)");
-    pk.print();
-    pk.write_csv(&cfg.out_dir, "fig11_pk.csv");
-    (fk, pk)
+    ExperimentReport::new()
+        .with("fig11_fk.csv", fk)
+        .with("fig11_pk.csv", pk)
 }

@@ -5,13 +5,12 @@
 use ldp_protocols::ProtocolKind;
 use ldp_sim::SamplingSetting;
 
+use crate::registry::ExperimentReport;
 use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
-use crate::table::Table;
 use crate::{beta_grid, ExpConfig};
 
-/// Runs the figure; prints both tables and writes
-/// `fig12_fk.csv` / `fig12_pk.csv`.
-pub fn run(cfg: &ExpConfig) -> (Table, Table) {
+/// Runs the figure; the report carries `fig12_fk.csv` and `fig12_pk.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let base = SmpReidentParams {
         dataset: DatasetChoice::Adult,
         kinds: ProtocolKind::ALL.to_vec(),
@@ -21,15 +20,13 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         n_surveys: 5,
     };
     let fk = crate::smp_reident::run(cfg, &base, "Fig 12 FK-RI (Adult, uniform alpha-PIE)");
-    fk.print();
-    fk.write_csv(&cfg.out_dir, "fig12_fk.csv");
 
     let pk_params = SmpReidentParams {
         background: Background::Partial,
         ..base
     };
     let pk = crate::smp_reident::run(cfg, &pk_params, "Fig 12 PK-RI (Adult, uniform alpha-PIE)");
-    pk.print();
-    pk.write_csv(&cfg.out_dir, "fig12_pk.csv");
-    (fk, pk)
+    ExperimentReport::new()
+        .with("fig12_fk.csv", fk)
+        .with("fig12_pk.csv", pk)
 }

@@ -4,13 +4,12 @@
 use ldp_protocols::ProtocolKind;
 use ldp_sim::SamplingSetting;
 
+use crate::registry::ExperimentReport;
 use crate::smp_reident::{Background, DatasetChoice, SmpReidentParams, XAxis};
-use crate::table::Table;
 use crate::{beta_grid, ExpConfig};
 
-/// Runs the figure; prints both tables and writes
-/// `fig13_fk.csv` / `fig13_pk.csv`.
-pub fn run(cfg: &ExpConfig) -> (Table, Table) {
+/// Runs the figure; the report carries `fig13_fk.csv` and `fig13_pk.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let base = SmpReidentParams {
         dataset: DatasetChoice::Adult,
         kinds: ProtocolKind::ALL.to_vec(),
@@ -20,8 +19,6 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         n_surveys: 5,
     };
     let fk = crate::smp_reident::run(cfg, &base, "Fig 13 FK-RI (Adult, non-uniform alpha-PIE)");
-    fk.print();
-    fk.write_csv(&cfg.out_dir, "fig13_fk.csv");
 
     let pk_params = SmpReidentParams {
         background: Background::Partial,
@@ -32,7 +29,7 @@ pub fn run(cfg: &ExpConfig) -> (Table, Table) {
         &pk_params,
         "Fig 13 PK-RI (Adult, non-uniform alpha-PIE)",
     );
-    pk.print();
-    pk.write_csv(&cfg.out_dir, "fig13_pk.csv");
-    (fk, pk)
+    ExperimentReport::new()
+        .with("fig13_fk.csv", fk)
+        .with("fig13_pk.csv", pk)
 }

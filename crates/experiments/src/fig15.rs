@@ -5,11 +5,11 @@
 use ldp_core::solutions::RsFdProtocol;
 
 use crate::aif::{AifDataset, AifParams, SolutionSpec};
-use crate::table::Table;
+use crate::registry::ExperimentReport;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig15.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig15.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let params = AifParams {
         dataset: AifDataset::Nursery,
         specs: RsFdProtocol::ALL
@@ -20,7 +20,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         eps: eps_grid(),
     };
     let table = crate::aif::run(cfg, &params, "Fig 15 (Nursery, RS+FD)");
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig15.csv");
-    table
+    ExperimentReport::new().with("fig15.csv", table)
 }

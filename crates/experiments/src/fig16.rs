@@ -8,7 +8,7 @@ use ldp_protocols::UeMode;
 
 use crate::aif::{AifDataset, PriorSpec};
 use crate::mse::{MseMethod, MseParams};
-use crate::table::Table;
+use crate::registry::ExperimentReport;
 use crate::{eps_ln_grid, ExpConfig};
 
 fn methods(prior: PriorSpec) -> Vec<MseMethod> {
@@ -22,17 +22,16 @@ fn methods(prior: PriorSpec) -> Vec<MseMethod> {
     ]
 }
 
-/// Runs the figure; prints one table per prior family and writes
-/// `fig16_<prior>.csv`. The `analytic_var` column carries the paper's
-/// analytical curves.
-pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+/// Runs the figure; the report carries one `fig16_<prior>.csv` per prior
+/// family. The `analytic_var` column carries the paper's analytical curves.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let priors = [
         ("correct", PriorSpec::Correct),
         ("dir", PriorSpec::Incorrect(IncorrectPrior::Dirichlet)),
         ("zipf", PriorSpec::Incorrect(IncorrectPrior::Zipf)),
         ("exp", PriorSpec::Incorrect(IncorrectPrior::Exp)),
     ];
-    let mut tables = Vec::new();
+    let mut report = ExperimentReport::new();
     for (label, prior) in priors {
         let params = MseParams {
             dataset: AifDataset::Adult,
@@ -44,9 +43,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             &params,
             &format!("Fig 16 (Adult, {label} priors, analytic + experimental)"),
         );
-        table.print();
-        table.write_csv(&cfg.out_dir, &format!("fig16_{label}.csv"));
-        tables.push(table);
+        report = report.with(format!("fig16_{label}.csv"), table);
     }
-    tables
+    report
 }

@@ -6,11 +6,11 @@ use ldp_core::solutions::RsRfdProtocol;
 use ldp_datasets::priors::IncorrectPrior;
 
 use crate::aif::{AifDataset, AifParams, PriorSpec, SolutionSpec};
-use crate::table::Table;
+use crate::registry::ExperimentReport;
 use crate::{eps_grid, ExpConfig};
 
-/// Runs the figure; prints the table and writes `fig17.csv`.
-pub fn run(cfg: &ExpConfig) -> Table {
+/// Runs the figure; the report carries `fig17.csv`.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let mut specs = Vec::new();
     for prior in [
         IncorrectPrior::Dirichlet,
@@ -41,7 +41,5 @@ pub fn run(cfg: &ExpConfig) -> Table {
         &params,
         "Fig 17 (ACSEmployment, RS+RFD, incorrect priors)",
     );
-    table.print();
-    table.write_csv(&cfg.out_dir, "fig17.csv");
-    table
+    ExperimentReport::new().with("fig17.csv", table)
 }

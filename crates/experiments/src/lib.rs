@@ -1,10 +1,23 @@
 //! # ldp-experiments
 //!
-//! Reproduction harness: one binary per figure of the paper's evaluation
-//! (see DESIGN.md §5 for the experiment index). Every binary prints the
-//! series the paper plots and writes a CSV under `results/`.
+//! Reproduction harness behind one registry-driven entry point: every figure,
+//! table and ablation of the paper's evaluation is an [`registry::ExperimentKind`]
+//! (the experiment-layer mirror of `SolutionKind`/`AttackKind`), and the
+//! `risks` binary drives the whole registry:
 //!
-//! Scale knobs (environment variables):
+//! ```sh
+//! risks list                    # enumerate the registry
+//! risks describe fig04         # paper ref, datasets, outputs, cost
+//! risks run fig01 fig04        # parallel, longest-first, manifest-cached
+//! risks run all                # the whole reproduction
+//! ```
+//!
+//! Each run prints the series the paper plots, writes CSVs under `results/`
+//! and records a `<id>.manifest.json` (config hash, seed, scale, wall time,
+//! outputs, git rev) so identical re-runs are cache hits (see
+//! [`manifest`] / [`runner`]).
+//!
+//! Scale knobs (environment variables; `risks run` flags override them):
 //!
 //! * `RISKS_RUNS` — repetitions averaged per point (default 3; paper: 20).
 //! * `RISKS_SCALE` — dataset-size fraction of the paper's n (default 0.15).
@@ -15,8 +28,12 @@
 
 pub mod ablation;
 pub mod aif;
+pub mod cli;
 pub mod config;
+pub mod manifest;
 pub mod mse;
+pub mod registry;
+pub mod runner;
 pub mod smp_reident;
 pub mod table;
 
@@ -37,6 +54,7 @@ pub mod fig16;
 pub mod fig17;
 
 pub use config::ExpConfig;
+pub use registry::{DynExperiment, Experiment, ExperimentKind, ExperimentReport};
 pub use table::Table;
 
 /// The paper's ε grid for the attack experiments (§4.2).

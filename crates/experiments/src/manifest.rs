@@ -1,0 +1,325 @@
+//! Per-run JSON manifests: every `risks run` writes one
+//! `<id>.manifest.json` next to the experiment's CSVs recording *what*
+//! produced them — config hash, seed, scale, wall time, output files and git
+//! revision — so result directories are diffable and runs are resumable
+//! (`risks run` skips an experiment whose manifest matches the current
+//! config hash unless `--force`).
+//!
+//! The format is deliberately flat (string / number / string-array fields
+//! only) so it round-trips through the tiny hand-rolled parser below — the
+//! workspace vendors its few dependencies and carries no JSON crate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ldp_protocols::hash::mix2;
+
+use crate::ExpConfig;
+
+/// Record of one completed experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Experiment identifier (`"fig04"`).
+    pub id: String,
+    /// Hash of everything that determines the results (id, seed, runs,
+    /// scale) — *not* thread count or output directory, which don't.
+    pub config_hash: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Repetitions per parameter point.
+    pub runs: usize,
+    /// Dataset-size fraction of the paper's n.
+    pub scale: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Total data rows across the produced tables.
+    pub rows: usize,
+    /// `git rev-parse HEAD` at run time, when available.
+    pub git_rev: Option<String>,
+    /// CSV files the run produced (relative to the manifest's directory).
+    pub outputs: Vec<String>,
+}
+
+/// The result-determining config hash for one experiment id, formatted as a
+/// fixed-width hex string.
+pub fn config_hash(id: &str, cfg: &ExpConfig) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    for &b in id.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    h = mix2(h, cfg.seed);
+    h = mix2(h, cfg.runs as u64);
+    h = mix2(h, cfg.scale.to_bits());
+    format!("{h:016x}")
+}
+
+/// Best-effort current git revision (the manifests should work from plain
+/// tarballs too, so failure is just `None`).
+pub fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+impl Manifest {
+    /// The manifest path for experiment `id` under `dir`.
+    pub fn path(dir: &Path, id: &str) -> PathBuf {
+        dir.join(format!("{id}.manifest.json"))
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|o| format!("\"{}\"", escape(o)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let git_rev = match &self.git_rev {
+            Some(rev) => format!("\"{}\"", escape(rev)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"id\": \"{id}\",\n  \"config_hash\": \"{hash}\",\n  \"seed\": {seed},\n  \
+             \"runs\": {runs},\n  \"scale\": {scale},\n  \"wall_secs\": {wall},\n  \
+             \"rows\": {rows},\n  \"git_rev\": {git_rev},\n  \"outputs\": [{outputs}]\n}}\n",
+            id = escape(&self.id),
+            hash = escape(&self.config_hash),
+            seed = self.seed,
+            runs = self.runs,
+            scale = self.scale,
+            wall = self.wall_secs,
+            rows = self.rows,
+        )
+    }
+
+    /// Parses a manifest written by [`Manifest::to_json`]. Returns `None` on
+    /// any missing field — a truncated or hand-edited manifest simply counts
+    /// as "no previous run".
+    pub fn parse(json: &str) -> Option<Manifest> {
+        Some(Manifest {
+            id: str_field(json, "id")?,
+            config_hash: str_field(json, "config_hash")?,
+            seed: int_field(json, "seed")?,
+            runs: int_field(json, "runs")? as usize,
+            scale: num_field(json, "scale")?,
+            wall_secs: num_field(json, "wall_secs")?,
+            rows: int_field(json, "rows")? as usize,
+            git_rev: str_field(json, "git_rev"),
+            outputs: str_array_field(json, "outputs")?,
+        })
+    }
+
+    /// Writes the manifest into `dir` (creating it), returning the path.
+    ///
+    /// # Panics
+    /// Panics on I/O failure — a run whose record cannot be persisted should
+    /// fail loudly.
+    pub fn write(&self, dir: &Path) -> PathBuf {
+        fs::create_dir_all(dir).expect("cannot create output directory");
+        let path = Manifest::path(dir, &self.id);
+        fs::write(&path, self.to_json()).expect("cannot write manifest");
+        path
+    }
+
+    /// Loads the manifest for `id` from `dir`, if present and parseable.
+    pub fn load(dir: &Path, id: &str) -> Option<Manifest> {
+        let json = fs::read_to_string(Manifest::path(dir, id)).ok()?;
+        Manifest::parse(&json)
+    }
+
+    /// Whether this manifest certifies a cache hit for the given config:
+    /// matching config hash, every recorded output still on disk, and — when
+    /// both sides know their git revision — the same code. The config hash
+    /// covers only `(id, seed, runs, scale)`; results also depend on the
+    /// code that produced them, so a recorded revision different from
+    /// `current_rev` means the CSVs may be stale and the run is redone.
+    pub fn is_fresh(&self, id: &str, cfg: &ExpConfig, current_rev: Option<&str>) -> bool {
+        let same_code = match (&self.git_rev, current_rev) {
+            (Some(recorded), Some(current)) => recorded == current,
+            // Either side unknown (tarball checkout): trust the hash.
+            _ => true,
+        };
+        self.id == id
+            && same_code
+            && self.config_hash == config_hash(id, cfg)
+            && !self.outputs.is_empty()
+            && self.outputs.iter().all(|o| cfg.out_dir.join(o).is_file())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Value of `"key": "value"`, unescaped.
+fn str_field(json: &str, key: &str) -> Option<String> {
+    let rest = field_value(json, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Value of `"key": <integer>`, parsed without an f64 detour (u64 seeds
+/// above 2^53 must round-trip exactly).
+fn int_field(json: &str, key: &str) -> Option<u64> {
+    let rest = field_value(json, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Value of `"key": <number>`.
+fn num_field(json: &str, key: &str) -> Option<f64> {
+    let rest = field_value(json, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Value of `"key": ["a", "b"]` as owned strings.
+fn str_array_field(json: &str, key: &str) -> Option<Vec<String>> {
+    let rest = field_value(json, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    let mut out = Vec::new();
+    let mut remaining = body.trim();
+    while remaining.starts_with('"') {
+        let item = str_field(&format!("\"x\": {remaining}"), "x")?;
+        // Advance past the quoted item (re-escaped length + 2 quotes).
+        let consumed = 2 + escape(&item).len();
+        remaining = remaining[consumed..].trim_start_matches(',').trim();
+        out.push(item);
+    }
+    remaining.is_empty().then_some(out)
+}
+
+/// The text right after `"key":`, trimmed.
+fn field_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    Some(json[at + needle.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn cfg(seed: u64, runs: usize, scale: f64) -> ExpConfig {
+        ExpConfig {
+            runs,
+            scale,
+            threads: 1,
+            seed,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            id: "fig04".to_string(),
+            config_hash: config_hash("fig04", &cfg(42, 3, 0.15)),
+            seed: 42,
+            runs: 3,
+            scale: 0.15,
+            wall_secs: 12.5,
+            rows: 160,
+            git_rev: Some("deadbeef".to_string()),
+            outputs: vec!["fig04.csv".to_string()],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.to_json()), Some(m));
+    }
+
+    #[test]
+    fn large_seeds_roundtrip_exactly() {
+        // Above 2^53 an f64 detour would round the seed.
+        let m = Manifest {
+            seed: u64::MAX - 1,
+            ..sample()
+        };
+        assert_eq!(Manifest::parse(&m.to_json()), Some(m));
+    }
+
+    #[test]
+    fn roundtrip_without_git_rev() {
+        let m = Manifest {
+            git_rev: None,
+            ..sample()
+        };
+        assert_eq!(Manifest::parse(&m.to_json()), Some(m));
+    }
+
+    #[test]
+    fn hash_depends_on_result_inputs_only() {
+        let base = config_hash("fig04", &cfg(42, 3, 0.15));
+        assert_eq!(base, config_hash("fig04", &cfg(42, 3, 0.15)));
+        assert_ne!(base, config_hash("fig02", &cfg(42, 3, 0.15)));
+        assert_ne!(base, config_hash("fig04", &cfg(43, 3, 0.15)));
+        assert_ne!(base, config_hash("fig04", &cfg(42, 4, 0.15)));
+        assert_ne!(base, config_hash("fig04", &cfg(42, 3, 0.2)));
+        // Threads and out_dir must NOT change the hash.
+        let mut other = cfg(42, 3, 0.15);
+        other.threads = 8;
+        other.out_dir = PathBuf::from("elsewhere");
+        assert_eq!(base, config_hash("fig04", &other));
+    }
+
+    #[test]
+    fn freshness_requires_outputs_on_disk() {
+        let dir = std::env::temp_dir().join("ldp_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut c = cfg(42, 3, 0.15);
+        c.out_dir.clone_from(&dir);
+        let m = Manifest {
+            config_hash: config_hash("fig04", &c),
+            ..sample()
+        };
+        std::fs::remove_file(dir.join("fig04.csv")).ok();
+        assert!(
+            !m.is_fresh("fig04", &c, None),
+            "missing CSV must not be fresh"
+        );
+        std::fs::write(dir.join("fig04.csv"), "x\n").unwrap();
+        assert!(m.is_fresh("fig04", &c, None));
+        // Same code revision (or an unknown one) keeps the hit; a different
+        // revision means the CSVs may be stale.
+        assert!(m.is_fresh("fig04", &c, Some("deadbeef")));
+        assert!(!m.is_fresh("fig04", &c, Some("0123abcd")));
+        let unrecorded = Manifest {
+            git_rev: None,
+            ..m.clone()
+        };
+        assert!(unrecorded.is_fresh("fig04", &c, Some("0123abcd")));
+        // A config change invalidates the hit.
+        c.seed = 7;
+        assert!(!m.is_fresh("fig04", &c, None));
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let json = sample().to_json();
+        assert_eq!(Manifest::parse(&json[..json.len() / 2]), None);
+    }
+}

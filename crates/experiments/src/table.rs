@@ -75,15 +75,11 @@ impl Table {
         out
     }
 
-    /// Prints the aligned table to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-
-    /// Writes the table as CSV into `dir/name` (creating `dir`).
+    /// Writes the table as CSV into `dir/name` (creating `dir`). Silent on
+    /// success — progress reporting is the runner's job.
     ///
     /// # Panics
-    /// Panics on I/O failure — experiment binaries should fail loudly.
+    /// Panics on I/O failure — experiment runs should fail loudly.
     pub fn write_csv(&self, dir: &Path, name: &str) {
         fs::create_dir_all(dir).expect("cannot create output directory");
         let path = dir.join(name);
@@ -92,7 +88,6 @@ impl Table {
         for row in &self.rows {
             writeln!(f, "{}", row.join(",")).expect("csv write failed");
         }
-        println!("[csv] {}", path.display());
     }
 }
 

@@ -1,7 +1,7 @@
 //! Consistency post-processing for frequency estimates.
 //!
 //! Eq. (2) estimates are unbiased but unconstrained: entries can be negative
-//! and need not sum to one. The paper's pipeline (and its reference [52],
+//! and need not sum to one. The paper's pipeline (and its reference \[52\],
 //! Wang et al., NDSS'20) post-processes estimates onto the probability
 //! simplex. Two standard methods are provided:
 //!

@@ -22,6 +22,8 @@
 //! * [`par`] — deterministic scoped-thread parallel helpers used by the heavy
 //!   sweeps.
 
+#![deny(missing_docs)]
+
 pub mod attack_pipeline;
 pub mod campaign;
 pub mod composition;

@@ -42,7 +42,8 @@ where
 }
 
 /// Maps `f` over the users `0..n` in parallel, handing each user its own
-/// [`StdRng`] derived from `(seed, uid, salt)` — the single sharding idiom
+/// [`StdRng`](rand::rngs::StdRng) derived from `(seed, uid, salt)` — the
+/// single sharding idiom
 /// shared by the campaigns, the collection pipeline and the attack pipeline.
 /// Deterministic in `seed`, independent of `threads`.
 pub fn par_users<T, F>(n: usize, threads: usize, seed: u64, salt: u64, f: F) -> Vec<T>
@@ -95,6 +96,57 @@ where
     par_chunks(n, threads, |range| range.map(&f).collect())
 }
 
+/// Dynamic work-queue scheduling for **heterogeneous** jobs: `workers`
+/// threads pull indices `0..n` from a shared atomic counter, so a long job
+/// never blocks the queue the way [`par_chunks`]' static ranges would.
+/// Callers wanting longest-first completion sort their jobs by descending
+/// cost before calling. Outputs come back in index order.
+///
+/// This is the cross-*experiment* scheduler hook: the `risks` runner puts
+/// whole figures on the queue while each figure parallelizes internally over
+/// its own share of the thread budget.
+///
+/// ```
+/// let out = ldp_sim::par::par_queue(5, 3, |i| i * i);
+/// assert_eq!(out, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn par_queue<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
 /// A sensible default thread count for the current machine.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -129,5 +181,28 @@ mod tests {
     fn single_thread_runs_inline() {
         let out = par_map(8, 1, |i| i + 1);
         assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn par_queue_returns_in_index_order() {
+        for workers in [1, 2, 5, 16] {
+            let out = par_queue(23, workers, |i| i * 3);
+            assert_eq!(out, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        assert_eq!(par_queue(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn par_queue_drains_under_skewed_costs() {
+        // One slow job must not starve the rest of the queue: with static
+        // chunking a 2-worker split would serialize ~half the jobs behind
+        // the slow one; the queue hands them to the free worker instead.
+        let out = par_queue(8, 2, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
 }

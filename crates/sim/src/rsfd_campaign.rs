@@ -23,7 +23,7 @@ use crate::survey::SurveyPlan;
 /// Configuration of an RS+FD re-identification campaign.
 #[derive(Debug, Clone)]
 pub struct RsFdCampaignConfig {
-    /// RS+FD variant (the paper evaluates RS+FD[GRR] as the middle ground).
+    /// RS+FD variant (the paper evaluates RS+FD\[GRR\] as the middle ground).
     pub protocol: RsFdProtocol,
     /// Per-user budget ε.
     pub epsilon: f64,
