@@ -1,0 +1,154 @@
+//! Ingestion throughput of the `ldp_server` streaming service — the
+//! machine-readable perf trajectory of the serving layer.
+//!
+//! Unlike the Criterion micro-benchmarks, this is a custom harness: it
+//! measures end-to-end reports/sec (client sanitization → bounded-channel
+//! routing → sharded absorb → graceful drain) for n ∈ {1M, 10M} synthetic
+//! users at 1/2/8 worker threads, and **emits `BENCH_ingest.json`** at the
+//! workspace root (override with the `BENCH_OUT` env var) so CI can archive
+//! the numbers run over run.
+//!
+//! Under `--test` / `--smoke` (what `cargo test` and the CI smoke job pass)
+//! only a small population runs, and the JSON is tagged `"smoke": true`.
+//!
+//! Tuples are synthesized on the fly from the uid — no dataset is
+//! materialized — so the bench exercises exactly the serving path and its
+//! memory stays flat in n, mirroring the server's `O(Σ_j k_j)` contract.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ldp_core::solutions::{RsFdProtocol, SolutionKind};
+use ldp_protocols::hash::mix3;
+use ldp_server::{Envelope, LdpServer, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Salt separating the bench's per-user rng streams from everything else.
+const BENCH_SALT: u64 = 0x0146_3E57;
+
+/// Producer-side chunk size (envelopes per `ingest_batch` call).
+const CHUNK: usize = 1024;
+
+/// One measured configuration.
+struct Measurement {
+    n: usize,
+    threads: usize,
+    wall_secs: f64,
+    reports_per_sec: f64,
+}
+
+/// Deterministic synthetic tuple for `uid` over the bench domain `ks`.
+fn tuple_of(uid: u64, ks: &[usize]) -> Vec<u32> {
+    ks.iter()
+        .enumerate()
+        .map(|(j, &k)| (mix3(uid, j as u64, 0xD07) % k as u64) as u32)
+        .collect()
+}
+
+/// Streams `n` users through a `threads`-sharded server with `threads`
+/// producer threads and returns the measured throughput.
+fn run_once(solution_kind: SolutionKind, ks: &[usize], n: usize, threads: usize) -> Measurement {
+    let solution = solution_kind.build(ks, 1.0).expect("bench solution builds");
+    let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(threads));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..threads {
+            let server = &server;
+            let solution = &solution;
+            scope.spawn(move || {
+                let lo = p * n / threads;
+                let hi = (p + 1) * n / threads;
+                let mut chunk = Vec::with_capacity(CHUNK);
+                for uid in lo as u64..hi as u64 {
+                    let mut rng = StdRng::seed_from_u64(mix3(0xBEAC, uid, BENCH_SALT));
+                    chunk.push(Envelope {
+                        uid,
+                        report: solution.report(&tuple_of(uid, ks), &mut rng),
+                    });
+                    if chunk.len() == CHUNK {
+                        server.ingest_batch(chunk.drain(..));
+                    }
+                }
+                server.ingest_batch(chunk);
+            });
+        }
+    });
+    let snapshot = server.drain();
+    let wall_secs = started.elapsed().as_secs_f64();
+    assert_eq!(snapshot.n, n as u64, "every report must be absorbed");
+    assert!(
+        snapshot.estimates.iter().flatten().all(|f| f.is_finite()),
+        "drained estimates must be finite"
+    );
+    Measurement {
+        n,
+        threads,
+        wall_secs,
+        reports_per_sec: n as f64 / wall_secs.max(1e-9),
+    }
+}
+
+/// Hand-rolled JSON (the workspace carries no JSON crate).
+fn to_json(solution: &str, smoke: bool, results: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"ingest\",");
+    let _ = writeln!(out, "  \"solution\": \"{solution}\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"threads\": {}, \"wall_secs\": {:.4}, \"reports_per_sec\": {:.0}}}{comma}",
+            m.n, m.threads, m.wall_secs, m.reports_per_sec
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `BENCH_OUT` env override, else `<workspace root>/BENCH_ingest.json`.
+fn output_path() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("BENCH_OUT") {
+        return std::path::PathBuf::from(path);
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ingest.json")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[20_000]
+    } else {
+        &[1_000_000, 10_000_000]
+    };
+    let threads = [1usize, 2, 8];
+    // A compact domain keeps the bench measuring channels + absorb, not
+    // cache misses over a huge count table.
+    let ks = [16usize, 8, 5, 4];
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        for &t in &threads {
+            let m = run_once(kind, &ks, n, t);
+            println!(
+                "ingest {} n={} threads={}: {:.3}s, {:.0} reports/sec",
+                kind.name(),
+                m.n,
+                m.threads,
+                m.wall_secs,
+                m.reports_per_sec
+            );
+            results.push(m);
+        }
+    }
+
+    let path = output_path();
+    std::fs::write(&path, to_json(&kind.name(), smoke, &results))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}

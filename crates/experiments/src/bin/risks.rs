@@ -6,6 +6,7 @@
 //! risks describe fig04       # metadata: paper ref, datasets, cost
 //! risks run fig01 fig04      # parallel, cached, manifest-writing
 //! risks run all --force      # regenerate everything
+//! risks serve --shape burst  # stream a corpus through the ingestion server
 //! ```
 
 fn main() {

@@ -5,7 +5,9 @@
 
 use crate::registry::{markdown_matrix, Experiment, ExperimentKind};
 use crate::runner::{run_experiments, ExpStatus, RunOptions};
+use crate::serve::{solution_from_id, ServeDataset, ServeSpec};
 use crate::ExpConfig;
+use ldp_sim::traffic::TrafficShape;
 
 /// Usage text printed by `risks help` and on parse errors.
 pub const USAGE: &str = "\
@@ -15,6 +17,7 @@ USAGE:
     risks list [--markdown]            enumerate every experiment
     risks describe <ids…|all>          metadata of selected experiments
     risks run <ids…|all> [options]     run experiments (parallel, cached)
+    risks serve [options]              stream a corpus through ldp_server
     risks help                         this text
 
 RUN OPTIONS (defaults come from the RISKS_* environment variables):
@@ -26,6 +29,21 @@ RUN OPTIONS (defaults come from the RISKS_* environment variables):
     --out <DIR>      output directory for CSVs and manifests
     --force          re-run even when a fresh manifest exists
     --quiet          suppress table output
+
+SERVE OPTIONS (plus --scale/--seed/--threads/--out/--quiet from above):
+    --solution <ID>  collection solution (default rsfd-grr); one of
+                     spl-*, smp-* with * in grr|olh|ss|sue|oue,
+                     rsfd-grr|rsfd-uez|rsfd-uer, rsrfd-grr|rsrfd-uer
+    --dataset <ID>   adult | acs | nursery (default adult)
+    --shape <ID>     steady | burst | ramp | churn (default steady)
+    --eps <F>        user-level privacy budget ε (default 1.0)
+
+`risks serve` sanitizes every user with the seeded per-user rng streams,
+pushes the reports through the bounded-channel ingestion service following
+the arrival schedule, drains it, and reports reports/sec plus the MAE of
+the drained estimates against the true marginals (the result is
+bit-identical to the batch pipeline at equal seed). Writes serve.csv and
+serve.manifest.json under --out.
 
 An experiment is skipped as a cache hit when `<out>/<id>.manifest.json`
 matches the current (id, seed, runs, scale) hash and git revision and its
@@ -64,6 +82,21 @@ pub enum Command {
         out: Option<String>,
         /// `--force` re-run flag.
         force: bool,
+        /// `--quiet` table suppression.
+        quiet: bool,
+    },
+    /// `risks serve [options]`.
+    Serve {
+        /// What to stream (solution, dataset, traffic shape, ε).
+        spec: ServeSpec,
+        /// `--scale` override.
+        scale: Option<f64>,
+        /// `--seed` override.
+        seed: Option<u64>,
+        /// `--threads` override (server shards + sanitization threads).
+        threads: Option<usize>,
+        /// `--out` override.
+        out: Option<String>,
         /// `--quiet` table suppression.
         quiet: bool,
     },
@@ -128,6 +161,59 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 jobs,
                 out,
                 force,
+                quiet,
+            })
+        }
+        Some("serve") => {
+            let mut spec = ServeSpec::default();
+            let (mut scale, mut seed, mut threads, mut out) = (None, None, None, None);
+            let mut quiet = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--quiet" => quiet = true,
+                    "--solution" => {
+                        let raw = it.next().ok_or("`--solution` needs an id")?;
+                        spec.solution = solution_from_id(raw).ok_or_else(|| {
+                            format!("unknown solution `{raw}` (see `risks help`)")
+                        })?;
+                    }
+                    "--dataset" => {
+                        let raw = it.next().ok_or("`--dataset` needs an id")?;
+                        spec.dataset = ServeDataset::from_id(raw).ok_or_else(|| {
+                            format!("unknown dataset `{raw}` (adult | acs | nursery)")
+                        })?;
+                    }
+                    "--shape" => {
+                        let raw = it.next().ok_or("`--shape` needs an id")?;
+                        spec.shape = TrafficShape::from_id(raw).ok_or_else(|| {
+                            format!("unknown shape `{raw}` (steady | burst | ramp | churn)")
+                        })?;
+                    }
+                    "--eps" => {
+                        spec.epsilon = flag_value(arg, it.next())?;
+                        if spec.epsilon.is_nan() || spec.epsilon <= 0.0 {
+                            return Err(format!("`--eps` must be positive, got {}", spec.epsilon));
+                        }
+                    }
+                    "--scale" => scale = Some(flag_value(arg, it.next())?),
+                    "--seed" => seed = Some(flag_value(arg, it.next())?),
+                    "--threads" => threads = Some(flag_value(arg, it.next())?),
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .ok_or("`--out` needs a directory argument")?
+                                .to_string(),
+                        )
+                    }
+                    other => return Err(format!("unknown `serve` argument `{other}`")),
+                }
+            }
+            Ok(Command::Serve {
+                spec,
+                scale,
+                seed,
+                threads,
+                out,
                 quiet,
             })
         }
@@ -267,6 +353,29 @@ pub fn execute(cmd: Command) -> i32 {
             }
             i32::from(summary.any_failed())
         }
+        Command::Serve {
+            spec,
+            scale,
+            seed,
+            threads,
+            out,
+            quiet,
+        } => {
+            let mut cfg = ExpConfig::from_env();
+            if let Some(v) = scale {
+                cfg.scale = v.clamp(0.01, 1.0);
+            }
+            if let Some(v) = seed {
+                cfg.seed = v;
+            }
+            if let Some(v) = threads {
+                cfg.threads = v.max(1);
+            }
+            if let Some(v) = out {
+                cfg.out_dir = std::path::PathBuf::from(v);
+            }
+            crate::serve::execute_serve(&spec, &cfg, quiet)
+        }
     }
 }
 
@@ -337,6 +446,72 @@ mod tests {
         assert!(parse(&s(&["run", "fig01", "--scale"])).is_err());
         assert!(parse(&s(&["describe", "fig01", "--markdwon"])).is_err());
         assert!(parse(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let cmd = parse(&s(&["serve"])).unwrap();
+        match cmd {
+            Command::Serve {
+                spec, scale, quiet, ..
+            } => {
+                assert_eq!(spec, ServeSpec::default());
+                assert_eq!(scale, None);
+                assert!(!quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&s(&[
+            "serve",
+            "--solution",
+            "smp-oue",
+            "--dataset",
+            "nursery",
+            "--shape",
+            "churn",
+            "--eps",
+            "2.5",
+            "--threads",
+            "8",
+            "--quiet",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                spec,
+                threads,
+                quiet,
+                ..
+            } => {
+                assert_eq!(
+                    spec.solution,
+                    crate::serve::solution_from_id("smp-oue").unwrap()
+                );
+                assert_eq!(spec.dataset, ServeDataset::Nursery);
+                assert_eq!(spec.shape, TrafficShape::Churn);
+                assert_eq!(spec.epsilon, 2.5);
+                assert_eq!(threads, Some(8));
+                assert!(quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        assert!(parse(&s(&["serve", "--solution", "nope"])).is_err());
+        assert!(parse(&s(&["serve", "--dataset", "mnist"])).is_err());
+        assert!(parse(&s(&["serve", "--shape", "tsunami"])).is_err());
+        assert!(parse(&s(&["serve", "--eps", "-1"])).is_err());
+        assert!(parse(&s(&["serve", "--eps", "0"])).is_err());
+        assert!(parse(&s(&["serve", "--bogus"])).is_err());
+        // USAGE documents every parseable solution id.
+        for (id, _) in crate::serve::SOLUTION_IDS {
+            assert!(
+                parse(&s(&["serve", "--solution", id])).is_ok(),
+                "{id} must parse"
+            );
+        }
     }
 
     #[test]

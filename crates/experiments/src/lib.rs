@@ -34,6 +34,7 @@ pub mod manifest;
 pub mod mse;
 pub mod registry;
 pub mod runner;
+pub mod serve;
 pub mod smp_reident;
 pub mod table;
 

@@ -1,0 +1,373 @@
+//! The `risks serve` command body: one traffic-shaped streamed collection
+//! run through the `ldp_server` ingestion service, with throughput and
+//! estimate-quality reporting plus the usual per-run manifest.
+//!
+//! This is the operational twin of the figure experiments: instead of
+//! reproducing a plot, it exercises the production path — client-side
+//! sanitization following a seeded arrival schedule, bounded-channel
+//! ingestion, sharded aggregation, graceful drain — and reports reports/sec
+//! and the mean absolute error of the drained estimates against the
+//! dataset's true marginals.
+
+use std::time::Instant;
+
+use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
+use ldp_datasets::Dataset;
+use ldp_protocols::{ProtocolKind, UeMode};
+use ldp_sim::{CollectionPipeline, CollectionRun, TrafficGenerator, TrafficShape};
+
+use crate::manifest::{config_hash, git_rev, Manifest};
+use crate::table::{fnum, Table};
+use crate::ExpConfig;
+
+/// The corpora `risks serve` can stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeDataset {
+    /// Adult-like (d = 10).
+    Adult,
+    /// ACSEmployment-like (d = 18).
+    Acs,
+    /// Nursery-like (d = 9).
+    Nursery,
+}
+
+impl ServeDataset {
+    /// Every dataset, in CLI documentation order.
+    pub const ALL: [ServeDataset; 3] = [
+        ServeDataset::Adult,
+        ServeDataset::Acs,
+        ServeDataset::Nursery,
+    ];
+
+    /// Stable CLI identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            ServeDataset::Adult => "adult",
+            ServeDataset::Acs => "acs",
+            ServeDataset::Nursery => "nursery",
+        }
+    }
+
+    /// Looks a dataset up by its CLI identifier.
+    pub fn from_id(id: &str) -> Option<ServeDataset> {
+        ServeDataset::ALL.into_iter().find(|d| d.id() == id)
+    }
+
+    /// Materializes the corpus at the configured scale.
+    pub fn build(self, cfg: &ExpConfig) -> Dataset {
+        match self {
+            ServeDataset::Adult => cfg.adult(0),
+            ServeDataset::Acs => cfg.acs(0),
+            ServeDataset::Nursery => cfg.nursery(0),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// The `(id, kind)` table behind [`solution_from_id`] — also the CLI help's
+/// source of truth, so the docs cannot drift from the parser.
+pub const SOLUTION_IDS: [(&str, SolutionKind); 15] = [
+    ("spl-grr", SolutionKind::Spl(ProtocolKind::Grr)),
+    ("spl-olh", SolutionKind::Spl(ProtocolKind::Olh)),
+    ("spl-ss", SolutionKind::Spl(ProtocolKind::Ss)),
+    ("spl-sue", SolutionKind::Spl(ProtocolKind::Sue)),
+    ("spl-oue", SolutionKind::Spl(ProtocolKind::Oue)),
+    ("smp-grr", SolutionKind::Smp(ProtocolKind::Grr)),
+    ("smp-olh", SolutionKind::Smp(ProtocolKind::Olh)),
+    ("smp-ss", SolutionKind::Smp(ProtocolKind::Ss)),
+    ("smp-sue", SolutionKind::Smp(ProtocolKind::Sue)),
+    ("smp-oue", SolutionKind::Smp(ProtocolKind::Oue)),
+    ("rsfd-grr", SolutionKind::RsFd(RsFdProtocol::Grr)),
+    (
+        "rsfd-uez",
+        SolutionKind::RsFd(RsFdProtocol::UeZ(UeMode::Optimized)),
+    ),
+    (
+        "rsfd-uer",
+        SolutionKind::RsFd(RsFdProtocol::UeR(UeMode::Optimized)),
+    ),
+    ("rsrfd-grr", SolutionKind::RsRfd(RsRfdProtocol::Grr)),
+    (
+        "rsrfd-uer",
+        SolutionKind::RsRfd(RsRfdProtocol::UeR(UeMode::Optimized)),
+    ),
+];
+
+/// Looks a collection solution up by its CLI identifier (`"rsfd-grr"`).
+pub fn solution_from_id(id: &str) -> Option<SolutionKind> {
+    SOLUTION_IDS
+        .iter()
+        .find(|(sid, _)| *sid == id)
+        .map(|&(_, kind)| kind)
+}
+
+/// One parsed `risks serve` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// Collection solution to stream.
+    pub solution: SolutionKind,
+    /// Corpus to synthesize.
+    pub dataset: ServeDataset,
+    /// Arrival schedule shape.
+    pub shape: TrafficShape,
+    /// User-level privacy budget ε.
+    pub epsilon: f64,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            solution: SolutionKind::RsFd(RsFdProtocol::Grr),
+            dataset: ServeDataset::Adult,
+            shape: TrafficShape::Steady,
+            epsilon: 1.0,
+        }
+    }
+}
+
+/// The measured outcome of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The drained collection run.
+    pub run: CollectionRun,
+    /// Wall-clock seconds from first wave to drained snapshot.
+    pub wall_secs: f64,
+    /// End-to-end ingestion throughput (sanitize + route + absorb + drain).
+    pub reports_per_sec: f64,
+    /// Mean absolute error of the normalized estimates vs the dataset's
+    /// true marginals, averaged over every attribute-value cell.
+    pub mae: f64,
+}
+
+/// Streams `spec` under `cfg` and measures it.
+pub fn run_serve(spec: &ServeSpec, cfg: &ExpConfig) -> ServeOutcome {
+    let dataset = spec.dataset.build(cfg);
+    let ks = dataset.schema().cardinalities();
+    let pipeline = CollectionPipeline::from_kind(spec.solution, &ks, spec.epsilon)
+        .expect("serve spec validated at parse time")
+        .seed(cfg.seed)
+        .threads(cfg.threads);
+    let traffic = TrafficGenerator::new(spec.shape, dataset.n()).seed(cfg.seed);
+    let started = Instant::now();
+    let run = pipeline.serve(&dataset, &traffic);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mae = mean_abs_error(&run.normalized, &dataset.marginals());
+    ServeOutcome {
+        reports_per_sec: run.n as f64 / wall_secs.max(1e-9),
+        run,
+        wall_secs,
+        mae,
+    }
+}
+
+/// Mean absolute cell-wise difference between two estimate matrices.
+fn mean_abs_error(estimates: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    let mut cells = 0usize;
+    for (e, t) in estimates.iter().zip(truth) {
+        for (a, b) in e.iter().zip(t) {
+            total += (a - b).abs();
+            cells += 1;
+        }
+    }
+    if cells == 0 {
+        0.0
+    } else {
+        total / cells as f64
+    }
+}
+
+/// The config-hash key of one serve request: unlike the figure experiments,
+/// whose results are fully determined by `(id, seed, runs, scale)`, a serve
+/// run's outputs also depend on everything in the [`ServeSpec`] — so the
+/// spec is folded into the hashed id and two runs with different solutions,
+/// datasets, shapes or budgets always record different hashes.
+pub fn serve_hash_id(spec: &ServeSpec) -> String {
+    let solution_id = SOLUTION_IDS
+        .iter()
+        .find(|(_, kind)| *kind == spec.solution)
+        .map_or("custom", |(id, _)| id);
+    format!(
+        "serve:{solution_id}:{}:{}:{}",
+        spec.dataset,
+        spec.shape,
+        spec.epsilon.to_bits()
+    )
+}
+
+/// Runs a serve request end to end for the CLI: stream, print the table
+/// (unless `quiet`), persist `serve.csv` and a `serve.manifest.json`.
+/// Returns the process exit code.
+pub fn execute_serve(spec: &ServeSpec, cfg: &ExpConfig, quiet: bool) -> i32 {
+    let solution_id = SOLUTION_IDS
+        .iter()
+        .find(|(_, kind)| *kind == spec.solution)
+        .map_or("custom", |(id, _)| id);
+    eprintln!(
+        "[risks] serve {} on {} ({} traffic): eps={} threads={} seed={} scale={}",
+        solution_id, spec.dataset, spec.shape, spec.epsilon, cfg.threads, cfg.seed, cfg.scale
+    );
+    let outcome = run_serve(spec, cfg);
+    let mut table = Table::new(
+        format!(
+            "risks serve — {} on {} under {} traffic",
+            spec.solution.name(),
+            spec.dataset,
+            spec.shape
+        ),
+        &[
+            "solution",
+            "dataset",
+            "shape",
+            "eps",
+            "n",
+            "threads",
+            "wall_s",
+            "reports_per_sec",
+            "mae",
+        ],
+    );
+    table.row(vec![
+        solution_id.to_string(),
+        spec.dataset.id().to_string(),
+        spec.shape.id().to_string(),
+        fnum(spec.epsilon),
+        outcome.run.n.to_string(),
+        cfg.threads.to_string(),
+        fnum(outcome.wall_secs),
+        format!("{:.0}", outcome.reports_per_sec),
+        format!("{:.5}", outcome.mae),
+    ]);
+    if !quiet {
+        print!("{}", table.render());
+    }
+    table.write_csv(&cfg.out_dir, "serve.csv");
+    let manifest = Manifest {
+        id: "serve".to_string(),
+        config_hash: config_hash(&serve_hash_id(spec), cfg),
+        seed: cfg.seed,
+        // A serve invocation is always exactly one pass over the population.
+        runs: 1,
+        scale: cfg.scale,
+        wall_secs: outcome.wall_secs,
+        rows: table.len(),
+        git_rev: git_rev(),
+        outputs: vec!["serve.csv".to_string()],
+    };
+    let path = manifest.write(&cfg.out_dir);
+    eprintln!(
+        "[risks] serve done in {:.2}s: {} reports ({:.0}/s, MAE {:.5}) → serve.csv + {}",
+        outcome.wall_secs,
+        outcome.run.n,
+        outcome.reports_per_sec,
+        outcome.mae,
+        path.display()
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tiny_cfg() -> ExpConfig {
+        ExpConfig {
+            runs: 1,
+            scale: 0.05,
+            threads: 2,
+            seed: 7,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    #[test]
+    fn solution_ids_roundtrip_and_build() {
+        for (id, kind) in SOLUTION_IDS {
+            assert_eq!(solution_from_id(id), Some(kind), "{id}");
+            assert!(kind.build(&[4, 3], 1.0).is_ok(), "{id} must be buildable");
+        }
+        assert_eq!(solution_from_id("carrier-pigeon"), None);
+    }
+
+    #[test]
+    fn dataset_ids_roundtrip() {
+        for ds in ServeDataset::ALL {
+            assert_eq!(ServeDataset::from_id(ds.id()), Some(ds));
+        }
+        assert_eq!(ServeDataset::from_id("mnist"), None);
+    }
+
+    #[test]
+    fn run_serve_measures_a_real_stream() {
+        let cfg = tiny_cfg();
+        let spec = ServeSpec {
+            solution: SolutionKind::Smp(ProtocolKind::Grr),
+            dataset: ServeDataset::Nursery,
+            shape: TrafficShape::Burst,
+            epsilon: 2.0,
+        };
+        let outcome = run_serve(&spec, &cfg);
+        assert_eq!(outcome.run.n as usize, cfg.nursery(0).n());
+        assert!(outcome.reports_per_sec > 0.0);
+        assert!(outcome.mae.is_finite() && outcome.mae < 0.5);
+        // Streamed serve equals the batch pipeline at equal seed.
+        let ds = spec.dataset.build(&cfg);
+        let batch = CollectionPipeline::from_kind(
+            spec.solution,
+            &ds.schema().cardinalities(),
+            spec.epsilon,
+        )
+        .unwrap()
+        .seed(cfg.seed)
+        .threads(cfg.threads)
+        .run(&ds);
+        assert_eq!(outcome.run.aggregator.counts(), batch.aggregator.counts());
+    }
+
+    #[test]
+    fn mean_abs_error_handles_empty_input() {
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+        assert!(mean_abs_error(&[vec![0.5, 0.5]], &[vec![0.25, 0.75]]) - 0.25 < 1e-12);
+    }
+
+    #[test]
+    fn manifest_hash_distinguishes_serve_specs() {
+        use crate::manifest::config_hash;
+        let cfg = tiny_cfg();
+        let base = ServeSpec::default();
+        let hash = |spec: &ServeSpec| config_hash(&serve_hash_id(spec), &cfg);
+        // Every spec dimension must reach the recorded hash.
+        let variants = [
+            ServeSpec {
+                solution: SolutionKind::Smp(ProtocolKind::Oue),
+                ..base.clone()
+            },
+            ServeSpec {
+                dataset: ServeDataset::Acs,
+                ..base.clone()
+            },
+            ServeSpec {
+                shape: TrafficShape::Churn,
+                ..base.clone()
+            },
+            ServeSpec {
+                epsilon: 4.0,
+                ..base.clone()
+            },
+        ];
+        for variant in &variants {
+            assert_ne!(
+                hash(variant),
+                hash(&base),
+                "{variant:?} must not collide with the default spec"
+            );
+        }
+        assert_eq!(hash(&base), hash(&base.clone()));
+    }
+}

@@ -1,0 +1,88 @@
+//! Server sizing knobs: shard count, queue depth, batch size.
+
+/// Configuration of one [`LdpServer`](crate::LdpServer) instance.
+///
+/// The defaults are sized for tests and examples; production-shaped runs set
+/// `shards` to the worker-thread budget and leave the bounded queues at their
+/// defaults unless the producer is much burstier than the absorb path.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads, each owning one aggregator shard. Reports are routed
+    /// by `uid % shards`, so shard state is deterministic in the input —
+    /// and the exact integer merge makes every estimate independent of the
+    /// shard count anyway.
+    pub shards: usize,
+    /// Capacity of each shard's bounded channel, in *messages* (an ingested
+    /// batch is one message). A full queue blocks the producer — this is the
+    /// backpressure contract: server memory stays
+    /// `O(shards · (queue_depth · batch + Σ_j k_j))` no matter how fast
+    /// clients push.
+    pub queue_depth: usize,
+    /// Preferred number of envelopes per channel message when batching
+    /// through [`LdpServer::ingest_batch`](crate::LdpServer::ingest_batch).
+    pub batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 2,
+            queue_depth: 64,
+            batch: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the shard / worker-thread count (clamped to ≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-shard queue depth in messages (clamped to ≥ 1 so a
+    /// sender can always make progress once a worker drains one message).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the preferred envelopes-per-message batch size (clamped to ≥ 1).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The configuration with every field clamped to its valid range.
+    pub(crate) fn sanitized(&self) -> ServerConfig {
+        ServerConfig {
+            shards: self.shards.max(1),
+            queue_depth: self.queue_depth.max(1),
+            batch: self.batch.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_to_valid_ranges() {
+        let cfg = ServerConfig::default().shards(0).queue_depth(0).batch(0);
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.queue_depth, 1);
+        assert_eq!(cfg.batch, 1);
+    }
+
+    #[test]
+    fn sanitized_never_returns_zero_fields() {
+        let cfg = ServerConfig {
+            shards: 0,
+            queue_depth: 0,
+            batch: 0,
+        }
+        .sanitized();
+        assert!(cfg.shards >= 1 && cfg.queue_depth >= 1 && cfg.batch >= 1);
+    }
+}

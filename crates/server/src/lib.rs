@@ -1,0 +1,51 @@
+//! # ldp-server
+//!
+//! The streaming ingestion service of the reproduction: a thread-based
+//! server that accepts per-user sanitized [`SolutionReport`]s through
+//! **bounded** channels, shards them across worker threads into per-shard
+//! [`MultidimAggregator`]s, and supports merged snapshots while ingestion is
+//! still running ("estimate-while-ingesting") as well as a graceful
+//! [`LdpServer::drain`].
+//!
+//! This is the §3.1 system model of the paper at service shape: millions of
+//! users continuously push reports, the server never buffers them (each
+//! report is folded into `O(Σ_j k_j)` support counts on arrival), and the
+//! shard merge is exact integer addition — so the drained snapshot is
+//! **bit-identical** to a one-shot batch pass over the same reports, for
+//! every shard count and every arrival order.
+//!
+//! ```
+//! use ldp_core::solutions::SolutionKind;
+//! use ldp_protocols::ProtocolKind;
+//! use ldp_server::{Envelope, LdpServer, ServerConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let solution = SolutionKind::Smp(ProtocolKind::Grr)
+//!     .build(&[4, 3], 1.0)
+//!     .unwrap();
+//! let server = LdpServer::spawn(solution.clone(), ServerConfig::default());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! for uid in 0..1_000u64 {
+//!     server.ingest(Envelope {
+//!         uid,
+//!         report: solution.report(&[1, 2], &mut rng),
+//!     });
+//! }
+//! let snapshot = server.drain();
+//! assert_eq!(snapshot.n, 1_000);
+//! assert_eq!(snapshot.estimates.len(), 2);
+//! ```
+//!
+//! [`SolutionReport`]: ldp_core::solutions::SolutionReport
+//! [`MultidimAggregator`]: ldp_core::solutions::MultidimAggregator
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod service;
+pub mod snapshot;
+
+pub use config::ServerConfig;
+pub use service::{Envelope, LdpServer};
+pub use snapshot::ServerSnapshot;

@@ -1,0 +1,338 @@
+//! The ingestion service: bounded channels in, sharded aggregators inside,
+//! merged snapshots out.
+//!
+//! ## Channel topology
+//!
+//! ```text
+//!  producers ──ingest(uid % shards)──►  [SyncSender]───►  worker 0 ─► shard 0
+//!        (any number of threads;        [SyncSender]───►  worker 1 ─► shard 1
+//!         senders are Sync —                 …                …          …
+//!         one LdpServer is shared)      [SyncSender]───►  worker S ─► shard S
+//! ```
+//!
+//! Every shard has its own **bounded** `sync_channel`; a full queue blocks
+//! the producer (backpressure), so server-side memory stays flat no matter
+//! how bursty the traffic is. Workers fold each envelope straight into their
+//! shard's [`MultidimAggregator`] — reports are never buffered beyond the
+//! queue — and the shards merge exactly (integer counts), which is what makes
+//! the drained snapshot bit-identical to a batch pass regardless of shard
+//! count and arrival order.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ldp_core::solutions::{DynSolution, MultidimAggregator, SolutionReport};
+
+use crate::config::ServerConfig;
+use crate::snapshot::ServerSnapshot;
+
+/// One ingested message: the reporting user plus their sanitized report.
+/// The `uid` only routes the envelope to a shard — the report itself is the
+/// only thing the server state ever sees.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Stable user identifier (routing key; `uid % shards` picks the shard).
+    pub uid: u64,
+    /// The user's sanitized report.
+    pub report: SolutionReport,
+}
+
+/// What flows through a shard channel.
+enum Msg {
+    /// Envelopes to absorb, in order.
+    Batch(Vec<Envelope>),
+    /// Barrier: acknowledge once every earlier message is absorbed.
+    Sync(std::sync::mpsc::Sender<()>),
+}
+
+/// A running ingestion service over one collection solution.
+///
+/// Spawn it with [`LdpServer::spawn`], push sanitized reports through
+/// [`LdpServer::ingest`] / [`LdpServer::ingest_batch`] (callable from any
+/// number of producer threads — the sender side is `Sync`), observe the
+/// running state with [`LdpServer::snapshot`], and finish with
+/// [`LdpServer::drain`]. See the [module docs](crate::service) for the
+/// channel topology and the determinism argument.
+#[derive(Debug)]
+pub struct LdpServer {
+    solution: DynSolution,
+    config: ServerConfig,
+    txs: Vec<SyncSender<Msg>>,
+    workers: Vec<JoinHandle<()>>,
+    shards: Arc<Vec<Mutex<MultidimAggregator>>>,
+}
+
+impl LdpServer {
+    /// Starts `config.shards` worker threads, each owning one aggregator
+    /// shard behind a bounded channel.
+    pub fn spawn(solution: DynSolution, config: ServerConfig) -> Self {
+        let config = config.sanitized();
+        let shards: Arc<Vec<Mutex<MultidimAggregator>>> = Arc::new(
+            (0..config.shards)
+                .map(|_| Mutex::new(solution.aggregator()))
+                .collect(),
+        );
+        let mut txs = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = sync_channel::<Msg>(config.queue_depth);
+            let state = Arc::clone(&shards);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ldp-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, &rx, &state))
+                    .expect("cannot spawn ingestion worker"),
+            );
+            txs.push(tx);
+        }
+        LdpServer {
+            solution,
+            config,
+            txs,
+            workers,
+            shards,
+        }
+    }
+
+    /// The solution this server aggregates for.
+    pub fn solution(&self) -> &DynSolution {
+        &self.solution
+    }
+
+    /// The (sanitized) configuration the server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The shard an envelope with this `uid` is routed to.
+    pub fn shard_of(&self, uid: u64) -> usize {
+        (uid % self.config.shards as u64) as usize
+    }
+
+    /// Ingests one envelope, blocking while the target shard's queue is full
+    /// (backpressure). Prefer [`LdpServer::ingest_batch`] on hot paths — one
+    /// channel message per envelope is the slow road.
+    ///
+    /// # Panics
+    /// Panics when the target worker has died (it panicked absorbing an
+    /// earlier report, e.g. one of a foreign solution's shape).
+    pub fn ingest(&self, envelope: Envelope) {
+        let shard = self.shard_of(envelope.uid);
+        self.txs[shard]
+            .send(Msg::Batch(vec![envelope]))
+            .expect("ingestion worker disconnected (did it panic?)");
+    }
+
+    /// Ingests a batch: envelopes are grouped per shard (preserving their
+    /// relative order) and sent as at most `⌈len / config.batch⌉` messages
+    /// per shard. Blocks whenever a shard queue is full.
+    ///
+    /// # Panics
+    /// Panics when a target worker has died.
+    pub fn ingest_batch(&self, envelopes: impl IntoIterator<Item = Envelope>) {
+        let batch = self.config.batch;
+        let mut buffers: Vec<Vec<Envelope>> = (0..self.config.shards)
+            .map(|_| Vec::with_capacity(batch))
+            .collect();
+        for envelope in envelopes {
+            let shard = self.shard_of(envelope.uid);
+            buffers[shard].push(envelope);
+            if buffers[shard].len() >= batch {
+                let full = std::mem::replace(&mut buffers[shard], Vec::with_capacity(batch));
+                self.txs[shard]
+                    .send(Msg::Batch(full))
+                    .expect("ingestion worker disconnected (did it panic?)");
+            }
+        }
+        for (shard, rest) in buffers.into_iter().enumerate() {
+            if !rest.is_empty() {
+                self.txs[shard]
+                    .send(Msg::Batch(rest))
+                    .expect("ingestion worker disconnected (did it panic?)");
+            }
+        }
+    }
+
+    /// Blocks until every envelope ingested *before* this call has been
+    /// absorbed into its shard (channel FIFO barrier). Useful before a
+    /// [`LdpServer::snapshot`] that must reflect a known prefix of the
+    /// traffic; plain monitoring snapshots don't need it.
+    pub fn quiesce(&self) {
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        for tx in &self.txs {
+            tx.send(Msg::Sync(ack_tx.clone()))
+                .expect("ingestion worker disconnected (did it panic?)");
+        }
+        drop(ack_tx);
+        for _ in 0..self.txs.len() {
+            ack_rx
+                .recv()
+                .expect("ingestion worker dropped the sync barrier");
+        }
+    }
+
+    /// Merged view of everything absorbed so far, while ingestion keeps
+    /// running. Pair with [`LdpServer::quiesce`] when the snapshot must
+    /// cover an exact set of ingested envelopes.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let shards: Vec<MultidimAggregator> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned by a worker panic").clone())
+            .collect();
+        ServerSnapshot::merge(self.solution.aggregator(), &shards)
+    }
+
+    /// Graceful shutdown: closes every shard channel, waits for the workers
+    /// to absorb their remaining queue, and returns the final merged
+    /// snapshot. Bit-identical to a batch pass over every ingested report.
+    ///
+    /// # Panics
+    /// Panics when a worker thread panicked.
+    pub fn drain(self) -> ServerSnapshot {
+        let LdpServer {
+            solution,
+            txs,
+            workers,
+            shards,
+            ..
+        } = self;
+        drop(txs);
+        for worker in workers {
+            worker.join().expect("ingestion worker panicked");
+        }
+        let shards = Arc::try_unwrap(shards)
+            .expect("worker threads exited but still hold shard state")
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard poisoned by a worker panic"))
+            .collect::<Vec<_>>();
+        ServerSnapshot::merge(solution.aggregator(), &shards)
+    }
+}
+
+/// One worker: receive messages in order, fold batches into the shard,
+/// acknowledge barriers. Exits when every sender is gone.
+fn worker_loop(shard: usize, rx: &Receiver<Msg>, state: &[Mutex<MultidimAggregator>]) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Batch(batch) => {
+                // One lock per message, not per report: snapshots interleave
+                // between messages, never inside one.
+                let mut agg = state[shard].lock().expect("shard poisoned");
+                for envelope in &batch {
+                    agg.absorb(&envelope.report);
+                }
+            }
+            Msg::Sync(ack) => {
+                // Channel FIFO: everything sent before the barrier is
+                // already absorbed. A dropped receiver just means the
+                // barrier caller gave up waiting.
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::solutions::{RsFdProtocol, SolutionKind};
+    use ldp_protocols::hash::mix2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn envelopes(solution: &DynSolution, n: u64, seed: u64) -> Vec<Envelope> {
+        (0..n)
+            .map(|uid| {
+                let mut rng = StdRng::seed_from_u64(mix2(seed, uid));
+                Envelope {
+                    uid,
+                    report: solution.report(&[uid as u32 % 4, uid as u32 % 3], &mut rng),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drain_matches_sequential_reference_for_every_shard_count() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let envs = envelopes(&solution, 500, 9);
+        let mut reference = solution.aggregator();
+        for e in &envs {
+            reference.absorb(&e.report);
+        }
+        for shards in [1usize, 2, 5] {
+            let server = LdpServer::spawn(
+                solution.clone(),
+                ServerConfig::default().shards(shards).batch(64),
+            );
+            server.ingest_batch(envs.iter().cloned());
+            let snap = server.drain();
+            assert_eq!(snap.n, 500, "shards={shards}");
+            assert_eq!(snap.aggregator.counts(), reference.counts());
+        }
+    }
+
+    #[test]
+    fn quiesced_snapshot_covers_everything_sent() {
+        let solution = SolutionKind::Smp(ldp_protocols::ProtocolKind::Grr)
+            .build(&[4, 3], 2.0)
+            .unwrap();
+        let envs = envelopes(&solution, 300, 4);
+        let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(3));
+        server.ingest_batch(envs[..120].iter().cloned());
+        server.quiesce();
+        let mid = server.snapshot();
+        assert_eq!(mid.n, 120);
+        let mut reference = solution.aggregator();
+        for e in &envs[..120] {
+            reference.absorb(&e.report);
+        }
+        assert_eq!(mid.aggregator.counts(), reference.counts());
+        server.ingest_batch(envs[120..].iter().cloned());
+        assert_eq!(server.drain().n, 300);
+    }
+
+    #[test]
+    fn single_envelope_ingest_works_under_backpressure() {
+        // Tiny queue + tiny batches: every send exercises the bounded path.
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let server = LdpServer::spawn(
+            solution.clone(),
+            ServerConfig::default().shards(2).queue_depth(1).batch(1),
+        );
+        for e in envelopes(&solution, 200, 11) {
+            server.ingest(e);
+        }
+        assert_eq!(server.drain().n, 200);
+    }
+
+    #[test]
+    fn empty_drain_yields_valid_snapshot() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let server = LdpServer::spawn(solution, ServerConfig::default().shards(4));
+        let snap = server.drain();
+        assert_eq!(snap.n, 0);
+        assert!(snap.estimates.iter().flatten().all(|f| f.is_finite()));
+        assert!(snap.normalized.iter().flatten().all(|f| *f == 0.0));
+    }
+
+    #[test]
+    fn shard_routing_is_stable() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let server = LdpServer::spawn(solution, ServerConfig::default().shards(3));
+        assert_eq!(server.shard_of(0), 0);
+        assert_eq!(server.shard_of(4), 1);
+        assert_eq!(server.shard_of(5), 2);
+        server.drain();
+    }
+}

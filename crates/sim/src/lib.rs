@@ -19,6 +19,10 @@
 //!   collection run → adversary fit (profiles / classifier / index) →
 //!   sharded, per-target-seeded ASR evaluation, bit-identical for every
 //!   thread count.
+//! * [`traffic::TrafficGenerator`] — seeded arrival schedules (steady,
+//!   burst, diurnal-ish ramp, churn) that drive the streamed
+//!   [`CollectionPipeline::serve`] mode through the `ldp_server` ingestion
+//!   service, bit-identical to the batch pass at equal seed.
 //! * [`par`] — deterministic scoped-thread parallel helpers used by the heavy
 //!   sweeps.
 
@@ -31,12 +35,14 @@ pub mod par;
 pub mod pipeline;
 pub mod rsfd_campaign;
 pub mod survey;
+pub mod traffic;
 
 pub use attack_pipeline::{AttackPipeline, AttackRun};
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
 pub use pipeline::{CollectionPipeline, CollectionRun};
 pub use rsfd_campaign::{run_rsfd_campaign, RsFdCampaignConfig};
 pub use survey::SurveyPlan;
+pub use traffic::{TrafficGenerator, TrafficShape};
 
 use ldp_core::profiling::Profile;
 use ldp_core::reident::ReidentAttack;

@@ -6,12 +6,17 @@
 
 /// Runs `f` over `0..n` split into at most `threads` contiguous chunks and
 /// concatenates the per-chunk outputs in order. With `threads <= 1` (or tiny
-/// `n`) everything runs inline.
+/// `n`) everything runs inline. Zero work items (`n == 0`) yield an empty
+/// output without invoking `f` or spawning anything — callers fanning out
+/// over an empty dataset get an empty-but-valid result, never a panic.
 pub fn par_chunks<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
 {
+    if n == 0 {
+        return Vec::new();
+    }
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 || n < 2 {
         return f(0..n);
@@ -100,7 +105,9 @@ where
 /// threads pull indices `0..n` from a shared atomic counter, so a long job
 /// never blocks the queue the way [`par_chunks`]' static ranges would.
 /// Callers wanting longest-first completion sort their jobs by descending
-/// cost before calling. Outputs come back in index order.
+/// cost before calling. Outputs come back in index order. Zero jobs
+/// (`n == 0`, e.g. every experiment was a cache hit) return an empty vector
+/// without spawning anything.
 ///
 /// This is the cross-*experiment* scheduler hook: the `risks` runner puts
 /// whole figures on the queue while each figure parallelizes internally over
@@ -116,6 +123,9 @@ where
     F: Fn(usize) -> T + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    if n == 0 {
+        return Vec::new();
+    }
     let workers = workers.max(1).min(n.max(1));
     if workers == 1 || n < 2 {
         return (0..n).map(f).collect();
@@ -175,6 +185,18 @@ mod tests {
         assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(par_map(1, 4, |i| i), vec![0]);
         assert_eq!(par_map(5, 100, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_work_never_invokes_the_callback() {
+        // The zero-jobs edge: fanning out over nothing must not call `f`
+        // (whose body may index into data that does not exist) nor spawn.
+        let out = par_chunks(0, 8, |_| -> Vec<usize> {
+            panic!("callback must not run for n == 0")
+        });
+        assert!(out.is_empty());
+        let out = par_queue(0, 8, |_| -> usize { panic!("no jobs, no calls") });
+        assert!(out.is_empty());
     }
 
     #[test]

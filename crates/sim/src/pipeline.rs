@@ -32,10 +32,12 @@ use ldp_core::solutions::{DynSolution, MultidimAggregator, SolutionKind};
 use ldp_datasets::Dataset;
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolError;
+use ldp_server::{Envelope, LdpServer, ServerConfig, ServerSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::par;
+use crate::traffic::TrafficGenerator;
 
 /// Salt separating pipeline user streams from the campaign engines'.
 pub(crate) const USER_SALT: u64 = 0x00C0_11EC_7A11;
@@ -164,6 +166,58 @@ impl CollectionPipeline {
             .collect()
     }
 
+    /// The streamed twin of [`CollectionPipeline::run`]: spins up an
+    /// [`LdpServer`] with one shard per configured thread, pushes every
+    /// user's sanitized report through its bounded channels following the
+    /// `traffic` arrival schedule, and gracefully drains it. The configured
+    /// thread count drives **both** sides of the channel: each wave is
+    /// sanitized by up to `threads` concurrent producers (the server's
+    /// sender side is `Sync`) feeding `threads` aggregator shards.
+    ///
+    /// Per-user randomness derives from the same `(seed, uid)` streams as
+    /// `run`, every user arrives exactly once whatever the traffic shape,
+    /// and the server's shard merge is exact integer addition (independent
+    /// of producer interleaving) — so the returned run is **bit-identical**
+    /// to `run(dataset)` at equal seed, for every thread count and every
+    /// [`TrafficShape`](crate::traffic::TrafficShape) (property-tested in
+    /// `tests/server_equivalence.rs`).
+    ///
+    /// # Panics
+    /// Panics when the dataset's attribute count differs from the
+    /// solution's, or when `traffic` was built for a different population
+    /// size.
+    pub fn serve(&self, dataset: &Dataset, traffic: &TrafficGenerator) -> CollectionRun {
+        assert_eq!(
+            dataset.d(),
+            self.solution.d(),
+            "dataset does not match the solution schema"
+        );
+        assert_eq!(
+            traffic.n(),
+            dataset.n(),
+            "traffic schedule does not match the dataset population"
+        );
+        let server = LdpServer::spawn(
+            self.solution.clone(),
+            ServerConfig::default().shards(self.threads),
+        );
+        for wave in traffic.waves() {
+            // Parallel producers: sanitization dominates the cost, so the
+            // wave is split into contiguous chunks ingested concurrently.
+            par::par_chunks(wave.len(), self.threads, |range| {
+                server.ingest_batch(wave[range].iter().map(|&uid| {
+                    let mut rng = StdRng::seed_from_u64(mix3(self.seed, uid, USER_SALT));
+                    Envelope {
+                        uid,
+                        report: self.solution.report(dataset.row(uid as usize), &mut rng),
+                    }
+                }));
+                Vec::<()>::new()
+            });
+        }
+        CollectionRun::from_snapshot(server.drain())
+    }
+
     /// The single seeded per-user sanitize loop behind `run`, `observe` and
     /// `run_with_observation`: each worker chunk folds its users' reports
     /// into one `A` via `absorb`, with user `uid`'s randomness drawn from
@@ -199,17 +253,22 @@ impl CollectionPipeline {
         for shard in &shards {
             aggregator.merge(shard);
         }
-        let estimates = aggregator.estimate();
-        let normalized = estimates
-            .iter()
-            .map(|e| ldp_protocols::oracle::normalize_simplex(e))
-            .collect();
+        CollectionRun::from_snapshot(ServerSnapshot::from_aggregator(aggregator, n_shards.max(1)))
+    }
+}
+
+impl CollectionRun {
+    /// A run from a drained/merged server snapshot. Shared by the batch and
+    /// streamed paths, so both produce identical estimates from identical
+    /// counts — including the zero-users edge, where the estimates are
+    /// all-zero (not NaN, and not a fabricated uniform distribution).
+    fn from_snapshot(snapshot: ServerSnapshot) -> CollectionRun {
         CollectionRun {
-            estimates,
-            normalized,
-            n: aggregator.n(),
-            shards: n_shards.max(1),
-            aggregator,
+            estimates: snapshot.estimates,
+            normalized: snapshot.normalized,
+            n: snapshot.n,
+            shards: snapshot.shards,
+            aggregator: snapshot.aggregator,
         }
     }
 }
@@ -324,6 +383,66 @@ mod tests {
             b.absorb(y);
         }
         assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn serve_is_bit_identical_to_run() {
+        use crate::traffic::{TrafficGenerator, TrafficShape};
+        let ds = adult_like(700, 5);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::RsFd(RsFdProtocol::Grr), &ks, 1.5)
+                .unwrap()
+                .seed(21)
+                .threads(3);
+        let batch = pipeline.run(&ds);
+        for shape in TrafficShape::ALL {
+            let traffic = TrafficGenerator::new(shape, ds.n()).seed(21).wave(97);
+            let served = pipeline.serve(&ds, &traffic);
+            assert_eq!(served.n, batch.n, "{shape}");
+            assert_eq!(
+                served.aggregator.counts(),
+                batch.aggregator.counts(),
+                "{shape}"
+            );
+            for (a, b) in served
+                .estimates
+                .iter()
+                .flatten()
+                .zip(batch.estimates.iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "{shape}: serve leaked");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_but_valid_run() {
+        use crate::traffic::{TrafficGenerator, TrafficShape};
+        let schema = Schema::from_cardinalities(&[4, 3]);
+        let ds = Dataset::new(schema, Vec::new());
+        for kind in all_kinds() {
+            let pipeline = CollectionPipeline::from_kind(kind, &[4, 3], 1.0)
+                .unwrap()
+                .seed(1)
+                .threads(4);
+            for run in [
+                pipeline.run(&ds),
+                pipeline.serve(&ds, &TrafficGenerator::new(TrafficShape::Burst, 0)),
+            ] {
+                assert_eq!(run.n, 0, "{kind}");
+                assert_eq!(run.estimates.len(), 2, "{kind}");
+                assert!(
+                    run.estimates.iter().flatten().all(|f| *f == 0.0),
+                    "{kind}: empty run must estimate zeros, got {:?}",
+                    run.estimates
+                );
+                assert!(
+                    run.normalized.iter().flatten().all(|f| *f == 0.0),
+                    "{kind}: no data must not fabricate a uniform distribution"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Seeded synthetic traffic: *who* reports *when*.
+//!
+//! A [`TrafficGenerator`] turns a population of `n` users into a
+//! deterministic sequence of arrival **waves** (one wave ≈ one scheduling
+//! tick's worth of reports) under one of four [`TrafficShape`]s:
+//!
+//! * [`TrafficShape::Steady`] — a constant arrival rate;
+//! * [`TrafficShape::Burst`] — long quiet trickles punctuated by large
+//!   seeded bursts;
+//! * [`TrafficShape::Ramp`] — a diurnal-ish ramp from near-idle to several
+//!   times the base rate;
+//! * [`TrafficShape::Churn`] — user dropout: a seeded fraction of each wave
+//!   abandons its scheduled slot and re-arrives in a later wave, so arrival
+//!   order is *not* the uid order.
+//!
+//! Every user reports **exactly once** across the whole schedule, whatever
+//! the shape — so a server that drains the full schedule holds exactly the
+//! same report multiset as a batch pass, which is what makes the
+//! serve-vs-batch equivalence tests possible. Shapes other than `Churn`
+//! additionally preserve uid order ([`TrafficGenerator::uid_ordered`]), so
+//! any mid-schedule prefix of waves covers exactly the users `0..m`.
+//!
+//! **Design decision — churn is delayed re-arrival, not partial reports.**
+//! Churning users abandon their scheduled slot but later deliver their
+//! *complete* report; they never send a truncated tuple. Partial tuples
+//! would change what the estimators see and break the bit-identity contract
+//! between the drained server and the batch pipeline that the whole
+//! determinism suite (and the per-run manifests) rests on. Users who
+//! *permanently* drop out simply never appear on the wire — the server
+//! estimates over whoever actually reported, which needs no generator
+//! support (drive [`LdpServer`](ldp_server::LdpServer) with any subset;
+//! covered by `tests/server_equivalence.rs`). Within-report partial
+//! disclosure is a solution-layer concern: SMP reports already carry a
+//! single attribute, and the aggregator's per-attribute `n_j` bookkeeping
+//! handles it.
+
+use ldp_protocols::hash::mix3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt separating the traffic-schedule rng stream from every per-user
+/// sanitization stream.
+const TRAFFIC_SALT: u64 = 0x7AFF_1C00;
+
+/// The arrival patterns the generator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    /// Constant rate: every wave carries `wave` users.
+    Steady,
+    /// Quiet trickle with seeded bursts of several waves' worth at once.
+    Burst,
+    /// Arrival rate ramps from `wave / 4` up to `4 · wave` and back down —
+    /// one "day" of diurnal traffic.
+    Ramp,
+    /// Dropout/churn: each scheduled user abandons their slot with the
+    /// configured probability and re-arrives in a later wave.
+    Churn,
+}
+
+impl TrafficShape {
+    /// Every shape, in documentation order.
+    pub const ALL: [TrafficShape; 4] = [
+        TrafficShape::Steady,
+        TrafficShape::Burst,
+        TrafficShape::Ramp,
+        TrafficShape::Churn,
+    ];
+
+    /// Stable identifier used by the `risks serve` CLI.
+    pub fn id(self) -> &'static str {
+        match self {
+            TrafficShape::Steady => "steady",
+            TrafficShape::Burst => "burst",
+            TrafficShape::Ramp => "ramp",
+            TrafficShape::Churn => "churn",
+        }
+    }
+
+    /// Looks a shape up by its identifier.
+    pub fn from_id(id: &str) -> Option<TrafficShape> {
+        TrafficShape::ALL.into_iter().find(|s| s.id() == id)
+    }
+}
+
+impl std::fmt::Display for TrafficShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Deterministic arrival-schedule generator over the users `0..n`.
+///
+/// ```
+/// use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
+///
+/// let traffic = TrafficGenerator::new(TrafficShape::Burst, 10_000).seed(7);
+/// let waves: Vec<Vec<u64>> = traffic.waves().collect();
+/// let arrived: usize = waves.iter().map(Vec::len).sum();
+/// assert_eq!(arrived, 10_000); // every user reports exactly once
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    shape: TrafficShape,
+    n: usize,
+    seed: u64,
+    wave: usize,
+    churn: f64,
+}
+
+impl TrafficGenerator {
+    /// A generator for `n` users with default wave size (1024), seed 0 and
+    /// 30 % churn (only [`TrafficShape::Churn`] uses the churn rate).
+    pub fn new(shape: TrafficShape, n: usize) -> Self {
+        TrafficGenerator {
+            shape,
+            n,
+            seed: 0,
+            wave: 1024,
+            churn: 0.3,
+        }
+    }
+
+    /// Sets the schedule seed (burst sizes, churn decisions).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the base wave size (clamped to ≥ 1).
+    pub fn wave(mut self, wave: usize) -> Self {
+        self.wave = wave.max(1);
+        self
+    }
+
+    /// Sets the dropout probability for [`TrafficShape::Churn`] (clamped to
+    /// `[0, 0.95]` so the schedule always makes progress).
+    pub fn churn(mut self, churn: f64) -> Self {
+        self.churn = churn.clamp(0.0, 0.95);
+        self
+    }
+
+    /// The shape of this schedule.
+    pub fn shape(&self) -> TrafficShape {
+        self.shape
+    }
+
+    /// The population size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether concatenating the waves yields the uids in increasing order —
+    /// true for every shape except [`TrafficShape::Churn`]. When it holds,
+    /// the first `m` arrivals are exactly the users `0..m`, so mid-stream
+    /// snapshots can be checked against a batch run over that prefix.
+    pub fn uid_ordered(&self) -> bool {
+        self.shape != TrafficShape::Churn
+    }
+
+    /// The wave iterator. Memory stays `O(wave size)` — waves are produced
+    /// lazily, so 10M-user schedules never materialize a 10M-entry list
+    /// (except transiently for churn's pending set, bounded by the churn
+    /// fraction of the population).
+    pub fn waves(&self) -> Waves {
+        Waves {
+            traffic: self.clone(),
+            rng: StdRng::seed_from_u64(mix3(self.seed, self.n as u64, TRAFFIC_SALT)),
+            next_uid: 0,
+            tick: 0,
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Lazy iterator over arrival waves; see [`TrafficGenerator::waves`].
+#[derive(Debug)]
+pub struct Waves {
+    traffic: TrafficGenerator,
+    rng: StdRng,
+    next_uid: u64,
+    tick: u64,
+    /// Users who churned out of their scheduled wave and will re-arrive.
+    pending: Vec<u64>,
+}
+
+impl Waves {
+    /// How many fresh uids this tick admits, per the shape.
+    fn wave_size(&mut self) -> usize {
+        let w = self.traffic.wave;
+        match self.traffic.shape {
+            TrafficShape::Steady | TrafficShape::Churn => w,
+            TrafficShape::Burst => {
+                // Three quiet ticks of a trickle, then one seeded burst.
+                if self.tick % 4 == 3 {
+                    3 * w + self.rng.random_range(0..=w)
+                } else {
+                    (w / 8).max(1)
+                }
+            }
+            TrafficShape::Ramp => {
+                // One triangular "day" over 16 ticks: w/4 → 4w → w/4; later
+                // days repeat.
+                let phase = self.tick % 16;
+                let up = if phase < 8 { phase } else { 15 - phase };
+                (w / 4 + (up as usize * w) / 2).max(1)
+            }
+        }
+    }
+}
+
+impl Iterator for Waves {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        let n = self.traffic.n as u64;
+        // A churn tick can lose its whole cohort to the pending set; loop so
+        // callers never see phantom empty waves mid-schedule.
+        loop {
+            if self.next_uid >= n && self.pending.is_empty() {
+                return None;
+            }
+            let size = self.wave_size();
+            let mut wave = Vec::with_capacity(size);
+            if self.traffic.shape == TrafficShape::Churn {
+                // Returning users re-arrive ahead of this tick's fresh
+                // cohort, every fourth tick and in the tail drain.
+                let drain_tail = self.next_uid >= n;
+                if self.tick % 4 == 1 || drain_tail {
+                    let take = self.pending.len().min(size);
+                    wave.extend(self.pending.drain(..take));
+                }
+                while wave.len() < size && self.next_uid < n {
+                    let uid = self.next_uid;
+                    self.next_uid += 1;
+                    if self.rng.random::<f64>() < self.traffic.churn {
+                        self.pending.push(uid);
+                    } else {
+                        wave.push(uid);
+                    }
+                }
+            } else {
+                let end = (self.next_uid + size as u64).min(n);
+                wave.extend(self.next_uid..end);
+                self.next_uid = end;
+            }
+            self.tick += 1;
+            if !wave.is_empty() {
+                return Some(wave);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten(traffic: &TrafficGenerator) -> Vec<u64> {
+        traffic.waves().flatten().collect()
+    }
+
+    #[test]
+    fn every_shape_schedules_each_user_exactly_once() {
+        for shape in TrafficShape::ALL {
+            for n in [0usize, 1, 7, 1000, 5000] {
+                let traffic = TrafficGenerator::new(shape, n).seed(9).wave(64);
+                let mut uids = flatten(&traffic);
+                uids.sort_unstable();
+                assert_eq!(
+                    uids,
+                    (0..n as u64).collect::<Vec<_>>(),
+                    "{shape} n={n}: schedule must cover the population exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_shapes_arrive_in_uid_order() {
+        for shape in [
+            TrafficShape::Steady,
+            TrafficShape::Burst,
+            TrafficShape::Ramp,
+        ] {
+            let traffic = TrafficGenerator::new(shape, 3000).seed(3).wave(100);
+            assert!(traffic.uid_ordered());
+            let uids = flatten(&traffic);
+            assert_eq!(uids, (0..3000u64).collect::<Vec<_>>(), "{shape}");
+        }
+    }
+
+    #[test]
+    fn churn_permutes_but_still_covers() {
+        let traffic = TrafficGenerator::new(TrafficShape::Churn, 4000)
+            .seed(5)
+            .wave(128)
+            .churn(0.4);
+        assert!(!traffic.uid_ordered());
+        let uids = flatten(&traffic);
+        assert_ne!(
+            uids,
+            (0..4000u64).collect::<Vec<_>>(),
+            "churn should reorder arrivals"
+        );
+        let mut sorted = uids;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..4000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for shape in TrafficShape::ALL {
+            let a = flatten(&TrafficGenerator::new(shape, 2000).seed(11).wave(64));
+            let b = flatten(&TrafficGenerator::new(shape, 2000).seed(11).wave(64));
+            assert_eq!(a, b, "{shape}: same seed, same schedule");
+        }
+        let c = flatten(
+            &TrafficGenerator::new(TrafficShape::Churn, 2000)
+                .seed(12)
+                .wave(64),
+        );
+        let d = flatten(
+            &TrafficGenerator::new(TrafficShape::Churn, 2000)
+                .seed(13)
+                .wave(64),
+        );
+        assert_ne!(c, d, "different seeds should reorder churn");
+    }
+
+    #[test]
+    fn burst_waves_vary_in_size_and_ramp_ramps() {
+        let burst_sizes: Vec<usize> = TrafficGenerator::new(TrafficShape::Burst, 20_000)
+            .seed(2)
+            .wave(256)
+            .waves()
+            .map(|w| w.len())
+            .collect();
+        let max = *burst_sizes.iter().max().unwrap();
+        let min = *burst_sizes.iter().min().unwrap();
+        assert!(
+            max >= 8 * min.max(1),
+            "burst schedule too flat: min {min}, max {max}"
+        );
+
+        let ramp_sizes: Vec<usize> = TrafficGenerator::new(TrafficShape::Ramp, 20_000)
+            .seed(2)
+            .wave(256)
+            .waves()
+            .map(|w| w.len())
+            .collect();
+        assert!(ramp_sizes[0] < ramp_sizes[7], "ramp should ramp up");
+    }
+
+    #[test]
+    fn empty_population_yields_no_waves() {
+        for shape in TrafficShape::ALL {
+            assert_eq!(
+                TrafficGenerator::new(shape, 0).waves().count(),
+                0,
+                "{shape}: zero users, zero waves"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_ids_roundtrip() {
+        for shape in TrafficShape::ALL {
+            assert_eq!(TrafficShape::from_id(shape.id()), Some(shape));
+        }
+        assert_eq!(TrafficShape::from_id("tsunami"), None);
+    }
+}

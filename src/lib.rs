@@ -16,9 +16,13 @@
 //! * [`core`] — multidimensional solutions (SPL/SMP/RS+FD/RS+RFD), the
 //!   unified adversary layer (`core::attacks`), the re-identification and
 //!   attribute-inference attacks, the PIE model.
+//! * [`server`] — the traffic-shaped streaming ingestion service: bounded
+//!   channels, sharded aggregators, estimate-while-ingesting snapshots and
+//!   graceful drain ([`server::LdpServer`]).
 //! * [`sim`] — the multi-survey campaign engine, the streaming
 //!   [`CollectionPipeline`](sim::CollectionPipeline), the sharded
-//!   [`AttackPipeline`](sim::AttackPipeline) and parallel helpers.
+//!   [`AttackPipeline`](sim::AttackPipeline), the seeded
+//!   [`TrafficGenerator`](sim::TrafficGenerator) and parallel helpers.
 //!
 //! ## The streaming collection API
 //!
@@ -78,9 +82,41 @@
 //!     .run(&collection, &dataset);
 //! assert_eq!(run.outcome.reident().unwrap().n_targets, 1_000);
 //! ```
+//!
+//! ## Streaming ingestion
+//!
+//! The serving layer accepts sustained traffic instead of one-shot batches:
+//! a seeded [`TrafficGenerator`](sim::TrafficGenerator) schedules arrivals
+//! (steady, burst, ramp, churn) and
+//! [`CollectionPipeline::serve`](sim::CollectionPipeline::serve) pushes the
+//! sanitized reports through the bounded-channel
+//! [`LdpServer`](server::LdpServer) — bit-identical to the batch `run` at
+//! equal seed:
+//!
+//! ```
+//! use risks_ldp::core::solutions::{RsFdProtocol, SolutionKind};
+//! use risks_ldp::datasets::corpora::adult_like;
+//! use risks_ldp::sim::traffic::{TrafficGenerator, TrafficShape};
+//! use risks_ldp::sim::CollectionPipeline;
+//!
+//! let dataset = adult_like(2_000, 7);
+//! let pipeline = CollectionPipeline::from_kind(
+//!     SolutionKind::RsFd(RsFdProtocol::Grr),
+//!     &dataset.schema().cardinalities(),
+//!     1.0,
+//! )
+//! .unwrap()
+//! .seed(42)
+//! .threads(4);
+//! let traffic = TrafficGenerator::new(TrafficShape::Burst, dataset.n()).seed(42);
+//! let streamed = pipeline.serve(&dataset, &traffic);
+//! let batch = pipeline.run(&dataset);
+//! assert_eq!(streamed.aggregator.counts(), batch.aggregator.counts());
+//! ```
 
 pub use ldp_core as core;
 pub use ldp_datasets as datasets;
 pub use ldp_gbdt as gbdt;
 pub use ldp_protocols as protocols;
+pub use ldp_server as server;
 pub use ldp_sim as sim;

@@ -1,0 +1,246 @@
+//! Determinism properties of the streamed ingestion path: the `ldp_server`
+//! drain snapshot is **bit-identical** to the batch
+//! `CollectionPipeline::run` at equal seed, for every constructible
+//! `SolutionKind` family × thread count {1, 2, 8} × traffic shape — and a
+//! mid-stream snapshot equals a batch run over exactly the prefix of users
+//! absorbed so far.
+
+use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
+use ldp_datasets::corpora::adult_like;
+use ldp_datasets::Dataset;
+use ldp_protocols::hash::mix3;
+use ldp_protocols::ProtocolKind;
+use ldp_server::{Envelope, LdpServer, ServerConfig};
+use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
+use ldp_sim::{CollectionPipeline, CollectionRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The salt `CollectionPipeline` derives per-user rng streams from (kept in
+/// sync by `serve_matches_manual_server_drive`, which would fail loudly if
+/// the pipeline's seeding scheme changed).
+const USER_SALT: u64 = 0x00C0_11EC_7A11;
+
+fn all_kinds() -> Vec<SolutionKind> {
+    vec![
+        SolutionKind::Spl(ProtocolKind::Grr),
+        SolutionKind::Spl(ProtocolKind::Olh),
+        SolutionKind::Smp(ProtocolKind::Oue),
+        SolutionKind::Smp(ProtocolKind::Ss),
+        SolutionKind::RsFd(RsFdProtocol::Grr),
+        SolutionKind::RsFd(RsFdProtocol::UeZ(ldp_protocols::UeMode::Optimized)),
+        SolutionKind::RsRfd(RsRfdProtocol::Grr),
+    ]
+}
+
+fn assert_runs_bit_identical(a: &CollectionRun, b: &CollectionRun, label: &str) {
+    assert_eq!(a.n, b.n, "{label}: n");
+    assert_eq!(
+        a.aggregator.counts(),
+        b.aggregator.counts(),
+        "{label}: support counts"
+    );
+    for (x, y) in a
+        .estimates
+        .iter()
+        .flatten()
+        .zip(b.estimates.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: estimates");
+    }
+    for (x, y) in a
+        .normalized
+        .iter()
+        .flatten()
+        .zip(b.normalized.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: normalized");
+    }
+}
+
+#[test]
+fn drain_is_bit_identical_to_batch_for_kinds_threads_and_shapes() {
+    let ds = adult_like(600, 3);
+    let ks = ds.schema().cardinalities();
+    for kind in all_kinds() {
+        // The reference: a single-threaded batch pass.
+        let reference = CollectionPipeline::from_kind(kind, &ks, 2.0)
+            .unwrap()
+            .seed(17)
+            .threads(1)
+            .run(&ds);
+        for threads in [1usize, 2, 8] {
+            let pipeline = CollectionPipeline::from_kind(kind, &ks, 2.0)
+                .unwrap()
+                .seed(17)
+                .threads(threads);
+            for shape in TrafficShape::ALL {
+                let traffic = TrafficGenerator::new(shape, ds.n()).seed(17).wave(61);
+                let served = pipeline.serve(&ds, &traffic);
+                assert_runs_bit_identical(
+                    &served,
+                    &reference,
+                    &format!("{kind} t={threads} {shape}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_stream_snapshot_equals_batch_over_the_absorbed_prefix() {
+    let ds = adult_like(500, 9);
+    let ks = ds.schema().cardinalities();
+    for kind in [
+        SolutionKind::Spl(ProtocolKind::Grr),
+        SolutionKind::Smp(ProtocolKind::Oue),
+        SolutionKind::RsFd(RsFdProtocol::Grr),
+    ] {
+        let solution = kind.build(&ks, 1.5).unwrap();
+        let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(3));
+        // Any uid-ordered shape works; burst exercises uneven waves.
+        let traffic = TrafficGenerator::new(TrafficShape::Burst, ds.n())
+            .seed(23)
+            .wave(37);
+        assert!(traffic.uid_ordered());
+        let mut absorbed = 0usize;
+        for (i, wave) in traffic.waves().enumerate() {
+            absorbed += wave.len();
+            server.ingest_batch(wave.into_iter().map(|uid| Envelope {
+                uid,
+                report: solution.report(
+                    ds.row(uid as usize),
+                    &mut StdRng::seed_from_u64(mix3(23, uid, USER_SALT)),
+                ),
+            }));
+            // Snapshot after every third wave: quiesce so the snapshot
+            // covers exactly the ingested prefix, then compare against a
+            // batch pipeline run over the same prefix of users.
+            if i % 3 == 2 {
+                server.quiesce();
+                let snapshot = server.snapshot();
+                assert_eq!(snapshot.n, absorbed as u64, "{kind}: wave {i}");
+                let prefix = Dataset::new(
+                    ds.schema().clone(),
+                    (0..absorbed).flat_map(|u| ds.row(u).to_vec()).collect(),
+                );
+                let batch = CollectionPipeline::new(solution.clone())
+                    .seed(23)
+                    .threads(2)
+                    .run(&prefix);
+                assert_eq!(
+                    snapshot.aggregator.counts(),
+                    batch.aggregator.counts(),
+                    "{kind}: mid-stream snapshot after {absorbed} users"
+                );
+                for (x, y) in snapshot
+                    .estimates
+                    .iter()
+                    .flatten()
+                    .zip(batch.estimates.iter().flatten())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{kind}: prefix estimates");
+                }
+            }
+        }
+        let final_snapshot = server.drain();
+        assert_eq!(final_snapshot.n, ds.n() as u64);
+    }
+}
+
+#[test]
+fn serve_matches_manual_server_drive() {
+    // serve() is just sugar over LdpServer + TrafficGenerator; driving the
+    // server by hand with the same seeds must give the same counts. This
+    // also pins the pipeline's per-user seeding scheme (seed, uid,
+    // USER_SALT) that the mid-stream test depends on.
+    let ds = adult_like(300, 5);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let pipeline = CollectionPipeline::from_kind(kind, &ks, 1.0)
+        .unwrap()
+        .seed(41)
+        .threads(2);
+    let traffic = TrafficGenerator::new(TrafficShape::Churn, ds.n()).seed(41);
+    let served = pipeline.serve(&ds, &traffic);
+
+    let solution = kind.build(&ks, 1.0).unwrap();
+    let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(2));
+    for wave in traffic.waves() {
+        server.ingest_batch(wave.into_iter().map(|uid| Envelope {
+            uid,
+            report: solution.report(
+                ds.row(uid as usize),
+                &mut StdRng::seed_from_u64(mix3(41, uid, USER_SALT)),
+            ),
+        }));
+    }
+    let manual = server.drain();
+    assert_eq!(manual.n, served.n);
+    assert_eq!(manual.aggregator.counts(), served.aggregator.counts());
+}
+
+#[test]
+fn permanent_dropouts_leave_valid_estimates_over_the_reporting_subset() {
+    // Churn in the traffic generator is delayed re-arrival (every user's
+    // complete report eventually lands — that's what keeps serve == run).
+    // Users who drop out *permanently* simply never reach the wire; the
+    // server must then estimate over exactly the users who did report, and
+    // its drain must equal a reference pass over that subset.
+    let ds = adult_like(800, 13);
+    let ks = ds.schema().cardinalities();
+    let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+        .build(&ks, 2.0)
+        .unwrap();
+    let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(3));
+    let mut reference = solution.aggregator();
+    let mut reported = 0u64;
+    for uid in 0..ds.n() as u64 {
+        // Seeded 40% permanent dropout.
+        if mix3(99, uid, 0xD0) % 10 < 4 {
+            continue;
+        }
+        let report = solution.report(
+            ds.row(uid as usize),
+            &mut StdRng::seed_from_u64(mix3(99, uid, USER_SALT)),
+        );
+        reference.absorb(&report);
+        server.ingest(Envelope { uid, report });
+        reported += 1;
+    }
+    let snapshot = server.drain();
+    assert!(
+        reported > 0 && reported < ds.n() as u64,
+        "dropout must bite"
+    );
+    assert_eq!(snapshot.n, reported);
+    assert_eq!(snapshot.aggregator.counts(), reference.counts());
+    assert!(
+        snapshot.estimates.iter().flatten().all(|f| f.is_finite()),
+        "estimates over the reporting subset must be finite"
+    );
+}
+
+#[test]
+fn zero_users_drain_cleanly_through_every_path() {
+    let schema = ldp_datasets::Schema::from_cardinalities(&[6, 3, 2]);
+    let empty = Dataset::new(schema, Vec::new());
+    for kind in all_kinds() {
+        let pipeline = CollectionPipeline::from_kind(kind, &[6, 3, 2], 1.0)
+            .unwrap()
+            .seed(2)
+            .threads(8);
+        for shape in TrafficShape::ALL {
+            let run = pipeline.serve(&empty, &TrafficGenerator::new(shape, 0).seed(2));
+            assert_eq!(run.n, 0, "{kind} {shape}");
+            assert!(
+                run.estimates.iter().flatten().all(|f| f.is_finite()),
+                "{kind} {shape}: empty drain must not produce NaN"
+            );
+            assert!(
+                run.normalized.iter().flatten().all(|f| *f == 0.0),
+                "{kind} {shape}: empty drain must not fabricate estimates"
+            );
+        }
+    }
+}
