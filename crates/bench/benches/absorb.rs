@@ -1,0 +1,94 @@
+//! Server-side counting in isolation: per-protocol `count_support`
+//! throughput at k ∈ {32, 256, 1024}, decoupled from channels, rng seeding
+//! and client sanitization — so the OLH domain-sweep win (the monomorphized
+//! `count_hashed` tight loop) is measured on its own.
+//!
+//! Each benchmark absorbs a pre-generated batch of 512 reports into a raw
+//! count table; the reported time is per batch. `count_support_batch` ids
+//! cover the batch entry point the ingestion service amortizes dispatch
+//! through; the `olh_nonpow2_g` case pins the generic-modulo loop flavor
+//! (ε = 1.5 → g = 5) next to the power-of-two mask flavor (ε = 2 → g = 8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_protocols::oracle::{count_support, count_support_batch};
+use ldp_protocols::{FrequencyOracle, ProtocolKind, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 512;
+
+fn reports(
+    kind: ProtocolKind,
+    k: usize,
+    eps: f64,
+    seed: u64,
+) -> (ldp_protocols::Oracle, Vec<Report>) {
+    let oracle = kind.build(k, eps).expect("bench oracle builds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reports = (0..BATCH as u32)
+        .map(|i| oracle.randomize(i % k as u32, &mut rng))
+        .collect();
+    (oracle, reports)
+}
+
+fn bench_count_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_support");
+    for kind in ProtocolKind::ALL {
+        for k in [32usize, 256, 1024] {
+            let (oracle, batch) = reports(kind, k, 2.0, 0xAB50);
+            let mut counts = vec![0u64; k];
+            group.bench_with_input(BenchmarkId::new(kind.name(), k), &batch, |b, batch| {
+                b.iter(|| {
+                    for report in batch {
+                        count_support(&oracle, &mut counts, report);
+                    }
+                    black_box(&counts);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_count_support_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_support_batch");
+    for kind in ProtocolKind::ALL {
+        for k in [32usize, 256, 1024] {
+            let (oracle, batch) = reports(kind, k, 2.0, 0xAB51);
+            let mut counts = vec![0u64; k];
+            group.bench_with_input(BenchmarkId::new(kind.name(), k), &batch, |b, batch| {
+                b.iter(|| {
+                    count_support_batch(&oracle, &mut counts, batch);
+                    black_box(&counts);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// ε = 1.5 gives g = round(e^1.5) + 1 = 5: exercises the generic-modulo
+/// flavor of the OLH sweep (ε = 2 above lands on the power-of-two mask).
+fn bench_olh_nonpow2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olh_nonpow2_g");
+    for k in [32usize, 256, 1024] {
+        let (oracle, batch) = reports(ProtocolKind::Olh, k, 1.5, 0xAB52);
+        assert!(!matches!(&oracle, ldp_protocols::Oracle::Olh(o) if o.g().is_power_of_two()));
+        let mut counts = vec![0u64; k];
+        group.bench_with_input(BenchmarkId::new("OLH", k), &batch, |b, batch| {
+            b.iter(|| {
+                count_support_batch(&oracle, &mut counts, batch);
+                black_box(&counts);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_count_support,
+    bench_count_support_batch,
+    bench_olh_nonpow2
+);
+criterion_main!(benches);

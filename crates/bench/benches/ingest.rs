@@ -3,74 +3,105 @@
 //!
 //! Unlike the Criterion micro-benchmarks, this is a custom harness: it
 //! measures end-to-end reports/sec (client sanitization → bounded-channel
-//! routing → sharded absorb → graceful drain) for n ∈ {1M, 10M} synthetic
-//! users at 1/2/8 worker threads, and **emits `BENCH_ingest.json`** at the
-//! workspace root (override with the `BENCH_OUT` env var) so CI can archive
-//! the numbers run over run.
+//! routing → sharded absorb → graceful drain) over a **solution-kind ×
+//! thread matrix** — RS+FD[GRR] (value tuples), SMP[OLH] (hashed reports,
+//! the O(k)-per-report counting path) and SPL[OUE] (bit-vector tuples) at
+//! n ∈ {1M, 10M} × threads {1, 2, 4, 8} — and **emits `BENCH_ingest.json`**
+//! at the workspace root (override with the `BENCH_OUT` env var) so CI can
+//! archive the numbers run over run.
 //!
 //! Under `--test` / `--smoke` (what `cargo test` and the CI smoke job pass)
-//! only a small population runs, and the JSON is tagged `"smoke": true`.
+//! only a small population at threads {1, 2} runs, and the JSON is tagged
+//! `"smoke": true`.
 //!
-//! Tuples are synthesized on the fly from the uid — no dataset is
-//! materialized — so the bench exercises exactly the serving path and its
-//! memory stays flat in n, mirroring the server's `O(Σ_j k_j)` contract.
+//! Tuples are synthesized on the fly from the uid and envelopes are handed
+//! to `ingest_batch` as a lazy iterator — no dataset and no producer-side
+//! report buffer is ever materialized — so the bench exercises exactly the
+//! serving path and its memory stays flat in n, mirroring the server's
+//! `O(Σ_j k_j)` contract.
+//!
+//! The `threads` column drives the server topology (worker/shard count);
+//! producers are capped at the machine's parallelism, and the emitted JSON
+//! records `"cores"` — on a single-core box the matrix demonstrates the
+//! *absence of contention collapse* (rows flat within noise), while real
+//! monotone speedups need `cores > 1`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ldp_core::solutions::{RsFdProtocol, SolutionKind};
 use ldp_protocols::hash::mix3;
+use ldp_protocols::ProtocolKind;
 use ldp_server::{Envelope, LdpServer, ServerConfig};
-use rand::rngs::StdRng;
+use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Salt separating the bench's per-user rng streams from everything else.
 const BENCH_SALT: u64 = 0x0146_3E57;
 
-/// Producer-side chunk size (envelopes per `ingest_batch` call).
-const CHUNK: usize = 1024;
+/// Widest domain tuple the bench synthesizes (stack-allocated per user).
+const MAX_D: usize = 8;
 
 /// One measured configuration.
 struct Measurement {
+    solution: String,
     n: usize,
     threads: usize,
     wall_secs: f64,
     reports_per_sec: f64,
 }
 
-/// Deterministic synthetic tuple for `uid` over the bench domain `ks`.
-fn tuple_of(uid: u64, ks: &[usize]) -> Vec<u32> {
-    ks.iter()
-        .enumerate()
-        .map(|(j, &k)| (mix3(uid, j as u64, 0xD07) % k as u64) as u32)
-        .collect()
+/// Deterministic synthetic tuple for `uid` over the bench domain `ks`,
+/// written into a caller-provided stack buffer (the producer loop must not
+/// allocate per user).
+fn tuple_of<'a>(uid: u64, ks: &[usize], buf: &'a mut [u32; MAX_D]) -> &'a [u32] {
+    for (j, &k) in ks.iter().enumerate() {
+        buf[j] = (mix3(uid, j as u64, 0xD07) % k as u64) as u32;
+    }
+    &buf[..ks.len()]
 }
 
-/// Streams `n` users through a `threads`-sharded server with `threads`
-/// producer threads and returns the measured throughput.
+/// Streams `n` users through a `threads`-sharded server, fed by
+/// `min(threads, cores)` producer threads, and returns the measured
+/// throughput.
 fn run_once(solution_kind: SolutionKind, ks: &[usize], n: usize, threads: usize) -> Measurement {
     let solution = solution_kind.build(ks, 1.0).expect("bench solution builds");
-    let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(threads));
+    // Short queues keep the in-flight batch memory cache-resident without
+    // throttling anything (the absorb side keeps up with the producers).
+    // The batch grows with the worker count so each worker wake amortizes
+    // enough absorb work to cover its scheduling + cache-rewarm cost — that
+    // cost scales with the number of distinct worker contexts sharing the
+    // machine's cores, the message volume does not need to.
+    let server = LdpServer::spawn(
+        solution.clone(),
+        ServerConfig::default()
+            .shards(threads)
+            .queue_depth(8)
+            .batch(512 * threads),
+    );
+    // `threads` drives the server topology under test (worker/shard count);
+    // the producer fan-out is additionally capped at the machine's actual
+    // parallelism — oversubscribing sanitization threads beyond physical
+    // cores only adds scheduler churn, which no deployment would do, and
+    // would otherwise bury the server-side scaling signal on small boxes.
+    let producers = threads
+        .min(std::thread::available_parallelism().map_or(threads, std::num::NonZeroUsize::get));
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for p in 0..threads {
+        for p in 0..producers {
             let server = &server;
             let solution = &solution;
             scope.spawn(move || {
-                let lo = p * n / threads;
-                let hi = (p + 1) * n / threads;
-                let mut chunk = Vec::with_capacity(CHUNK);
-                for uid in lo as u64..hi as u64 {
-                    let mut rng = StdRng::seed_from_u64(mix3(0xBEAC, uid, BENCH_SALT));
-                    chunk.push(Envelope {
+                let lo = p * n / producers;
+                let hi = (p + 1) * n / producers;
+                let mut buf = [0u32; MAX_D];
+                server.ingest_batch((lo as u64..hi as u64).map(move |uid| {
+                    let mut rng = SmallRng::seed_from_u64(mix3(0xBEAC, uid, BENCH_SALT));
+                    Envelope {
                         uid,
-                        report: solution.report(&tuple_of(uid, ks), &mut rng),
-                    });
-                    if chunk.len() == CHUNK {
-                        server.ingest_batch(chunk.drain(..));
+                        report: solution.report(tuple_of(uid, ks, &mut buf), &mut rng),
                     }
-                }
-                server.ingest_batch(chunk);
+                }));
             });
         }
     });
@@ -82,6 +113,7 @@ fn run_once(solution_kind: SolutionKind, ks: &[usize], n: usize, threads: usize)
         "drained estimates must be finite"
     );
     Measurement {
+        solution: solution_kind.name(),
         n,
         threads,
         wall_secs,
@@ -90,18 +122,22 @@ fn run_once(solution_kind: SolutionKind, ks: &[usize], n: usize, threads: usize)
 }
 
 /// Hand-rolled JSON (the workspace carries no JSON crate).
-fn to_json(solution: &str, smoke: bool, results: &[Measurement]) -> String {
+fn to_json(smoke: bool, results: &[Measurement]) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"ingest\",");
-    let _ = writeln!(out, "  \"solution\": \"{solution}\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
+    // Interpret the thread columns against this: on a single-core box the
+    // matrix can only demonstrate absence of contention collapse (rows stay
+    // flat within noise); real scaling needs cores > 1.
+    let _ = writeln!(out, "  \"cores\": {cores},");
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"n\": {}, \"threads\": {}, \"wall_secs\": {:.4}, \"reports_per_sec\": {:.0}}}{comma}",
-            m.n, m.threads, m.wall_secs, m.reports_per_sec
+            "    {{\"solution\": \"{}\", \"n\": {}, \"threads\": {}, \"wall_secs\": {:.4}, \"reports_per_sec\": {:.0}}}{comma}",
+            m.solution, m.n, m.threads, m.wall_secs, m.reports_per_sec
         );
     }
     out.push_str("  ]\n}\n");
@@ -125,30 +161,56 @@ fn main() {
     } else {
         &[1_000_000, 10_000_000]
     };
-    let threads = [1usize, 2, 8];
+    let threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     // A compact domain keeps the bench measuring channels + absorb, not
     // cache misses over a huge count table.
     let ks = [16usize, 8, 5, 4];
-    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    // One kind per hot report shape: value tuples, hashed reports (the
+    // domain-sweep counting path), and unary bit vectors.
+    let kinds = [
+        SolutionKind::RsFd(RsFdProtocol::Grr),
+        SolutionKind::Smp(ProtocolKind::Olh),
+        SolutionKind::Spl(ProtocolKind::Oue),
+    ];
 
-    let mut results = Vec::new();
-    for &n in sizes {
-        for &t in &threads {
+    // Best of nine repetitions per cell (one in smoke mode), with the reps
+    // *interleaved* across the whole matrix rather than run back to back:
+    // shared one-core boxes show double-digit noise that arrives in bursts,
+    // so consecutive reps would let one noisy minute poison a single cell's
+    // every repetition. Round-robin passes spread the bursts across cells,
+    // and the per-cell minimum wall time is the measurement least polluted
+    // by scheduler interference.
+    let reps = if smoke { 1 } else { 9 };
+    let cells: Vec<(SolutionKind, usize, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            sizes
+                .iter()
+                .flat_map(move |&n| threads.iter().map(move |&t| (kind, n, t)))
+        })
+        .collect();
+    let mut best: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
+    for _ in 0..reps {
+        for (slot, &(kind, n, t)) in cells.iter().enumerate() {
             let m = run_once(kind, &ks, n, t);
-            println!(
-                "ingest {} n={} threads={}: {:.3}s, {:.0} reports/sec",
-                kind.name(),
-                m.n,
-                m.threads,
-                m.wall_secs,
-                m.reports_per_sec
-            );
-            results.push(m);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| m.wall_secs < b.wall_secs)
+            {
+                best[slot] = Some(m);
+            }
         }
+    }
+    let results: Vec<Measurement> = best.into_iter().map(|m| m.expect("reps >= 1")).collect();
+    for m in &results {
+        println!(
+            "ingest {} n={} threads={}: {:.3}s, {:.0} reports/sec",
+            m.solution, m.n, m.threads, m.wall_secs, m.reports_per_sec
+        );
     }
 
     let path = output_path();
-    std::fs::write(&path, to_json(&kind.name(), smoke, &results))
+    std::fs::write(&path, to_json(smoke, &results))
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     println!("wrote {}", path.display());
 }

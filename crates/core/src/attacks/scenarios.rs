@@ -1,7 +1,7 @@
 //! Concrete attack scenarios behind the object-safe [`Attack`] trait, and
 //! their fitted, shardable evaluators.
 
-use ldp_protocols::deniability::{best_guess, best_guess_report};
+use ldp_protocols::deniability::{best_guess_report, best_guess_with};
 use rand::RngCore;
 
 use super::kind::{
@@ -56,6 +56,9 @@ impl ReidentScenario {
     /// RS+FD / RS+RFD → infer the sampled attribute with the NK classifier,
     /// then deniability-guess its report (the Fig. 4 "chained errors").
     pub fn profile_round(&self, view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> Vec<Profile> {
+        // One candidate buffer reused across the whole round (OLH preimages
+        // are the only allocating guess path; see `best_guess_with`).
+        let mut scratch = Vec::new();
         match view.solution {
             DynSolution::Smp(s) => view
                 .observed
@@ -63,7 +66,10 @@ impl ReidentScenario {
                 .map(|r| match r {
                     SolutionReport::Smp(m) => {
                         let mut p = Profile::new();
-                        p.observe(m.attr, best_guess(s.oracle(m.attr), &m.report, rng));
+                        p.observe(
+                            m.attr,
+                            best_guess_with(s.oracle(m.attr), &m.report, &mut scratch, rng),
+                        );
                         p
                     }
                     _ => panic!("observed report shape does not match the SMP solution"),
@@ -76,7 +82,7 @@ impl ReidentScenario {
                     SolutionReport::Full(reports) => {
                         let mut p = Profile::new();
                         for (j, rep) in reports.iter().enumerate() {
-                            p.observe(j, best_guess(s.oracle(j), rep, rng));
+                            p.observe(j, best_guess_with(s.oracle(j), rep, &mut scratch, rng));
                         }
                         p
                     }

@@ -267,6 +267,59 @@ impl MultidimAggregator {
         );
     }
 
+    /// Absorbs a whole [`CompactBatch`](super::CompactBatch) by counting
+    /// support directly from the encoded words — no report is ever
+    /// rematerialized and nothing is allocated. Bit-identical to absorbing
+    /// each decoded report through [`MultidimAggregator::absorb`]; this is
+    /// the ingestion service's per-message hot path, amortizing the shape
+    /// dispatch across the batch.
+    ///
+    /// # Panics
+    /// Panics when a batch entry's shape does not belong to the solution
+    /// this aggregator was built for, mirroring
+    /// [`MultidimAggregator::absorb`].
+    pub fn absorb_compact(&mut self, batch: &super::CompactBatch) {
+        let mut cursor = batch.cursor();
+        while !cursor.done() {
+            let (kind, a, _sampled) = cursor.solution_header();
+            match (kind, &self.spec) {
+                (0, EstimatorSpec::Spl { oracles }) => {
+                    // Hard assert: a width mismatch would desync the cursor.
+                    assert_eq!(a, self.ks.len(), "tuple width mismatch");
+                    self.n += 1;
+                    for (j, (counts, oracle)) in
+                        self.counts.iter_mut().zip(oracles).enumerate().take(a)
+                    {
+                        super::compact::count_entry(counts, Some(oracle), j, &mut cursor);
+                    }
+                }
+                (1, EstimatorSpec::Smp { oracles }) => {
+                    assert!(a < self.ks.len(), "attribute index out of range");
+                    self.n += 1;
+                    self.n_attr[a] += 1;
+                    super::compact::count_entry(
+                        &mut self.counts[a],
+                        Some(&oracles[a]),
+                        a,
+                        &mut cursor,
+                    );
+                }
+                (2, EstimatorSpec::RsFd { .. } | EstimatorSpec::RsRfd { .. }) => {
+                    // Hard assert: a width mismatch would desync the cursor.
+                    assert_eq!(a, self.ks.len(), "tuple width mismatch");
+                    self.n += 1;
+                    for (j, counts) in self.counts.iter_mut().enumerate() {
+                        super::compact::count_entry(counts, None, j, &mut cursor);
+                    }
+                }
+                (kind, _) => panic!(
+                    "absorb_compact: batch entry kind {kind} does not match this \
+                     aggregator's solution"
+                ),
+            }
+        }
+    }
+
     /// Absorbs one RS+FD / RS+RFD full-tuple report.
     pub fn absorb_tuple(&mut self, report: &MultidimReport) {
         match &self.spec {

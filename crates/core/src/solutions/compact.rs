@@ -1,0 +1,392 @@
+//! A compact, reusable wire encoding for batches of [`SolutionReport`]s.
+//!
+//! The ingestion hot path moves millions of reports per second across
+//! channels. The natural representation — `Vec<Envelope>` with every
+//! `Report::Subset(Vec<u32>)`, `Report::Bits(BitVec)` and
+//! `SolutionReport::Full(Vec<Report>)` owning its own heap block — makes a
+//! steady-state report cost several allocations that are freed on a
+//! *different* thread (allocator churn). [`CompactBatch`] instead flattens a
+//! whole batch into two growable buffers (`uids`, `words`) that are
+//! **reused**: the serving layer recycles drained batches back to the
+//! producers through a pool, so steady-state ingestion crosses the channel
+//! without any fresh heap allocation.
+//!
+//! The aggregation side never rematerializes reports: the cursor-based
+//! [`count_entry`] counts support directly from the encoded words (see
+//! [`MultidimAggregator::absorb_compact`]), dispatching on the oracle once
+//! per report. Decoding ([`CompactBatch::iter`]) exists for round-trip tests
+//! and diagnostics.
+//!
+//! ## Wire format (per report, in 64-bit words)
+//!
+//! ```text
+//! solution header: kind(2 bits) | a(bits 2..33) | b(bits 33..64)
+//!     kind 0 = Full  (a = d)           → d entries follow
+//!     kind 1 = Smp   (a = attr)        → 1 entry follows
+//!     kind 2 = Tuple (a = d, b = sampled) → d entries follow
+//! entry header:   tag(2 bits) | payload(bits 2..)
+//!     tag 0 = Value  (payload = v)     → no extra words
+//!     tag 1 = Hashed                   → words: seed, g | value << 32
+//!     tag 2 = Subset (payload = len)   → ⌈len/2⌉ words, two u32 each
+//!     tag 3 = Bits   (payload = nbits) → ⌈nbits/64⌉ BitVec blocks, verbatim
+//! ```
+//!
+//! [`MultidimAggregator::absorb_compact`]: super::MultidimAggregator::absorb_compact
+
+use ldp_protocols::{BitVec, FrequencyOracle, Oracle, Report};
+
+use super::smp::SmpReport;
+use super::{MultidimReport, SolutionReport};
+
+const KIND_FULL: u64 = 0;
+const KIND_SMP: u64 = 1;
+const KIND_TUPLE: u64 = 2;
+
+const TAG_VALUE: u64 = 0;
+const TAG_HASHED: u64 = 1;
+const TAG_SUBSET: u64 = 2;
+const TAG_BITS: u64 = 3;
+
+/// A batch of `(uid, SolutionReport)` pairs flattened into two reusable
+/// buffers. Build with [`CompactBatch::push`], hand it across a channel,
+/// absorb it with
+/// [`MultidimAggregator::absorb_compact`](super::MultidimAggregator::absorb_compact),
+/// then [`CompactBatch::clear`] and reuse — steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CompactBatch {
+    uids: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl CompactBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        CompactBatch::default()
+    }
+
+    /// Number of encoded reports.
+    pub fn len(&self) -> usize {
+        self.uids.len()
+    }
+
+    /// True when no report is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.uids.is_empty()
+    }
+
+    /// Empties the batch, keeping both buffers' capacity for reuse.
+    pub fn clear(&mut self) {
+        self.uids.clear();
+        self.words.clear();
+    }
+
+    /// Appends one report. Amortized allocation-free once the buffers have
+    /// grown to the batch's steady-state size.
+    pub fn push(&mut self, uid: u64, report: &SolutionReport) {
+        self.uids.push(uid);
+        match report {
+            SolutionReport::Full(reports) => {
+                self.words.push(KIND_FULL | ((reports.len() as u64) << 2));
+                for rep in reports {
+                    self.push_entry(rep);
+                }
+            }
+            SolutionReport::Smp(SmpReport { attr, report }) => {
+                self.words.push(KIND_SMP | ((*attr as u64) << 2));
+                self.push_entry(report);
+            }
+            SolutionReport::Tuple(MultidimReport { values, sampled }) => {
+                self.words
+                    .push(KIND_TUPLE | ((values.len() as u64) << 2) | ((*sampled as u64) << 33));
+                for rep in values {
+                    self.push_entry(rep);
+                }
+            }
+        }
+    }
+
+    fn push_entry(&mut self, report: &Report) {
+        match report {
+            Report::Value(v) => self.words.push(TAG_VALUE | (u64::from(*v) << 2)),
+            Report::Hashed { seed, g, value } => {
+                self.words.push(TAG_HASHED);
+                self.words.push(*seed);
+                self.words.push(u64::from(*g) | (u64::from(*value) << 32));
+            }
+            Report::Subset(subset) => {
+                self.words.push(TAG_SUBSET | ((subset.len() as u64) << 2));
+                for pair in subset.chunks(2) {
+                    let hi = pair.get(1).copied().unwrap_or(0);
+                    self.words.push(u64::from(pair[0]) | (u64::from(hi) << 32));
+                }
+            }
+            Report::Bits(bits) => {
+                self.words.push(TAG_BITS | ((bits.len() as u64) << 2));
+                self.words.extend_from_slice(bits.blocks());
+            }
+        }
+    }
+
+    /// Decodes every `(uid, report)` pair, materializing owned reports — the
+    /// round-trip inverse of [`CompactBatch::push`], for tests and
+    /// diagnostics (the aggregation path counts from the encoded words
+    /// directly and never calls this).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, SolutionReport)> + '_ {
+        let mut cursor = Cursor {
+            words: &self.words,
+            pos: 0,
+        };
+        self.uids.iter().map(move |&uid| {
+            let header = cursor.next();
+            let kind = header & 0b11;
+            let a = ((header >> 2) & 0x7FFF_FFFF) as usize;
+            let b = (header >> 33) as usize;
+            let report = match kind {
+                KIND_FULL => SolutionReport::Full((0..a).map(|_| cursor.decode_entry()).collect()),
+                KIND_SMP => SolutionReport::Smp(SmpReport {
+                    attr: a,
+                    report: cursor.decode_entry(),
+                }),
+                KIND_TUPLE => SolutionReport::Tuple(MultidimReport {
+                    values: (0..a).map(|_| cursor.decode_entry()).collect(),
+                    sampled: b,
+                }),
+                other => unreachable!("corrupt solution header kind {other}"),
+            };
+            (uid, report)
+        })
+    }
+
+    /// The encoded solution headers + entries, for the crate-internal
+    /// counting walk.
+    pub(crate) fn cursor(&self) -> Cursor<'_> {
+        Cursor {
+            words: &self.words,
+            pos: 0,
+        }
+    }
+}
+
+/// Sequential reader over a batch's encoded words.
+pub(crate) struct Cursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn done(&self) -> bool {
+        self.pos >= self.words.len()
+    }
+
+    fn next(&mut self) -> u64 {
+        let w = self.words[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Reads a solution header, returning `(kind, a, b)` per the wire format.
+    pub(crate) fn solution_header(&mut self) -> (u64, usize, usize) {
+        let header = self.next();
+        (
+            header & 0b11,
+            ((header >> 2) & 0x7FFF_FFFF) as usize,
+            (header >> 33) as usize,
+        )
+    }
+
+    fn decode_entry(&mut self) -> Report {
+        let header = self.next();
+        let payload = header >> 2;
+        match header & 0b11 {
+            TAG_VALUE => Report::Value(payload as u32),
+            TAG_HASHED => {
+                let seed = self.next();
+                let packed = self.next();
+                Report::Hashed {
+                    seed,
+                    g: packed as u32,
+                    value: (packed >> 32) as u32,
+                }
+            }
+            TAG_SUBSET => {
+                let len = payload as usize;
+                let mut subset = Vec::with_capacity(len);
+                for i in 0..len.div_ceil(2) {
+                    let packed = self.next();
+                    subset.push(packed as u32);
+                    if 2 * i + 1 < len {
+                        subset.push((packed >> 32) as u32);
+                    }
+                }
+                Report::Subset(subset)
+            }
+            TAG_BITS => {
+                let nbits = payload as usize;
+                let blocks = self.words[self.pos..self.pos + nbits.div_ceil(64)].to_vec();
+                self.pos += blocks.len();
+                Report::Bits(BitVec::from_blocks(blocks, nbits))
+            }
+            other => unreachable!("corrupt entry tag {other}"),
+        }
+    }
+}
+
+/// Counts one encoded entry's support into `counts`, advancing the cursor —
+/// the encoded twin of `ldp_protocols::oracle::count_support` (with an
+/// oracle, for SPL/SMP entries) and of
+/// [`count_fake_data_entry`](super::aggregator::count_fake_data_entry)
+/// (`oracle = None`, for fake-data tuple entries, which never carry
+/// hashed/subset shapes). Identical counting semantics, including the
+/// debug-assert rejection of out-of-domain entries and the release-mode
+/// skip of stray ones.
+pub(crate) fn count_entry(counts: &mut [u64], oracle: Option<&Oracle>, j: usize, cur: &mut Cursor) {
+    let header = cur.next();
+    let payload = header >> 2;
+    match header & 0b11 {
+        TAG_VALUE => {
+            debug_assert!(
+                (payload as usize) < counts.len(),
+                "attr {j}: report value {payload} outside domain of size {}",
+                counts.len()
+            );
+            if let Some(c) = counts.get_mut(payload as usize) {
+                *c += 1;
+            }
+        }
+        TAG_HASHED => {
+            let seed = cur.next();
+            let packed = cur.next();
+            let report = Report::Hashed {
+                seed,
+                g: packed as u32,
+                value: (packed >> 32) as u32,
+            };
+            match oracle {
+                // Per-report dispatch into the oracle's tightest domain
+                // sweep (monomorphized for OLH).
+                Some(oracle) => oracle.count_hashed(counts, &report),
+                None => debug_assert!(false, "attr {j}: unexpected hashed entry in a tuple"),
+            }
+        }
+        TAG_SUBSET => {
+            let len = payload as usize;
+            if oracle.is_none() {
+                // Mirrors `count_fake_data_entry`: a tuple entry of this
+                // shape is malformed — reject loudly in tests, skip the
+                // words without counting in release.
+                debug_assert!(false, "attr {j}: unexpected subset entry in a tuple");
+                cur.pos += len.div_ceil(2);
+                return;
+            }
+            for i in 0..len.div_ceil(2) {
+                let packed = cur.next();
+                let lo = packed as u32;
+                let hi = (packed >> 32) as u32;
+                debug_assert!(
+                    (lo as usize) < counts.len(),
+                    "attr {j}: subset entry {lo} outside domain of size {}",
+                    counts.len()
+                );
+                if let Some(c) = counts.get_mut(lo as usize) {
+                    *c += 1;
+                }
+                if 2 * i + 1 < len {
+                    debug_assert!(
+                        (hi as usize) < counts.len(),
+                        "attr {j}: subset entry {hi} outside domain of size {}",
+                        counts.len()
+                    );
+                    if let Some(c) = counts.get_mut(hi as usize) {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        TAG_BITS => {
+            let nbits = payload as usize;
+            debug_assert_eq!(
+                nbits,
+                counts.len(),
+                "attr {j}: bit-vector width does not match the domain"
+            );
+            for block_idx in 0..nbits.div_ceil(64) {
+                let mut block = cur.next();
+                while block != 0 {
+                    let idx = block_idx * 64 + block.trailing_zeros() as usize;
+                    block &= block - 1;
+                    if let Some(c) = counts.get_mut(idx) {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        other => unreachable!("corrupt entry tag {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{RsFdProtocol, RsRfdProtocol, SolutionKind};
+    use super::*;
+    use ldp_protocols::ProtocolKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_kinds() -> Vec<SolutionKind> {
+        let mut kinds = Vec::new();
+        for p in ProtocolKind::ALL {
+            kinds.push(SolutionKind::Spl(p));
+            kinds.push(SolutionKind::Smp(p));
+        }
+        for p in RsFdProtocol::ALL {
+            kinds.push(SolutionKind::RsFd(p));
+        }
+        kinds.push(SolutionKind::RsRfd(RsRfdProtocol::Grr));
+        kinds
+    }
+
+    #[test]
+    fn roundtrips_every_report_shape() {
+        let ks = [7usize, 4, 33];
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in all_kinds() {
+            let solution = kind.build(&ks, 2.0).unwrap();
+            let reports: Vec<(u64, SolutionReport)> = (0..60u64)
+                .map(|uid| {
+                    let tuple = [uid as u32 % 7, uid as u32 % 4, uid as u32 % 33];
+                    (uid, solution.report(&tuple, &mut rng))
+                })
+                .collect();
+            let mut batch = CompactBatch::new();
+            for (uid, report) in &reports {
+                batch.push(*uid, report);
+            }
+            assert_eq!(batch.len(), reports.len());
+            let decoded: Vec<_> = batch.iter().collect();
+            assert_eq!(decoded, reports, "{kind}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_content() {
+        let solution = SolutionKind::Smp(ProtocolKind::Ss)
+            .build(&[9, 5], 1.0)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut batch = CompactBatch::new();
+        for uid in 0..100u64 {
+            batch.push(uid, &solution.report(&[1, 2], &mut rng));
+        }
+        let (uid_cap, word_cap) = (batch.uids.capacity(), batch.words.capacity());
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.uids.capacity(), uid_cap);
+        assert_eq!(batch.words.capacity(), word_cap);
+        // Refilling to the same size allocates nothing new.
+        for uid in 0..100u64 {
+            batch.push(uid, &solution.report(&[1, 2], &mut rng));
+        }
+        assert_eq!(batch.uids.capacity(), uid_cap);
+        assert_eq!(batch.words.capacity(), word_cap);
+    }
+}

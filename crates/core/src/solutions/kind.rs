@@ -16,7 +16,7 @@ use super::spl::Spl;
 use super::{MultidimAggregator, MultidimReport, MultidimSolution};
 
 /// One sanitized client message, covering every solution's report shape.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SolutionReport {
     /// SPL: one (ε/d)-LDP report per attribute; nothing is hidden.
     Full(Vec<Report>),

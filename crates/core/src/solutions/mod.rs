@@ -10,6 +10,7 @@
 //! erase the client-side `R: Rng` generic behind `&mut dyn RngCore`.
 
 mod aggregator;
+mod compact;
 mod kind;
 mod rsfd;
 mod rsrfd;
@@ -17,6 +18,7 @@ mod smp;
 mod spl;
 
 pub use aggregator::MultidimAggregator;
+pub use compact::CompactBatch;
 pub use kind::{DynSolution, SolutionKind, SolutionReport};
 pub use rsfd::{RsFd, RsFdProtocol};
 pub use rsrfd::{RsRfd, RsRfdProtocol};
@@ -31,7 +33,7 @@ use rand::{Rng, RngCore};
 /// A full sanitized tuple `y = [y_1, …, y_d]` as produced by the RS+FD /
 /// RS+RFD solutions, together with the (server-hidden) sampled attribute used
 /// as attack ground truth in the experiments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultidimReport {
     /// One report per attribute (LDP for the sampled one, fake otherwise).
     pub values: Vec<Report>,

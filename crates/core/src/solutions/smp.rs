@@ -9,7 +9,7 @@ use rand::Rng;
 use super::{validate_config, EstimatorSpec, MultidimAggregator};
 
 /// One SMP message: the disclosed attribute index plus its ε-LDP report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmpReport {
     /// The sampled (and disclosed) attribute.
     pub attr: usize,

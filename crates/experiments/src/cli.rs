@@ -191,8 +191,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--eps" => {
                         spec.epsilon = flag_value(arg, it.next())?;
-                        if spec.epsilon.is_nan() || spec.epsilon <= 0.0 {
-                            return Err(format!("`--eps` must be positive, got {}", spec.epsilon));
+                        // Finiteness matters too: "inf" parses as f64 but
+                        // would only fail deep inside solution construction.
+                        if !spec.epsilon.is_finite() || spec.epsilon <= 0.0 {
+                            return Err(format!(
+                                "`--eps` must be positive and finite, got {}",
+                                spec.epsilon
+                            ));
                         }
                     }
                     "--scale" => scale = Some(flag_value(arg, it.next())?),

@@ -94,6 +94,29 @@ impl BitVec {
     pub fn ones_vec(&self) -> Vec<usize> {
         self.ones().collect()
     }
+
+    /// The backing `u64` blocks (little-endian bit order, trailing bits past
+    /// [`BitVec::len`] always zero). Exposed for compact wire encodings that
+    /// copy the vector verbatim.
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuilds a vector of `len` bits from its backing blocks — the inverse
+    /// of [`BitVec::blocks`].
+    ///
+    /// # Panics
+    /// Panics when `blocks.len()` does not match `len`; debug-asserts that no
+    /// trailing bit past `len` is set (every mutation path keeps them zero).
+    pub fn from_blocks(blocks: Vec<u64>, len: usize) -> Self {
+        assert_eq!(blocks.len(), len.div_ceil(64), "block count mismatch");
+        debug_assert!(
+            len.is_multiple_of(64) || blocks.last().is_none_or(|b| b >> (len % 64) == 0),
+            "trailing bits past len must be zero"
+        );
+        BitVec { blocks, len }
+    }
 }
 
 /// Iterator over set-bit indices of a [`BitVec`].
@@ -173,6 +196,24 @@ mod tests {
     fn set_out_of_range_panics() {
         let mut bv = BitVec::zeros(10);
         bv.set(10, true);
+    }
+
+    #[test]
+    fn blocks_roundtrip_through_from_blocks() {
+        for k in [1usize, 63, 64, 65, 130] {
+            let mut bv = BitVec::zeros(k);
+            for i in [0, k / 3, k - 1] {
+                bv.set(i, true);
+            }
+            let rebuilt = BitVec::from_blocks(bv.blocks().to_vec(), k);
+            assert_eq!(rebuilt, bv);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn from_blocks_rejects_wrong_block_count() {
+        BitVec::from_blocks(vec![0; 2], 64);
     }
 
     #[test]

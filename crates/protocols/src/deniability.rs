@@ -25,17 +25,32 @@ use crate::oracle::{FrequencyOracle, Oracle, Report};
 /// the per-protocol plausible-deniability rules of §3.2.1.
 ///
 /// Randomness is only used to break ties (uniform choices among candidate
-/// sets).
+/// sets). Allocating convenience over [`best_guess_with`]; per-report attack
+/// loops should reuse a scratch buffer through that entry point instead.
 pub fn best_guess<R: Rng + ?Sized>(oracle: &Oracle, report: &Report, rng: &mut R) -> u32 {
+    best_guess_with(oracle, report, &mut Vec::new(), rng)
+}
+
+/// [`best_guess`] with a caller-provided candidate buffer: the OLH arm
+/// writes the hash preimage into `scratch` ([`crate::Olh::preimage_into`])
+/// instead of allocating one `Vec` per report, so profiling sweeps over
+/// millions of observed messages reuse a single buffer. Identical guesses
+/// and rng consumption as [`best_guess`].
+pub fn best_guess_with<R: Rng + ?Sized>(
+    oracle: &Oracle,
+    report: &Report,
+    scratch: &mut Vec<u32>,
+    rng: &mut R,
+) -> u32 {
     let k = oracle.domain_size() as u32;
     match (oracle, report) {
         (Oracle::Grr(_), Report::Value(v)) => *v,
         (Oracle::Olh(olh), Report::Hashed { seed, value, .. }) => {
-            let candidates = olh.preimage(*seed, *value);
-            if candidates.is_empty() {
+            olh.preimage_into(*seed, *value, scratch);
+            if scratch.is_empty() {
                 rng.random_range(0..k)
             } else {
-                candidates[rng.random_range(0..candidates.len())]
+                scratch[rng.random_range(0..scratch.len())]
             }
         }
         (Oracle::Ss(_), Report::Subset(subset)) => {
@@ -45,14 +60,7 @@ pub fn best_guess<R: Rng + ?Sized>(oracle: &Oracle, report: &Report, rng: &mut R
                 subset[rng.random_range(0..subset.len())]
             }
         }
-        (Oracle::Ue(_), Report::Bits(bits)) => {
-            let ones = bits.ones_vec();
-            match ones.len() {
-                0 => rng.random_range(0..k),
-                1 => ones[0] as u32,
-                n => ones[rng.random_range(0..n)] as u32,
-            }
-        }
+        (Oracle::Ue(_), Report::Bits(bits)) => guess_from_bits(bits, k, rng),
         // A mismatched shape carries no information: fall back to random.
         _ => rng.random_range(0..k),
     }
@@ -65,15 +73,24 @@ pub fn best_guess_report<R: Rng + ?Sized>(report: &Report, k: usize, rng: &mut R
     match report {
         Report::Value(v) => *v,
         Report::Subset(subset) if !subset.is_empty() => subset[rng.random_range(0..subset.len())],
-        Report::Bits(bits) => {
-            let ones = bits.ones_vec();
-            match ones.len() {
-                0 => rng.random_range(0..k as u32),
-                1 => ones[0] as u32,
-                n => ones[rng.random_range(0..n)] as u32,
-            }
-        }
+        Report::Bits(bits) => guess_from_bits(bits, k as u32, rng),
         _ => rng.random_range(0..k as u32),
+    }
+}
+
+/// The UE guess rule, allocation-free: a uniform pick among the set bits is
+/// drawn by index and resolved with a second bit scan instead of
+/// materializing `ones_vec`. Same guesses and rng draws as the historical
+/// `ones_vec`-based rule (a single set bit is returned without consuming
+/// randomness).
+fn guess_from_bits<R: Rng + ?Sized>(bits: &crate::BitVec, k: u32, rng: &mut R) -> u32 {
+    match bits.count_ones() {
+        0 => rng.random_range(0..k),
+        1 => bits.ones().next().expect("one set bit") as u32,
+        n => {
+            let pick = rng.random_range(0..n);
+            bits.ones().nth(pick).expect("pick < count_ones") as u32
+        }
     }
 }
 
@@ -164,7 +181,7 @@ mod tests {
     use super::*;
     use crate::oracle::ProtocolKind;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     /// Monte-Carlo accuracy of [`best_guess`] for one protocol configuration.
     fn simulate_acc(kind: ProtocolKind, k: usize, eps: f64, trials: usize, seed: u64) -> f64 {
@@ -193,6 +210,31 @@ mod tests {
                     "{kind} k={k} eps={eps}: analytic {analytic} vs empirical {empirical}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn best_guess_with_matches_allocating_wrapper() {
+        // Same guesses *and* the same rng consumption, with one reused
+        // buffer across reports.
+        let mut scratch = vec![9u32; 4]; // stale content must not leak
+        for kind in ProtocolKind::ALL {
+            let oracle = kind.build(16, 2.0).unwrap();
+            let mut rng = StdRng::seed_from_u64(77);
+            let reports: Vec<_> = (0..50u32)
+                .map(|v| oracle.randomize(v % 16, &mut rng))
+                .collect();
+            let mut rng_a = StdRng::seed_from_u64(5);
+            let mut rng_b = StdRng::seed_from_u64(5);
+            for report in &reports {
+                assert_eq!(
+                    best_guess(&oracle, report, &mut rng_a),
+                    best_guess_with(&oracle, report, &mut scratch, &mut rng_b),
+                    "{kind}"
+                );
+            }
+            // Identical draw counts: the streams stay in lockstep.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{kind}");
         }
     }
 

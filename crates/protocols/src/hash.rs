@@ -34,6 +34,13 @@ pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
     mix2(mix2(a, b), c)
 }
 
+/// Key stride of [`olh_hash`]: domain value `v` enters the mixer keyed as
+/// `seed ^ (v · OLH_KEY_STRIDE)`. Exposed so tight whole-domain counting
+/// loops (OLH server-side support sweeps) can advance the key incrementally
+/// — one wrapping add per value — instead of re-multiplying, while staying
+/// bit-identical to [`olh_hash`].
+pub const OLH_KEY_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Hash `value` into `0..g` using the hash function identified by `seed`.
 ///
 /// # Panics
@@ -41,7 +48,7 @@ pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
 #[inline]
 pub fn olh_hash(seed: u64, value: u32, g: u32) -> u32 {
     debug_assert!(g >= 1);
-    let h = splitmix64(seed ^ (u64::from(value)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let h = splitmix64(seed ^ (u64::from(value)).wrapping_mul(OLH_KEY_STRIDE));
     // The modulo bias is at most g / 2^64, irrelevant for g <= a few hundred.
     (h % u64::from(g)) as u32
 }

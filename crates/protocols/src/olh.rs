@@ -12,7 +12,7 @@
 use rand::Rng;
 
 use crate::error::ProtocolError;
-use crate::hash::olh_hash;
+use crate::hash::{olh_hash, splitmix64, OLH_KEY_STRIDE};
 use crate::oracle::{FrequencyOracle, Report};
 use crate::{validate_domain, validate_epsilon};
 
@@ -60,9 +60,16 @@ impl Olh {
     /// All domain values hashing to `hashed` under the hash function `seed`,
     /// i.e. the attacker-visible candidate set `A_jH` of §3.2.1.
     pub fn preimage(&self, seed: u64, hashed: u32) -> Vec<u32> {
-        (0..self.k as u32)
-            .filter(|&v| self.hash(seed, v) == hashed)
-            .collect()
+        let mut out = Vec::new();
+        self.preimage_into(seed, hashed, &mut out);
+        out
+    }
+
+    /// [`Olh::preimage`] into a caller-provided buffer (cleared first), so
+    /// per-report attack loops can reuse one allocation across candidates.
+    pub fn preimage_into(&self, seed: u64, hashed: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend((0..self.k as u32).filter(|&v| self.hash(seed, v) == hashed));
     }
 }
 
@@ -103,6 +110,33 @@ impl FrequencyOracle for Olh {
                 olh_hash(*seed, value, *g) == *y
             }
             _ => false,
+        }
+    }
+
+    // The server-side hot loop: one whole-domain support sweep per report.
+    // Monomorphized and branch-light — the hash key advances by one wrapping
+    // add per value (see `OLH_KEY_STRIDE`), the increment is a branchless
+    // comparison, and power-of-two hash ranges (`g = round(e^ε) + 1` lands on
+    // one for common budgets, e.g. ε ∈ {1, 2}) replace the modulo with a
+    // mask. Bit-identical to the default per-value `supports` sweep.
+    fn count_hashed(&self, counts: &mut [u64], report: &Report) {
+        let Report::Hashed { seed, g, value } = report else {
+            return; // a mismatched shape supports nothing, as in `supports`
+        };
+        debug_assert_eq!(*g, self.g, "report from a different OLH config");
+        let (seed, g, y) = (*seed, u64::from(*g), u64::from(*value));
+        let mut key = 0u64;
+        if g.is_power_of_two() {
+            let mask = g - 1;
+            for c in counts.iter_mut() {
+                *c += u64::from(splitmix64(seed ^ key) & mask == y);
+                key = key.wrapping_add(OLH_KEY_STRIDE);
+            }
+        } else {
+            for c in counts.iter_mut() {
+                *c += u64::from(splitmix64(seed ^ key) % g == y);
+                key = key.wrapping_add(OLH_KEY_STRIDE);
+            }
         }
     }
 
@@ -178,6 +212,43 @@ mod tests {
             }
         } else {
             panic!("wrong report shape");
+        }
+    }
+
+    #[test]
+    fn count_hashed_matches_per_value_supports_sweep() {
+        // Both loop flavors (mask for power-of-two g, modulo otherwise) must
+        // be bit-identical to the default per-value `supports` sweep.
+        let mut rng = StdRng::seed_from_u64(9);
+        for eps in [1.0f64, 1.5, 2.0] {
+            let o = Olh::new(97, eps).unwrap();
+            for v in 0..20u32 {
+                let report = o.randomize(v % 97, &mut rng);
+                let mut fast = vec![0u64; 97];
+                o.count_hashed(&mut fast, &report);
+                let mut reference = vec![0u64; 97];
+                for (u, c) in reference.iter_mut().enumerate() {
+                    if o.supports(&report, u as u32) {
+                        *c += 1;
+                    }
+                }
+                assert_eq!(fast, reference, "g={} eps={eps}", o.g());
+            }
+        }
+        // A mismatched shape supports nothing, exactly like `supports`.
+        let o = Olh::new(8, 1.0).unwrap();
+        let mut counts = vec![0u64; 8];
+        o.count_hashed(&mut counts, &Report::Value(3));
+        assert_eq!(counts, vec![0; 8]);
+    }
+
+    #[test]
+    fn preimage_into_reuses_the_buffer() {
+        let o = Olh::new(40, 2.0).unwrap();
+        let mut buf = vec![7u32; 3]; // stale content must be cleared
+        for h in 0..o.g() {
+            o.preimage_into(1234, h, &mut buf);
+            assert_eq!(buf, o.preimage(1234, h), "hash bucket {h}");
         }
     }
 

@@ -64,6 +64,22 @@ pub trait FrequencyOracle {
     /// Whether `report` counts towards value `value` on the server.
     fn supports(&self, report: &Report, value: u32) -> bool;
 
+    /// Adds a hashed report's support over the whole domain to `counts` —
+    /// the `Report::Hashed` arm of [`count_support`], which is `O(k)` per
+    /// report and therefore the aggregation hot spot for hashing protocols.
+    ///
+    /// The default evaluates [`FrequencyOracle::supports`] once per domain
+    /// value; implementations with a cheap per-value predicate override it
+    /// with a monomorphized tight loop ([`Olh::count_hashed`] sweeps the
+    /// hash incrementally). Overrides must stay bit-identical to the default.
+    fn count_hashed(&self, counts: &mut [u64], report: &Report) {
+        for (v, c) in counts.iter_mut().enumerate() {
+            if self.supports(report, v as u32) {
+                *c += 1;
+            }
+        }
+    }
+
     /// Probability that a report supports the user's own true value.
     fn est_p(&self) -> f64;
 
@@ -200,6 +216,18 @@ impl FrequencyOracle for Oracle {
         }
     }
 
+    // One enum dispatch per *report* (not per domain value): the OLH arm
+    // lands in the monomorphized tight loop, everything else keeps the
+    // default sweep (a hashed report supports nothing under those oracles).
+    fn count_hashed(&self, counts: &mut [u64], report: &Report) {
+        match self {
+            Oracle::Grr(p) => p.count_hashed(counts, report),
+            Oracle::Olh(p) => p.count_hashed(counts, report),
+            Oracle::Ss(p) => p.count_hashed(counts, report),
+            Oracle::Ue(p) => p.count_hashed(counts, report),
+        }
+    }
+
     fn est_p(&self) -> f64 {
         match self {
             Oracle::Grr(p) => p.est_p(),
@@ -243,6 +271,12 @@ impl<'a, O: FrequencyOracle> Aggregator<'a, O> {
     pub fn absorb(&mut self, report: &Report) {
         self.n += 1;
         count_support(self.oracle, &mut self.counts, report);
+    }
+
+    /// Absorbs a whole batch of reports through [`count_support_batch`].
+    pub fn absorb_batch(&mut self, reports: &[Report]) {
+        self.n += reports.len() as u64;
+        count_support_batch(self.oracle, &mut self.counts, reports);
     }
 
     /// Folds another aggregator's state into this one, so shards filled in
@@ -346,14 +380,20 @@ pub fn count_support<O: FrequencyOracle>(oracle: &O, counts: &mut [u64], report:
                 }
             }
         }
-        // OLH needs the oracle's hash evaluation over the full domain.
-        Report::Hashed { .. } => {
-            for (v, c) in counts.iter_mut().enumerate() {
-                if oracle.supports(report, v as u32) {
-                    *c += 1;
-                }
-            }
-        }
+        // OLH needs the oracle's hash evaluation over the full domain; the
+        // trait hook dispatches once per report into the oracle's tightest
+        // sweep (see `FrequencyOracle::count_hashed`).
+        Report::Hashed { .. } => oracle.count_hashed(counts, report),
+    }
+}
+
+/// [`count_support`] over a whole slice of reports — the batch entry point
+/// the streaming aggregation layers feed channel batches through, so the
+/// per-report dispatch is amortized across a message instead of paid per
+/// absorb call.
+pub fn count_support_batch<O: FrequencyOracle>(oracle: &O, counts: &mut [u64], reports: &[Report]) {
+    for report in reports {
+        count_support(oracle, counts, report);
     }
 }
 
@@ -460,6 +500,23 @@ mod tests {
             for (a, b) in sequential.estimate().iter().zip(merged.estimate()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{kind}: merge must be exact");
             }
+        }
+    }
+
+    #[test]
+    fn absorb_batch_matches_one_by_one_absorption() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for kind in ProtocolKind::ALL {
+            let o = kind.build(9, 2.0).unwrap();
+            let reports: Vec<Report> = (0..300u32).map(|i| o.randomize(i % 9, &mut rng)).collect();
+            let mut one_by_one = Aggregator::new(&o);
+            for r in &reports {
+                one_by_one.absorb(r);
+            }
+            let mut batched = Aggregator::new(&o);
+            batched.absorb_batch(&reports);
+            assert_eq!(one_by_one.n(), batched.n(), "{kind}");
+            assert_eq!(one_by_one.counts(), batched.counts(), "{kind}");
         }
     }
 

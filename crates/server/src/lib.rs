@@ -2,10 +2,13 @@
 //!
 //! The streaming ingestion service of the reproduction: a thread-based
 //! server that accepts per-user sanitized [`SolutionReport`]s through
-//! **bounded** channels, shards them across worker threads into per-shard
-//! [`MultidimAggregator`]s, and supports merged snapshots while ingestion is
-//! still running ("estimate-while-ingesting") as well as a graceful
-//! [`LdpServer::drain`].
+//! **bounded** channels — batches travel as compact-encoded, pool-recycled
+//! buffers ([`ldp_core::solutions::CompactBatch`]), so steady-state
+//! ingestion allocates nothing on the channel — shards them across worker
+//! threads that each **own** their [`MultidimAggregator`] (no shared locks;
+//! snapshots and drains are message-passed), and supports merged snapshots
+//! while ingestion is still running ("estimate-while-ingesting") as well as
+//! a graceful [`LdpServer::drain`].
 //!
 //! This is the §3.1 system model of the paper at service shape: millions of
 //! users continuously push reports, the server never buffers them (each

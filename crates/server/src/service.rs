@@ -1,31 +1,59 @@
-//! The ingestion service: bounded channels in, sharded aggregators inside,
+//! The ingestion service: bounded channels in, worker-owned shards inside,
 //! merged snapshots out.
 //!
 //! ## Channel topology
 //!
 //! ```text
-//!  producers ──ingest(uid % shards)──►  [SyncSender]───►  worker 0 ─► shard 0
-//!        (any number of threads;        [SyncSender]───►  worker 1 ─► shard 1
-//!         senders are Sync —                 …                …          …
-//!         one LdpServer is shared)      [SyncSender]───►  worker S ─► shard S
+//!  producers ──ingest(uid % shards)──►  [SyncSender]───►  worker 0 (owns shard 0)
+//!        (any number of threads;        [SyncSender]───►  worker 1 (owns shard 1)
+//!         senders are Sync —                 …                …
+//!         one LdpServer is shared)      [SyncSender]───►  worker S (owns shard S)
 //! ```
 //!
 //! Every shard has its own **bounded** `sync_channel`; a full queue blocks
 //! the producer (backpressure), so server-side memory stays flat no matter
-//! how bursty the traffic is. Workers fold each envelope straight into their
-//! shard's [`MultidimAggregator`] — reports are never buffered beyond the
-//! queue — and the shards merge exactly (integer counts), which is what makes
-//! the drained snapshot bit-identical to a batch pass regardless of shard
-//! count and arrival order.
+//! how bursty the traffic is. Each worker **owns** its
+//! [`MultidimAggregator`] shard outright — no aggregation state is ever
+//! behind a lock — and every cross-thread interaction is a message: batches
+//! and single reports fold straight into the owned shard,
+//! [`LdpServer::snapshot`] requests a clone of each shard through a reply
+//! channel, and [`LdpServer::drain`] collects the shards as the workers'
+//! join values. The shards merge exactly (integer counts), which is what
+//! makes the drained snapshot bit-identical to a batch pass regardless of
+//! shard count and arrival order.
+//!
+//! ## Allocation budget
+//!
+//! Batched reports cross the channel as
+//! [`CompactBatch`]es — flat `u64` buffers
+//! that the workers recycle back to the producers through bounded
+//! **per-shard** buffer pools after absorbing them (support is counted
+//! directly from the encoded words, never by rematerializing reports).
+//! Steady-state batched ingestion therefore allocates nothing on either
+//! side of the channel (with more than [`POOL_SLACK_PER_SHARD`] concurrent
+//! producers the overflow buffers are dropped and reallocated — amortized
+//! per batch, never per report). The pool mutexes are the only shared
+//! state on the ingest path, touched once per batch *message* and never
+//! shared across shards. The unbatched [`LdpServer::ingest`] sends its
+//! envelope as a dedicated single-report message rather than wrapping it in
+//! a one-element batch.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use ldp_core::solutions::{DynSolution, MultidimAggregator, SolutionReport};
+use ldp_core::solutions::{CompactBatch, DynSolution, MultidimAggregator, SolutionReport};
 
 use crate::config::ServerConfig;
 use crate::snapshot::ServerSnapshot;
+
+/// Recycled batch buffers kept around per shard — sized to cover one
+/// in-flight buffer per concurrent producer for typical producer counts
+/// (≤ 8 per shard). Anything beyond this is simply dropped and lazily
+/// reallocated, so with more producers the recycling degrades to amortized
+/// per-batch (never per-report) allocation; the pool is an optimization,
+/// not a correctness surface.
+const POOL_SLACK_PER_SHARD: usize = 8;
 
 /// One ingested message: the reporting user plus their sanitized report.
 /// The `uid` only routes the envelope to a shard — the report itself is the
@@ -40,10 +68,15 @@ pub struct Envelope {
 
 /// What flows through a shard channel.
 enum Msg {
-    /// Envelopes to absorb, in order.
-    Batch(Vec<Envelope>),
+    /// A single envelope (the unbatched [`LdpServer::ingest`] path).
+    One(Envelope),
+    /// A compact-encoded batch of envelopes, in order.
+    Batch(CompactBatch),
     /// Barrier: acknowledge once every earlier message is absorbed.
-    Sync(std::sync::mpsc::Sender<()>),
+    Sync(Sender<()>),
+    /// Reply with a clone of the worker's shard state at this point of its
+    /// queue (the estimate-while-ingesting snapshot protocol).
+    Snapshot(Sender<MultidimAggregator>),
 }
 
 /// A running ingestion service over one collection solution.
@@ -53,14 +86,29 @@ enum Msg {
 /// number of producer threads — the sender side is `Sync`), observe the
 /// running state with [`LdpServer::snapshot`], and finish with
 /// [`LdpServer::drain`]. See the [module docs](crate::service) for the
-/// channel topology and the determinism argument.
+/// channel topology, the allocation budget and the determinism argument.
 #[derive(Debug)]
 pub struct LdpServer {
     solution: DynSolution,
     config: ServerConfig,
     txs: Vec<SyncSender<Msg>>,
-    workers: Vec<JoinHandle<()>>,
-    shards: Arc<Vec<Mutex<MultidimAggregator>>>,
+    workers: Vec<JoinHandle<MultidimAggregator>>,
+    /// Per-shard pools of drained batch buffers returned by the workers for
+    /// producer reuse (shard `s`'s worker only ever touches `pools[s]`).
+    pools: Arc<Vec<Mutex<Vec<CompactBatch>>>>,
+}
+
+/// Clears `buffer` and returns it to `pool` unless the pool is full (beyond
+/// [`POOL_SLACK_PER_SHARD`] buffers it is simply dropped — the pool is an
+/// optimization, not a correctness surface). The single recycling rule
+/// shared by the producers and the workers.
+fn recycle_buffer(pool: &Mutex<Vec<CompactBatch>>, mut buffer: CompactBatch) {
+    buffer.clear();
+    if let Ok(mut pool) = pool.lock() {
+        if pool.len() < POOL_SLACK_PER_SHARD {
+            pool.push(buffer);
+        }
+    }
 }
 
 impl LdpServer {
@@ -68,20 +116,18 @@ impl LdpServer {
     /// shard behind a bounded channel.
     pub fn spawn(solution: DynSolution, config: ServerConfig) -> Self {
         let config = config.sanitized();
-        let shards: Arc<Vec<Mutex<MultidimAggregator>>> = Arc::new(
-            (0..config.shards)
-                .map(|_| Mutex::new(solution.aggregator()))
-                .collect(),
-        );
+        let pools: Arc<Vec<Mutex<Vec<CompactBatch>>>> =
+            Arc::new((0..config.shards).map(|_| Mutex::new(Vec::new())).collect());
         let mut txs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = sync_channel::<Msg>(config.queue_depth);
-            let state = Arc::clone(&shards);
+            let aggregator = solution.aggregator();
+            let pools = Arc::clone(&pools);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ldp-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, &rx, &state))
+                    .spawn(move || worker_loop(&rx, aggregator, &pools[shard]))
                     .expect("cannot spawn ingestion worker"),
             );
             txs.push(tx);
@@ -91,7 +137,7 @@ impl LdpServer {
             config,
             txs,
             workers,
-            shards,
+            pools,
         }
     }
 
@@ -110,9 +156,10 @@ impl LdpServer {
         (uid % self.config.shards as u64) as usize
     }
 
-    /// Ingests one envelope, blocking while the target shard's queue is full
-    /// (backpressure). Prefer [`LdpServer::ingest_batch`] on hot paths — one
-    /// channel message per envelope is the slow road.
+    /// Ingests one envelope as a single-report message, blocking while the
+    /// target shard's queue is full (backpressure). No batch wrapper is
+    /// allocated; prefer [`LdpServer::ingest_batch`] on hot paths anyway —
+    /// one channel message per envelope is the slow road.
     ///
     /// # Panics
     /// Panics when the target worker has died (it panicked absorbing an
@@ -120,26 +167,27 @@ impl LdpServer {
     pub fn ingest(&self, envelope: Envelope) {
         let shard = self.shard_of(envelope.uid);
         self.txs[shard]
-            .send(Msg::Batch(vec![envelope]))
+            .send(Msg::One(envelope))
             .expect("ingestion worker disconnected (did it panic?)");
     }
 
-    /// Ingests a batch: envelopes are grouped per shard (preserving their
-    /// relative order) and sent as at most `⌈len / config.batch⌉` messages
-    /// per shard. Blocks whenever a shard queue is full.
+    /// Ingests a batch: envelopes are compact-encoded into per-shard
+    /// (pool-recycled) buffers, preserving their relative order, and sent as
+    /// at most `⌈len / config.batch⌉` messages per shard. Blocks whenever a
+    /// shard queue is full.
     ///
     /// # Panics
     /// Panics when a target worker has died.
     pub fn ingest_batch(&self, envelopes: impl IntoIterator<Item = Envelope>) {
         let batch = self.config.batch;
-        let mut buffers: Vec<Vec<Envelope>> = (0..self.config.shards)
-            .map(|_| Vec::with_capacity(batch))
+        let mut buffers: Vec<CompactBatch> = (0..self.config.shards)
+            .map(|shard| self.pooled_buffer(shard))
             .collect();
         for envelope in envelopes {
             let shard = self.shard_of(envelope.uid);
-            buffers[shard].push(envelope);
+            buffers[shard].push(envelope.uid, &envelope.report);
             if buffers[shard].len() >= batch {
-                let full = std::mem::replace(&mut buffers[shard], Vec::with_capacity(batch));
+                let full = std::mem::replace(&mut buffers[shard], self.pooled_buffer(shard));
                 self.txs[shard]
                     .send(Msg::Batch(full))
                     .expect("ingestion worker disconnected (did it panic?)");
@@ -150,6 +198,8 @@ impl LdpServer {
                 self.txs[shard]
                     .send(Msg::Batch(rest))
                     .expect("ingestion worker disconnected (did it panic?)");
+            } else {
+                recycle_buffer(&self.pools[shard], rest);
             }
         }
     }
@@ -173,20 +223,36 @@ impl LdpServer {
     }
 
     /// Merged view of everything absorbed so far, while ingestion keeps
-    /// running. Pair with [`LdpServer::quiesce`] when the snapshot must
-    /// cover an exact set of ingested envelopes.
+    /// running: each worker replies with a clone of its owned shard at its
+    /// current queue position (no lock is ever taken). Pair with
+    /// [`LdpServer::quiesce`] when the snapshot must cover an exact set of
+    /// ingested envelopes.
+    ///
+    /// # Panics
+    /// Panics when a worker has died.
     pub fn snapshot(&self) -> ServerSnapshot {
-        let shards: Vec<MultidimAggregator> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned by a worker panic").clone())
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        for tx in &self.txs {
+            tx.send(Msg::Snapshot(reply_tx.clone()))
+                .expect("ingestion worker disconnected (did it panic?)");
+        }
+        drop(reply_tx);
+        let shards: Vec<MultidimAggregator> = (0..self.txs.len())
+            .map(|_| {
+                reply_rx
+                    .recv()
+                    .expect("ingestion worker dropped the snapshot reply")
+            })
             .collect();
+        // Reply order is arbitrary; the merge is exact integer addition, so
+        // the snapshot is independent of it.
         ServerSnapshot::merge(self.solution.aggregator(), &shards)
     }
 
     /// Graceful shutdown: closes every shard channel, waits for the workers
-    /// to absorb their remaining queue, and returns the final merged
-    /// snapshot. Bit-identical to a batch pass over every ingested report.
+    /// to absorb their remaining queue, and merges the shard states they
+    /// hand back as join values. Bit-identical to a batch pass over every
+    /// ingested report.
     ///
     /// # Panics
     /// Panics when a worker thread panicked.
@@ -195,34 +261,42 @@ impl LdpServer {
             solution,
             txs,
             workers,
-            shards,
             ..
         } = self;
         drop(txs);
-        for worker in workers {
-            worker.join().expect("ingestion worker panicked");
-        }
-        let shards = Arc::try_unwrap(shards)
-            .expect("worker threads exited but still hold shard state")
+        let shards: Vec<MultidimAggregator> = workers
             .into_iter()
-            .map(|m| m.into_inner().expect("shard poisoned by a worker panic"))
-            .collect::<Vec<_>>();
+            .map(|worker| worker.join().expect("ingestion worker panicked"))
+            .collect();
         ServerSnapshot::merge(solution.aggregator(), &shards)
+    }
+
+    /// A cleared batch buffer for `shard`, recycled from its pool when one
+    /// is available.
+    fn pooled_buffer(&self, shard: usize) -> CompactBatch {
+        self.pools[shard]
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
     }
 }
 
-/// One worker: receive messages in order, fold batches into the shard,
-/// acknowledge barriers. Exits when every sender is gone.
-fn worker_loop(shard: usize, rx: &Receiver<Msg>, state: &[Mutex<MultidimAggregator>]) {
+/// One worker: receive messages in order, fold reports into the **owned**
+/// shard, recycle drained batch buffers, answer barriers and snapshot
+/// requests. Exits when every sender is gone, handing the shard back as the
+/// thread's join value.
+fn worker_loop(
+    rx: &Receiver<Msg>,
+    mut aggregator: MultidimAggregator,
+    pool: &Mutex<Vec<CompactBatch>>,
+) -> MultidimAggregator {
     while let Ok(msg) = rx.recv() {
         match msg {
+            Msg::One(envelope) => aggregator.absorb(&envelope.report),
             Msg::Batch(batch) => {
-                // One lock per message, not per report: snapshots interleave
-                // between messages, never inside one.
-                let mut agg = state[shard].lock().expect("shard poisoned");
-                for envelope in &batch {
-                    agg.absorb(&envelope.report);
-                }
+                aggregator.absorb_compact(&batch);
+                recycle_buffer(pool, batch);
             }
             Msg::Sync(ack) => {
                 // Channel FIFO: everything sent before the barrier is
@@ -230,8 +304,12 @@ fn worker_loop(shard: usize, rx: &Receiver<Msg>, state: &[Mutex<MultidimAggregat
                 // barrier caller gave up waiting.
                 let _ = ack.send(());
             }
+            Msg::Snapshot(reply) => {
+                let _ = reply.send(aggregator.clone());
+            }
         }
     }
+    aggregator
 }
 
 #[cfg(test)]
@@ -313,6 +391,32 @@ mod tests {
     }
 
     #[test]
+    fn mixed_single_and_batched_ingest_absorb_everything() {
+        // Msg::One and Msg::Batch interleave on the same shard queues.
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let envs = envelopes(&solution, 400, 13);
+        let mut reference = solution.aggregator();
+        for e in &envs {
+            reference.absorb(&e.report);
+        }
+        let server = LdpServer::spawn(solution, ServerConfig::default().shards(3).batch(32));
+        for (i, chunk) in envs.chunks(100).enumerate() {
+            if i % 2 == 0 {
+                for e in chunk {
+                    server.ingest(e.clone());
+                }
+            } else {
+                server.ingest_batch(chunk.iter().cloned());
+            }
+        }
+        let snap = server.drain();
+        assert_eq!(snap.n, 400);
+        assert_eq!(snap.aggregator.counts(), reference.counts());
+    }
+
+    #[test]
     fn empty_drain_yields_valid_snapshot() {
         let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
             .build(&[4, 3], 1.0)
@@ -334,5 +438,32 @@ mod tests {
         assert_eq!(server.shard_of(4), 1);
         assert_eq!(server.shard_of(5), 2);
         server.drain();
+    }
+
+    #[test]
+    fn batch_buffers_are_recycled_through_the_pool() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let server = LdpServer::spawn(
+            solution.clone(),
+            ServerConfig::default().shards(2).batch(16),
+        );
+        server.ingest_batch(envelopes(&solution, 256, 17));
+        server.quiesce();
+        // After quiescing, the workers have returned their drained buffers.
+        let pooled = |server: &LdpServer| -> usize {
+            server.pools.iter().map(|p| p.lock().unwrap().len()).sum()
+        };
+        assert!(
+            pooled(&server) > 0,
+            "drained batch buffers must land back in the pools"
+        );
+        // A second pass reuses them rather than growing the pools without
+        // bound (each shard's pool is individually capped).
+        server.ingest_batch(envelopes(&solution, 256, 18));
+        server.quiesce();
+        assert!(pooled(&server) <= server.config.shards * POOL_SLACK_PER_SHARD);
+        assert_eq!(server.drain().n, 512);
     }
 }

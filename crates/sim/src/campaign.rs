@@ -143,6 +143,9 @@ impl SmpCampaign {
         let mut memo: Vec<Option<Report>> = vec![None; d];
         let mut profile = Profile::new();
         let mut out = Vec::with_capacity(plan.n_surveys());
+        // Guess-candidate buffer reused across this user's surveys (OLH
+        // preimages; see `best_guess_with`).
+        let mut scratch = Vec::new();
 
         for attrs in plan.iter() {
             let attr = match self.setting {
@@ -176,7 +179,9 @@ impl SmpCampaign {
                     Report::Value(v) => *v,
                     _ => unreachable!("pass-through reports are plain values"),
                 },
-                AttrMechanism::Oracle(o) => deniability::best_guess(o, report, rng),
+                AttrMechanism::Oracle(o) => {
+                    deniability::best_guess_with(o, report, &mut scratch, rng)
+                }
             };
             profile.observe(attr, predicted);
             out.push(profile.clone());

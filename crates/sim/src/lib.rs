@@ -39,7 +39,7 @@ pub mod traffic;
 
 pub use attack_pipeline::{AttackPipeline, AttackRun};
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
-pub use pipeline::{CollectionPipeline, CollectionRun};
+pub use pipeline::{user_rng, CollectionPipeline, CollectionRun};
 pub use rsfd_campaign::{run_rsfd_campaign, RsFdCampaignConfig};
 pub use survey::SurveyPlan;
 pub use traffic::{TrafficGenerator, TrafficShape};

@@ -33,7 +33,7 @@ use ldp_datasets::Dataset;
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolError;
 use ldp_server::{Envelope, LdpServer, ServerConfig, ServerSnapshot};
-use rand::rngs::StdRng;
+use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::par;
@@ -41,6 +41,18 @@ use crate::traffic::TrafficGenerator;
 
 /// Salt separating pipeline user streams from the campaign engines'.
 pub(crate) const USER_SALT: u64 = 0x00C0_11EC_7A11;
+
+/// The pipeline's per-user report-sampling stream: a
+/// [`SmallRng`] (SplitMix64, O(1) seeding) derived from
+/// `mix3(seed, uid, USER_SALT)`. Seeding a full `StdRng` per user used to
+/// cost a four-round seed expansion on the ingest hot path; the contract is
+/// unchanged — each user's randomness is a pure function of
+/// `(seed, uid, USER_SALT)`, so every pipeline mode is bit-identical for
+/// every thread count. Exposed so tests and external drivers can regenerate
+/// the exact wire (`tests/server_equivalence.rs` pins this scheme).
+pub fn user_rng(seed: u64, uid: u64) -> SmallRng {
+    SmallRng::seed_from_u64(mix3(seed, uid, USER_SALT))
+}
 
 /// Configurable streaming collection run over one dataset. Build with
 /// [`CollectionPipeline::new`] / [`CollectionPipeline::from_kind`], chain the
@@ -201,12 +213,21 @@ impl CollectionPipeline {
             self.solution.clone(),
             ServerConfig::default().shards(self.threads),
         );
+        // Scoped producer threads are spawned per wave, so don't fan a small
+        // wave out across the full thread budget: below this many users per
+        // producer the spawn/join churn outweighs the parallel sanitization
+        // (a steady 10M-user schedule has ~10k waves).
+        const MIN_USERS_PER_PRODUCER: usize = 4096;
         for wave in traffic.waves() {
             // Parallel producers: sanitization dominates the cost, so the
             // wave is split into contiguous chunks ingested concurrently.
-            par::par_chunks(wave.len(), self.threads, |range| {
+            let producers = self
+                .threads
+                .min(wave.len().div_ceil(MIN_USERS_PER_PRODUCER))
+                .max(1);
+            par::par_chunks(wave.len(), producers, |range| {
                 server.ingest_batch(wave[range].iter().map(|&uid| {
-                    let mut rng = StdRng::seed_from_u64(mix3(self.seed, uid, USER_SALT));
+                    let mut rng = user_rng(self.seed, uid);
                     Envelope {
                         uid,
                         report: self.solution.report(dataset.row(uid as usize), &mut rng),
@@ -221,10 +242,9 @@ impl CollectionPipeline {
     /// The single seeded per-user sanitize loop behind `run`, `observe` and
     /// `run_with_observation`: each worker chunk folds its users' reports
     /// into one `A` via `absorb`, with user `uid`'s randomness drawn from
-    /// `StdRng(mix3(seed, uid, USER_SALT))`. Chunk outputs come back in user
-    /// order. Keeping every caller on this loop is what guarantees the
-    /// adversary's observed wire is bit-identical to what the server
-    /// aggregated.
+    /// [`user_rng`]`(seed, uid)`. Chunk outputs come back in user order.
+    /// Keeping every caller on this loop is what guarantees the adversary's
+    /// observed wire is bit-identical to what the server aggregated.
     fn sanitize_shards<A: Send>(
         &self,
         dataset: &Dataset,
@@ -239,7 +259,7 @@ impl CollectionPipeline {
         par::par_chunks(dataset.n(), self.threads, |range| {
             let mut acc = init();
             for uid in range {
-                let mut rng = StdRng::seed_from_u64(mix3(self.seed, uid as u64, USER_SALT));
+                let mut rng = user_rng(self.seed, uid as u64);
                 absorb(&mut acc, self.solution.report(dataset.row(uid), &mut rng));
             }
             vec![acc]

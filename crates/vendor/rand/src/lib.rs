@@ -7,6 +7,8 @@
 //! * [`SeedableRng`] with `from_seed` / `seed_from_u64`;
 //! * [`rngs::StdRng`] — xoshiro256++ seeded through SplitMix64, deterministic
 //!   for a fixed seed;
+//! * [`rngs::SmallRng`] — a SplitMix64 counter stream with O(1) seeding, for
+//!   one-generator-per-work-item workloads;
 //! * [`seq::SliceRandom::shuffle`] and [`seq::index::sample`].
 //!
 //! The generated stream differs from upstream `rand`'s ChaCha-based `StdRng`,
@@ -221,6 +223,30 @@ mod tests {
         let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn small_rng_is_deterministic_and_roughly_uniform() {
+        use rngs::SmallRng;
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+        // Nearby seeds must still give unrelated streams (SplitMix64 mixes
+        // every output) and uniform unit-interval floats.
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
     }
 
     #[test]

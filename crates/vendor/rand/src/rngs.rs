@@ -2,6 +2,47 @@
 
 use crate::{splitmix64, RngCore, SeedableRng};
 
+/// A small, very fast deterministic RNG: a SplitMix64 counter stream.
+///
+/// Seeding is a single store (`seed_from_u64` is O(1), unlike [`StdRng`]'s
+/// four-round seed expansion), which matters for workloads that derive one
+/// generator per work item — e.g. the collection pipeline's per-user report
+/// sampling. SplitMix64 is equidistributed over its full 2^64 period and
+/// passes BigCrush; more than adequate as an opaque simulation entropy
+/// source.
+///
+/// Note: upstream `rand`'s `SmallRng` is xoshiro-based; the two produce
+/// different streams for the same seed. Nothing in this workspace depends on
+/// the concrete stream, only on determinism (same vendor contract as
+/// [`StdRng`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SmallRng {
+            state: u64::from_le_bytes(seed),
+        }
+    }
+
+    /// O(1) override of the default seed expansion: the `u64` seed *is* the
+    /// stream position (SplitMix64 mixes every output, so nearby seeds still
+    /// yield unrelated streams).
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng { state }
+    }
+}
+
 /// The workspace's standard deterministic RNG: xoshiro256++ (Blackman &
 /// Vigna), seeded through SplitMix64. Fast, full 2^256−1 period, and passes
 /// BigCrush — more than adequate for Monte-Carlo simulation.

@@ -12,14 +12,7 @@ use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolKind;
 use ldp_server::{Envelope, LdpServer, ServerConfig};
 use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
-use ldp_sim::{CollectionPipeline, CollectionRun};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// The salt `CollectionPipeline` derives per-user rng streams from (kept in
-/// sync by `serve_matches_manual_server_drive`, which would fail loudly if
-/// the pipeline's seeding scheme changed).
-const USER_SALT: u64 = 0x00C0_11EC_7A11;
+use ldp_sim::{user_rng, CollectionPipeline, CollectionRun};
 
 fn all_kinds() -> Vec<SolutionKind> {
     vec![
@@ -108,10 +101,7 @@ fn mid_stream_snapshot_equals_batch_over_the_absorbed_prefix() {
             absorbed += wave.len();
             server.ingest_batch(wave.into_iter().map(|uid| Envelope {
                 uid,
-                report: solution.report(
-                    ds.row(uid as usize),
-                    &mut StdRng::seed_from_u64(mix3(23, uid, USER_SALT)),
-                ),
+                report: solution.report(ds.row(uid as usize), &mut user_rng(23, uid)),
             }));
             // Snapshot after every third wave: quiesce so the snapshot
             // covers exactly the ingested prefix, then compare against a
@@ -152,8 +142,9 @@ fn mid_stream_snapshot_equals_batch_over_the_absorbed_prefix() {
 fn serve_matches_manual_server_drive() {
     // serve() is just sugar over LdpServer + TrafficGenerator; driving the
     // server by hand with the same seeds must give the same counts. This
-    // also pins the pipeline's per-user seeding scheme (seed, uid,
-    // USER_SALT) that the mid-stream test depends on.
+    // also pins the pipeline's per-user seeding scheme (`ldp_sim::user_rng`,
+    // i.e. SmallRng over mix3(seed, uid, USER_SALT)) that the mid-stream
+    // test depends on.
     let ds = adult_like(300, 5);
     let ks = ds.schema().cardinalities();
     let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
@@ -169,10 +160,7 @@ fn serve_matches_manual_server_drive() {
     for wave in traffic.waves() {
         server.ingest_batch(wave.into_iter().map(|uid| Envelope {
             uid,
-            report: solution.report(
-                ds.row(uid as usize),
-                &mut StdRng::seed_from_u64(mix3(41, uid, USER_SALT)),
-            ),
+            report: solution.report(ds.row(uid as usize), &mut user_rng(41, uid)),
         }));
     }
     let manual = server.drain();
@@ -200,10 +188,7 @@ fn permanent_dropouts_leave_valid_estimates_over_the_reporting_subset() {
         if mix3(99, uid, 0xD0) % 10 < 4 {
             continue;
         }
-        let report = solution.report(
-            ds.row(uid as usize),
-            &mut StdRng::seed_from_u64(mix3(99, uid, USER_SALT)),
-        );
+        let report = solution.report(ds.row(uid as usize), &mut user_rng(99, uid));
         reference.absorb(&report);
         server.ingest(Envelope { uid, report });
         reported += 1;

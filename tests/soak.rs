@@ -20,13 +20,12 @@ use ldp_core::solutions::{RsFdProtocol, SolutionKind};
 use ldp_protocols::hash::mix3;
 use ldp_server::{Envelope, LdpServer, ServerConfig};
 use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
+use ldp_sim::user_rng;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const N: usize = 10_000_000;
 const SEED: u64 = 0x50AC;
-/// Matches `CollectionPipeline`'s per-user stream salt.
-const USER_SALT: u64 = 0x00C0_11EC_7A11;
 
 /// Skewed synthetic marginal over `k` values: P(v) ∝ 1/(v+1).
 fn skewed_pmf(k: usize) -> Vec<f64> {
@@ -85,7 +84,8 @@ fn ten_million_users_through_the_server_under_churn() {
     for wave in traffic.waves() {
         ingested += wave.len();
         server.ingest_batch(wave.into_iter().map(|uid| {
-            let mut rng = StdRng::seed_from_u64(mix3(SEED, uid, USER_SALT));
+            // The pipeline's per-user stream (SmallRng over (seed, uid)).
+            let mut rng = user_rng(SEED, uid);
             Envelope {
                 uid,
                 report: solution.report(&tuple_of(uid, &cdfs), &mut rng),
