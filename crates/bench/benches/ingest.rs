@@ -8,7 +8,10 @@
 //! the O(k)-per-report counting path) and SPL[OUE] (bit-vector tuples) at
 //! n ∈ {1M, 10M} × threads {1, 2, 4, 8} — and **emits `BENCH_ingest.json`**
 //! at the workspace root (override with the `BENCH_OUT` env var) so CI can
-//! archive the numbers run over run.
+//! archive the numbers run over run. `"RS+FD[GRR]/tcp"` rows re-measure the
+//! tuple kind with the reports crossing a real loopback socket through the
+//! `ldp_server::wire` codec, pricing the networked tier against the
+//! in-process channels.
 //!
 //! Under `--test` / `--smoke` (what `cargo test` and the CI smoke job pass)
 //! only a small population at threads {1, 2} runs, and the JSON is tagged
@@ -32,7 +35,8 @@ use std::time::Instant;
 use ldp_core::solutions::{RsFdProtocol, SolutionKind};
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolKind;
-use ldp_server::{Envelope, LdpServer, ServerConfig};
+use ldp_server::{Envelope, LdpServer, ServerConfig, WireServer};
+use ldp_sim::NetClient;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -121,6 +125,67 @@ fn run_once(solution_kind: SolutionKind, ks: &[usize], n: usize, threads: usize)
     }
 }
 
+/// The loopback-socket twin of [`run_once`]: the same synthesized reports
+/// travel as checksummed `CompactBatch` frames through `NetClient` →
+/// 127.0.0.1 TCP → `WireServer` → shard channels, so the row's delta
+/// against the in-process row is exactly the cost of the wire tier
+/// (encode + CRC + syscalls + decode + validate). Reported under
+/// `"<solution>/tcp"` so the in-process scaling tripwires never key on it.
+fn run_once_tcp(
+    solution_kind: SolutionKind,
+    ks: &[usize],
+    n: usize,
+    threads: usize,
+) -> Measurement {
+    let solution = solution_kind.build(ks, 1.0).expect("bench solution builds");
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        solution.clone(),
+        ServerConfig::default()
+            .shards(threads)
+            .queue_depth(8)
+            .batch(512 * threads),
+    )
+    .expect("loopback listener binds");
+    let addr = server.local_addr();
+    let producers = threads
+        .min(std::thread::available_parallelism().map_or(threads, std::num::NonZeroUsize::get));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let solution = &solution;
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr, solution).expect("producer connects");
+                let lo = p * n / producers;
+                let hi = (p + 1) * n / producers;
+                let mut buf = [0u32; MAX_D];
+                for uid in lo as u64..hi as u64 {
+                    let mut rng = SmallRng::seed_from_u64(mix3(0xBEAC, uid, BENCH_SALT));
+                    client
+                        .push(uid, &solution.report(tuple_of(uid, ks, &mut buf), &mut rng))
+                        .expect("push over loopback");
+                }
+                client.finish().expect("drain handshake");
+            });
+        }
+    });
+    server.wait_for_producers(producers);
+    let snapshot = server.finish();
+    let wall_secs = started.elapsed().as_secs_f64();
+    assert_eq!(snapshot.n, n as u64, "every report must cross the wire");
+    assert!(
+        snapshot.estimates.iter().flatten().all(|f| f.is_finite()),
+        "drained estimates must be finite"
+    );
+    Measurement {
+        solution: format!("{}/tcp", solution_kind.name()),
+        n,
+        threads,
+        wall_secs,
+        reports_per_sec: n as f64 / wall_secs.max(1e-9),
+    }
+}
+
 /// Hand-rolled JSON (the workspace carries no JSON crate).
 fn to_json(smoke: bool, results: &[Measurement]) -> String {
     let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
@@ -181,18 +246,27 @@ fn main() {
     // and the per-cell minimum wall time is the measurement least polluted
     // by scheduler interference.
     let reps = if smoke { 1 } else { 9 };
-    let cells: Vec<(SolutionKind, usize, usize)> = kinds
+    // (kind, n, threads, over_tcp): the in-process matrix, plus loopback-TCP
+    // rows for the tuple kind at the smaller population — enough to track
+    // the wire tier's throughput tax run over run without doubling the
+    // bench's wall time.
+    let mut cells: Vec<(SolutionKind, usize, usize, bool)> = kinds
         .iter()
         .flat_map(|&kind| {
             sizes
                 .iter()
-                .flat_map(move |&n| threads.iter().map(move |&t| (kind, n, t)))
+                .flat_map(move |&n| threads.iter().map(move |&t| (kind, n, t, false)))
         })
         .collect();
+    cells.extend(threads.iter().map(|&t| (kinds[0], sizes[0], t, true)));
     let mut best: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
     for _ in 0..reps {
-        for (slot, &(kind, n, t)) in cells.iter().enumerate() {
-            let m = run_once(kind, &ks, n, t);
+        for (slot, &(kind, n, t, over_tcp)) in cells.iter().enumerate() {
+            let m = if over_tcp {
+                run_once_tcp(kind, &ks, n, t)
+            } else {
+                run_once(kind, &ks, n, t)
+            };
             if best[slot]
                 .as_ref()
                 .is_none_or(|b| m.wall_secs < b.wall_secs)

@@ -35,6 +35,7 @@
 
 use ldp_protocols::{BitVec, FrequencyOracle, Oracle, Report};
 
+use super::kind::SolutionKind;
 use super::smp::SmpReport;
 use super::{MultidimReport, SolutionReport};
 
@@ -52,11 +53,65 @@ const TAG_BITS: u64 = 3;
 /// absorb it with
 /// [`MultidimAggregator::absorb_compact`](super::MultidimAggregator::absorb_compact),
 /// then [`CompactBatch::clear`] and reuse — steady state allocates nothing.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompactBatch {
     uids: Vec<u64>,
     words: Vec<u64>,
 }
+
+/// Why a byte buffer failed to decode as a [`CompactBatch`] — the typed
+/// rejection surface of [`CompactBatch::decode_from`] and
+/// [`CompactBatch::validate_for`]. Untrusted (network) input is funneled
+/// through these two checks before any panicky fast path
+/// ([`CompactBatch::iter`], `absorb_compact`) ever touches the words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactDecodeError {
+    /// Fewer bytes than the fixed 16-byte batch header.
+    Truncated,
+    /// Total byte length inconsistent with the header's uid/word counts.
+    LengthMismatch {
+        /// Byte length implied by the header counts.
+        expected: usize,
+        /// Byte length actually supplied.
+        got: usize,
+    },
+    /// The encoded words end in the middle of a report.
+    TruncatedWords,
+    /// Words left over after the last report's entries.
+    TrailingWords,
+    /// A solution header carries an unknown kind bit pattern.
+    BadSolutionKind(u64),
+    /// A bit-vector entry has a padding bit set past its declared width.
+    DirtyBitPadding,
+    /// Structurally sound, but the report shape or a value is out of domain
+    /// for the target solution (see [`CompactBatch::validate_for`]).
+    Domain(String),
+}
+
+impl std::fmt::Display for CompactDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactDecodeError::Truncated => write!(f, "batch shorter than its 16-byte header"),
+            CompactDecodeError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "batch length {got} B does not match header ({expected} B)"
+                )
+            }
+            CompactDecodeError::TruncatedWords => write!(f, "encoded words end mid-report"),
+            CompactDecodeError::TrailingWords => write!(f, "trailing words after the last report"),
+            CompactDecodeError::BadSolutionKind(kind) => {
+                write!(f, "unknown solution header kind {kind}")
+            }
+            CompactDecodeError::DirtyBitPadding => {
+                write!(f, "bit-vector entry with padding bits set past its width")
+            }
+            CompactDecodeError::Domain(reason) => write!(f, "out-of-domain report: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactDecodeError {}
 
 impl CompactBatch {
     /// An empty batch.
@@ -165,6 +220,239 @@ impl CompactBatch {
             pos: 0,
         }
     }
+
+    /// Exact byte length of [`CompactBatch::encode_into`]'s output: a
+    /// 16-byte count header plus the two word buffers verbatim.
+    pub fn encoded_len(&self) -> usize {
+        16 + 8 * (self.uids.len() + self.words.len())
+    }
+
+    /// Appends the batch's byte encoding to `out`: `uids.len()` and
+    /// `words.len()` as little-endian `u64`, then both buffers verbatim
+    /// (little-endian words). Exactly [`CompactBatch::encoded_len`] bytes;
+    /// the inverse of [`CompactBatch::decode_from`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.extend_from_slice(&(self.uids.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.words.len() as u64).to_le_bytes());
+        for &uid in &self.uids {
+            out.extend_from_slice(&uid.to_le_bytes());
+        }
+        for &word in &self.words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    /// Decodes an [`CompactBatch::encode_into`] buffer, rejecting anything
+    /// malformed with a typed error instead of panicking: the byte length
+    /// must match the header counts exactly, and the words must pass a full
+    /// structural walk (report headers well-kinded, every entry's payload
+    /// words present, no trailing garbage, bit-vector padding clean). A
+    /// decoded batch is therefore always safe to hand to the panicky fast
+    /// paths ([`CompactBatch::iter`], `absorb_compact`) — though untrusted
+    /// input should additionally pass [`CompactBatch::validate_for`] before
+    /// being aggregated.
+    pub fn decode_from(bytes: &[u8]) -> Result<CompactBatch, CompactDecodeError> {
+        if bytes.len() < 16 {
+            return Err(CompactDecodeError::Truncated);
+        }
+        let n_uids = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte slice"));
+        let n_words = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        // Bound the counts by the buffer itself before the usize multiply
+        // below — a forged header must not trigger overflow or a giant
+        // allocation.
+        let avail_words = ((bytes.len() - 16) / 8) as u64;
+        if n_uids > avail_words || n_words > avail_words {
+            return Err(CompactDecodeError::LengthMismatch {
+                expected: 16usize.saturating_add(
+                    8usize
+                        .saturating_mul(n_uids.saturating_add(n_words).min(u64::MAX / 8) as usize),
+                ),
+                got: bytes.len(),
+            });
+        }
+        let (n_uids, n_words) = (n_uids as usize, n_words as usize);
+        let expected = 16 + 8 * (n_uids + n_words);
+        if bytes.len() != expected {
+            return Err(CompactDecodeError::LengthMismatch {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let word_at = |i: usize| {
+            u64::from_le_bytes(
+                bytes[16 + 8 * i..24 + 8 * i]
+                    .try_into()
+                    .expect("8-byte slice"),
+            )
+        };
+        let uids: Vec<u64> = (0..n_uids).map(word_at).collect();
+        let words: Vec<u64> = (n_uids..n_uids + n_words).map(word_at).collect();
+        walk_words(&words, n_uids, None)?;
+        Ok(CompactBatch { uids, words })
+    }
+
+    /// Checks every encoded report against the target solution's shape and
+    /// domains: the report kind must match the solution family (SPL ⇒ full,
+    /// SMP ⇒ sampled, RS+FD/RS+RFD ⇒ tuple), entry counts must equal `d`,
+    /// sampled-attribute indexes must be `< d`, and every entry must fit its
+    /// attribute's domain (`Value < k_j`, subset members `< k_j`, bit-vector
+    /// width `== k_j`, hashed reports with `value < g`). This is the gate
+    /// that keeps a malformed network batch from ever reaching an
+    /// aggregator shard, whose counting path only debug-asserts.
+    pub fn validate_for(&self, kind: SolutionKind, ks: &[usize]) -> Result<(), CompactDecodeError> {
+        walk_words(&self.words, self.uids.len(), Some((kind, ks)))
+    }
+}
+
+/// Shared structural (and optionally domain) validation walk over a batch's
+/// encoded words: `n_reports` well-formed reports, nothing more, nothing
+/// less. With `check = Some((kind, ks))` it additionally enforces the
+/// solution-shape and domain rules of [`CompactBatch::validate_for`].
+fn walk_words(
+    words: &[u64],
+    n_reports: usize,
+    check: Option<(SolutionKind, &[usize])>,
+) -> Result<(), CompactDecodeError> {
+    let mut pos = 0usize;
+    for _ in 0..n_reports {
+        let header = *words.get(pos).ok_or(CompactDecodeError::TruncatedWords)?;
+        pos += 1;
+        let kind = header & 0b11;
+        let a = ((header >> 2) & 0x7FFF_FFFF) as usize;
+        let b = (header >> 33) as usize;
+        let entries = match kind {
+            KIND_FULL | KIND_TUPLE => a,
+            KIND_SMP => 1,
+            other => return Err(CompactDecodeError::BadSolutionKind(other)),
+        };
+        if let Some((solution, ks)) = check {
+            let d = ks.len();
+            match (solution, kind) {
+                (SolutionKind::Spl(_), KIND_FULL) if a == d => {}
+                (SolutionKind::Smp(_), KIND_SMP) if a < d => {}
+                (SolutionKind::RsFd(_) | SolutionKind::RsRfd(_), KIND_TUPLE) if a == d && b < d => {
+                }
+                _ => {
+                    return Err(CompactDecodeError::Domain(format!(
+                        "report header (kind {kind}, a {a}, b {b}) does not fit {} over d = {d}",
+                        solution.name()
+                    )))
+                }
+            }
+        }
+        for entry in 0..entries {
+            // The attribute this entry estimates for: position for
+            // full/tuple reports, the disclosed sampled index for SMP.
+            let j = if kind == KIND_SMP { a } else { entry };
+            pos = walk_entry(words, pos, check.map(|(solution, ks)| (solution, ks[j], j)))?;
+        }
+    }
+    if pos == words.len() {
+        Ok(())
+    } else {
+        Err(CompactDecodeError::TrailingWords)
+    }
+}
+
+/// Validates one encoded entry starting at `words[pos]`, returning the
+/// position just past it. `check = Some((solution, k, j))` adds the domain
+/// rules for attribute `j` of size `k`.
+fn walk_entry(
+    words: &[u64],
+    mut pos: usize,
+    check: Option<(SolutionKind, usize, usize)>,
+) -> Result<usize, CompactDecodeError> {
+    let header = *words.get(pos).ok_or(CompactDecodeError::TruncatedWords)?;
+    pos += 1;
+    let payload = header >> 2;
+    let tag = header & 0b11;
+    match tag {
+        TAG_VALUE => {
+            if let Some((_, k, j)) = check {
+                if payload >= k as u64 {
+                    return Err(CompactDecodeError::Domain(format!(
+                        "attr {j}: value {payload} outside domain of size {k}"
+                    )));
+                }
+            }
+        }
+        TAG_HASHED => {
+            // seed + packed(g | value << 32).
+            let packed = *words
+                .get(pos + 1)
+                .ok_or(CompactDecodeError::TruncatedWords)?;
+            pos += 2;
+            if let Some((solution, _, j)) = check {
+                let tuple_entry =
+                    matches!(solution, SolutionKind::RsFd(_) | SolutionKind::RsRfd(_));
+                let (g, value) = (packed as u32, (packed >> 32) as u32);
+                if tuple_entry {
+                    return Err(CompactDecodeError::Domain(format!(
+                        "attr {j}: hashed entry inside a fake-data tuple"
+                    )));
+                }
+                if g < 2 || value >= g {
+                    return Err(CompactDecodeError::Domain(format!(
+                        "attr {j}: hashed report value {value} outside hash range g = {g}"
+                    )));
+                }
+            }
+        }
+        TAG_SUBSET => {
+            let len = payload as usize;
+            let packed_words = len.div_ceil(2);
+            if packed_words > words.len() - pos {
+                return Err(CompactDecodeError::TruncatedWords);
+            }
+            if let Some((solution, k, j)) = check {
+                if matches!(solution, SolutionKind::RsFd(_) | SolutionKind::RsRfd(_)) {
+                    return Err(CompactDecodeError::Domain(format!(
+                        "attr {j}: subset entry inside a fake-data tuple"
+                    )));
+                }
+                for i in 0..len {
+                    let packed = words[pos + i / 2];
+                    let member = if i % 2 == 0 {
+                        packed as u32
+                    } else {
+                        (packed >> 32) as u32
+                    };
+                    if member as usize >= k {
+                        return Err(CompactDecodeError::Domain(format!(
+                            "attr {j}: subset member {member} outside domain of size {k}"
+                        )));
+                    }
+                }
+            }
+            pos += packed_words;
+        }
+        TAG_BITS => {
+            let nbits = payload as usize;
+            let blocks = nbits.div_ceil(64);
+            if blocks > words.len() - pos {
+                return Err(CompactDecodeError::TruncatedWords);
+            }
+            // Dirty padding would trip `BitVec::from_blocks`' debug assert
+            // on the decode path — reject it structurally.
+            if !nbits.is_multiple_of(64)
+                && blocks > 0
+                && words[pos + blocks - 1] >> (nbits % 64) != 0
+            {
+                return Err(CompactDecodeError::DirtyBitPadding);
+            }
+            if let Some((_, k, j)) = check {
+                if nbits != k {
+                    return Err(CompactDecodeError::Domain(format!(
+                        "attr {j}: bit-vector width {nbits} does not match domain size {k}"
+                    )));
+                }
+            }
+            pos += blocks;
+        }
+        _ => unreachable!("2-bit tag"),
+    }
+    Ok(pos)
 }
 
 /// Sequential reader over a batch's encoded words.
@@ -365,6 +653,135 @@ mod tests {
             let decoded: Vec<_> = batch.iter().collect();
             assert_eq!(decoded, reports, "{kind}");
         }
+    }
+
+    fn sample_batch(kind: SolutionKind, ks: &[usize], n: u64, seed: u64) -> CompactBatch {
+        let solution = kind.build(ks, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = CompactBatch::new();
+        for uid in 0..n {
+            let tuple: Vec<u32> = ks.iter().map(|&k| (uid as u32) % k as u32).collect();
+            batch.push(uid, &solution.report(&tuple, &mut rng));
+        }
+        batch
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(40))]
+
+        /// Byte round trip is the identity on the in-memory representation
+        /// for every solution × protocol, any batch size (incl. empty).
+        #[test]
+        fn bytes_roundtrip_for_all_kinds(
+            kind_idx in 0usize..12,
+            n in 0u64..40,
+            seed in 0u64..1_000,
+        ) {
+            let kinds = all_kinds();
+            let kind = kinds[kind_idx % kinds.len()];
+            let ks = [6usize, 3, 65];
+            let batch = sample_batch(kind, &ks, n, seed);
+            let mut bytes = Vec::new();
+            batch.encode_into(&mut bytes);
+            proptest::prop_assert_eq!(bytes.len(), batch.encoded_len());
+            let decoded = CompactBatch::decode_from(&bytes).unwrap();
+            proptest::prop_assert_eq!(&decoded, &batch);
+            proptest::prop_assert!(decoded.validate_for(kind, &ks).is_ok());
+        }
+
+        /// Every strict prefix of an encoding is rejected with a typed
+        /// error, never a panic — the wire layer's truncation guarantee.
+        #[test]
+        fn truncated_bytes_are_rejected(
+            kind_idx in 0usize..12,
+            n in 1u64..20,
+            cut in 0usize..10_000,
+        ) {
+            let kinds = all_kinds();
+            let kind = kinds[kind_idx % kinds.len()];
+            let batch = sample_batch(kind, &[5, 4, 33], n, 7);
+            let mut bytes = Vec::new();
+            batch.encode_into(&mut bytes);
+            let cut = cut % bytes.len();
+            proptest::prop_assert!(CompactBatch::decode_from(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_and_mismatched_lengths() {
+        let batch = sample_batch(SolutionKind::RsFd(RsFdProtocol::Grr), &[4, 3], 10, 1);
+        let mut bytes = Vec::new();
+        batch.encode_into(&mut bytes);
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            CompactBatch::decode_from(&trailing),
+            Err(CompactDecodeError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            CompactBatch::decode_from(&bytes[..12]),
+            Err(CompactDecodeError::Truncated)
+        );
+        // A forged header claiming more words than the buffer holds must be
+        // rejected without allocating for the claimed counts.
+        let mut forged = bytes.clone();
+        forged[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            CompactBatch::decode_from(&forged),
+            Err(CompactDecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_for_rejects_foreign_shapes_and_domains() {
+        let ks = [4usize, 3];
+        let smp = sample_batch(SolutionKind::Smp(ProtocolKind::Grr), &ks, 20, 2);
+        // Shape mismatch: an SMP batch is not an SPL or fake-data batch.
+        assert!(matches!(
+            smp.validate_for(SolutionKind::Spl(ProtocolKind::Grr), &ks),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        assert!(matches!(
+            smp.validate_for(SolutionKind::RsFd(RsFdProtocol::Grr), &ks),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        // Domain mismatch: the same family over smaller domains must reject
+        // out-of-range values instead of absorbing them.
+        let wide = sample_batch(SolutionKind::Spl(ProtocolKind::Grr), &[9, 8], 40, 3);
+        assert!(wide
+            .validate_for(SolutionKind::Spl(ProtocolKind::Grr), &[2, 2])
+            .is_err());
+        // SUE/OUE bit widths are pinned to the domain size.
+        let bits = sample_batch(SolutionKind::Spl(ProtocolKind::Oue), &ks, 5, 4);
+        assert!(bits
+            .validate_for(SolutionKind::Spl(ProtocolKind::Oue), &[5, 3])
+            .is_err());
+    }
+
+    #[test]
+    fn corrupt_words_are_structurally_rejected() {
+        let batch = sample_batch(SolutionKind::Spl(ProtocolKind::Olh), &[4, 3], 8, 5);
+        let mut bytes = Vec::new();
+        batch.encode_into(&mut bytes);
+        // Flip the first solution header to the reserved kind 3.
+        let first_word = 16 + 8 * batch.len();
+        let mut corrupt = bytes.clone();
+        corrupt[first_word] |= 0b11;
+        assert!(matches!(
+            CompactBatch::decode_from(&corrupt),
+            Err(CompactDecodeError::BadSolutionKind(3))
+        ));
+        // A dirty padding bit past a bit-vector's width is caught before it
+        // can trip `BitVec::from_blocks` on the decode path.
+        let bits = sample_batch(SolutionKind::Spl(ProtocolKind::Sue), &[4, 3], 1, 6);
+        let mut bytes = Vec::new();
+        bits.encode_into(&mut bytes);
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80;
+        assert!(matches!(
+            CompactBatch::decode_from(&bytes),
+            Err(CompactDecodeError::DirtyBitPadding)
+        ));
     }
 
     #[test]

@@ -18,7 +18,7 @@ mod smp;
 mod spl;
 
 pub use aggregator::MultidimAggregator;
-pub use compact::CompactBatch;
+pub use compact::{CompactBatch, CompactDecodeError};
 pub use kind::{DynSolution, SolutionKind, SolutionReport};
 pub use rsfd::{RsFd, RsFdProtocol};
 pub use rsrfd::{RsRfd, RsRfdProtocol};

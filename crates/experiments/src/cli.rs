@@ -5,7 +5,7 @@
 
 use crate::registry::{markdown_matrix, Experiment, ExperimentKind};
 use crate::runner::{run_experiments, ExpStatus, RunOptions};
-use crate::serve::{solution_from_id, ServeDataset, ServeSpec};
+use crate::serve::{solution_from_id, ListenOpts, ServeDataset, ServeSpec};
 use crate::ExpConfig;
 use ldp_sim::traffic::TrafficShape;
 
@@ -18,6 +18,8 @@ USAGE:
     risks describe <ids…|all>          metadata of selected experiments
     risks run <ids…|all> [options]     run experiments (parallel, cached)
     risks serve [options]              stream a corpus through ldp_server
+    risks produce --connect <ADDR>     stream one producer's share of the
+                                       population to a `serve --listen` server
     risks help                         this text
 
 RUN OPTIONS (defaults come from the RISKS_* environment variables):
@@ -37,12 +39,34 @@ SERVE OPTIONS (plus --scale/--seed/--threads/--out/--quiet from above):
     --dataset <ID>   adult | acs | nursery (default adult)
     --shape <ID>     steady | burst | ramp | churn (default steady)
     --eps <F>        user-level privacy budget ε (default 1.0)
+    --users <N>      exact population size (overrides --scale; lets soak
+                     runs exceed the paper-scale cap)
+    --listen <ADDR>  networked mode: bind the versioned wire-protocol
+                     listener (`127.0.0.1:0` picks a free port) and
+                     aggregate remote `risks produce` sessions instead of
+                     sanitizing in-process
+    --producers <N>  with --listen: producer sessions to wait for before
+                     the final drain (default 1)
+    --addr-file <P>  with --listen: write the bound address to file P
+                     (how scripts discover an ephemeral port)
+
+PRODUCE OPTIONS (--solution/--dataset/--shape/--eps/--users/--scale/--seed
+and --quiet from above; every spec flag must match the serving process):
+    --connect <ADDR>      server address (e.g. the --addr-file contents)
+    --part <i/N>          stream only users with uid mod N == i, so N
+                          producers with parts 0/N…(N-1)/N cover the
+                          population exactly once (default 0/1)
+    --snapshot-every <W>  log an incremental server snapshot every W
+                          traffic waves (0 = never)
 
 `risks serve` sanitizes every user with the seeded per-user rng streams,
 pushes the reports through the bounded-channel ingestion service following
 the arrival schedule, drains it, and reports reports/sec plus the MAE of
 the drained estimates against the true marginals (the result is
-bit-identical to the batch pipeline at equal seed). Writes serve.csv and
+bit-identical to the batch pipeline at equal seed). With --listen the
+reports instead arrive as checksummed CompactBatch frames over TCP from
+`risks produce` processes — same drained bits, real sockets. Writes
+serve.csv, serve_estimates.csv (deterministic, full f64 precision) and
 serve.manifest.json under --out.
 
 An experiment is skipped as a cache hit when `<out>/<id>.manifest.json`
@@ -87,8 +111,10 @@ pub enum Command {
     },
     /// `risks serve [options]`.
     Serve {
-        /// What to stream (solution, dataset, traffic shape, ε).
+        /// What to stream (solution, dataset, traffic shape, ε, users).
         spec: ServeSpec,
+        /// `--listen`/`--producers`/`--addr-file` networked-mode options.
+        listen: Option<ListenOpts>,
         /// `--scale` override.
         scale: Option<f64>,
         /// `--seed` override.
@@ -98,6 +124,25 @@ pub enum Command {
         /// `--out` override.
         out: Option<String>,
         /// `--quiet` table suppression.
+        quiet: bool,
+    },
+    /// `risks produce --connect <addr> [options]`.
+    Produce {
+        /// What to stream — must match the serving process's spec.
+        spec: ServeSpec,
+        /// Server address to connect to.
+        connect: String,
+        /// This producer's index within the fleet.
+        part: usize,
+        /// Total fleet size.
+        parts: usize,
+        /// Incremental snapshot cadence in traffic waves (0 = never).
+        snapshot_every: usize,
+        /// `--scale` override.
+        scale: Option<f64>,
+        /// `--seed` override.
+        seed: Option<u64>,
+        /// `--quiet` snapshot-log suppression.
         quiet: bool,
     },
     /// `risks help` / `--help`.
@@ -168,37 +213,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut spec = ServeSpec::default();
             let (mut scale, mut seed, mut threads, mut out) = (None, None, None, None);
             let mut quiet = false;
+            let (mut listen_addr, mut producers, mut addr_file) =
+                (None::<String>, None::<usize>, None::<String>);
             while let Some(arg) = it.next() {
+                if parse_spec_flag(arg, &mut it, &mut spec)? {
+                    continue;
+                }
                 match arg {
                     "--quiet" => quiet = true,
-                    "--solution" => {
-                        let raw = it.next().ok_or("`--solution` needs an id")?;
-                        spec.solution = solution_from_id(raw).ok_or_else(|| {
-                            format!("unknown solution `{raw}` (see `risks help`)")
-                        })?;
+                    "--listen" => {
+                        listen_addr = Some(
+                            it.next()
+                                .ok_or("`--listen` needs a bind address")?
+                                .to_string(),
+                        )
                     }
-                    "--dataset" => {
-                        let raw = it.next().ok_or("`--dataset` needs an id")?;
-                        spec.dataset = ServeDataset::from_id(raw).ok_or_else(|| {
-                            format!("unknown dataset `{raw}` (adult | acs | nursery)")
-                        })?;
-                    }
-                    "--shape" => {
-                        let raw = it.next().ok_or("`--shape` needs an id")?;
-                        spec.shape = TrafficShape::from_id(raw).ok_or_else(|| {
-                            format!("unknown shape `{raw}` (steady | burst | ramp | churn)")
-                        })?;
-                    }
-                    "--eps" => {
-                        spec.epsilon = flag_value(arg, it.next())?;
-                        // Finiteness matters too: "inf" parses as f64 but
-                        // would only fail deep inside solution construction.
-                        if !spec.epsilon.is_finite() || spec.epsilon <= 0.0 {
-                            return Err(format!(
-                                "`--eps` must be positive and finite, got {}",
-                                spec.epsilon
-                            ));
-                        }
+                    "--producers" => producers = Some(flag_value(arg, it.next())?),
+                    "--addr-file" => {
+                        addr_file = Some(
+                            it.next()
+                                .ok_or("`--addr-file` needs a file path")?
+                                .to_string(),
+                        )
                     }
                     "--scale" => scale = Some(flag_value(arg, it.next())?),
                     "--seed" => seed = Some(flag_value(arg, it.next())?),
@@ -213,8 +249,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown `serve` argument `{other}`")),
                 }
             }
+            let listen = match listen_addr {
+                Some(addr) => Some(ListenOpts {
+                    addr,
+                    producers: producers.unwrap_or(1).max(1),
+                    addr_file: addr_file.map(std::path::PathBuf::from),
+                }),
+                None if producers.is_some() || addr_file.is_some() => {
+                    return Err("`--producers` and `--addr-file` require `--listen`".to_string())
+                }
+                None => None,
+            };
             Ok(Command::Serve {
                 spec,
+                listen,
                 scale,
                 seed,
                 threads,
@@ -222,8 +270,108 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 quiet,
             })
         }
+        Some("produce") => {
+            let mut spec = ServeSpec::default();
+            let (mut scale, mut seed) = (None, None);
+            let mut quiet = false;
+            let mut connect = None::<String>;
+            let mut part = (0usize, 1usize);
+            let mut snapshot_every = 0usize;
+            while let Some(arg) = it.next() {
+                if parse_spec_flag(arg, &mut it, &mut spec)? {
+                    continue;
+                }
+                match arg {
+                    "--quiet" => quiet = true,
+                    "--connect" => {
+                        connect = Some(
+                            it.next()
+                                .ok_or("`--connect` needs a server address")?
+                                .to_string(),
+                        )
+                    }
+                    "--part" => {
+                        part = parse_part(it.next().ok_or("`--part` needs `i/N`")?)?;
+                    }
+                    "--snapshot-every" => snapshot_every = flag_value(arg, it.next())?,
+                    "--scale" => scale = Some(flag_value(arg, it.next())?),
+                    "--seed" => seed = Some(flag_value(arg, it.next())?),
+                    other => return Err(format!("unknown `produce` argument `{other}`")),
+                }
+            }
+            let connect = connect.ok_or("`produce` requires `--connect <addr>`")?;
+            Ok(Command::Produce {
+                spec,
+                connect,
+                part: part.0,
+                parts: part.1,
+                snapshot_every,
+                scale,
+                seed,
+                quiet,
+            })
+        }
         Some(other) => Err(format!("unknown subcommand `{other}` (try `risks help`)")),
     }
+}
+
+/// Parses the [`ServeSpec`] flags shared by `serve` and `produce`
+/// (`--solution`, `--dataset`, `--shape`, `--eps`, `--users`). Returns
+/// whether `arg` was consumed.
+fn parse_spec_flag<'a>(
+    arg: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+    spec: &mut ServeSpec,
+) -> Result<bool, String> {
+    match arg {
+        "--solution" => {
+            let raw = it.next().ok_or("`--solution` needs an id")?;
+            spec.solution = solution_from_id(raw)
+                .ok_or_else(|| format!("unknown solution `{raw}` (see `risks help`)"))?;
+        }
+        "--dataset" => {
+            let raw = it.next().ok_or("`--dataset` needs an id")?;
+            spec.dataset = ServeDataset::from_id(raw)
+                .ok_or_else(|| format!("unknown dataset `{raw}` (adult | acs | nursery)"))?;
+        }
+        "--shape" => {
+            let raw = it.next().ok_or("`--shape` needs an id")?;
+            spec.shape = TrafficShape::from_id(raw)
+                .ok_or_else(|| format!("unknown shape `{raw}` (steady | burst | ramp | churn)"))?;
+        }
+        "--eps" => {
+            spec.epsilon = flag_value(arg, it.next())?;
+            // Finiteness matters too: "inf" parses as f64 but would only
+            // fail deep inside solution construction.
+            if !spec.epsilon.is_finite() || spec.epsilon <= 0.0 {
+                return Err(format!(
+                    "`--eps` must be positive and finite, got {}",
+                    spec.epsilon
+                ));
+            }
+        }
+        "--users" => {
+            let users: usize = flag_value(arg, it.next())?;
+            if users == 0 {
+                return Err("`--users` must be at least 1".to_string());
+            }
+            spec.users = Some(users);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses a `--part i/N` fleet coordinate.
+fn parse_part(raw: &str) -> Result<(usize, usize), String> {
+    let err = || format!("`--part` expects `i/N` with i < N, got `{raw}`");
+    let (i, n) = raw.split_once('/').ok_or_else(err)?;
+    let i: usize = i.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if n == 0 || i >= n {
+        return Err(err());
+    }
+    Ok((i, n))
 }
 
 /// Resolves leading experiment ids (`all` expands to the whole registry),
@@ -360,6 +508,7 @@ pub fn execute(cmd: Command) -> i32 {
         }
         Command::Serve {
             spec,
+            listen,
             scale,
             seed,
             threads,
@@ -379,7 +528,26 @@ pub fn execute(cmd: Command) -> i32 {
             if let Some(v) = out {
                 cfg.out_dir = std::path::PathBuf::from(v);
             }
-            crate::serve::execute_serve(&spec, &cfg, quiet)
+            crate::serve::execute_serve(&spec, &cfg, quiet, listen.as_ref())
+        }
+        Command::Produce {
+            spec,
+            connect,
+            part,
+            parts,
+            snapshot_every,
+            scale,
+            seed,
+            quiet,
+        } => {
+            let mut cfg = ExpConfig::from_env();
+            if let Some(v) = scale {
+                cfg.scale = v.clamp(0.01, 1.0);
+            }
+            if let Some(v) = seed {
+                cfg.seed = v;
+            }
+            crate::serve::execute_produce(&spec, &cfg, &connect, part, parts, snapshot_every, quiet)
         }
     }
 }
@@ -517,6 +685,112 @@ mod tests {
                 "{id} must parse"
             );
         }
+    }
+
+    #[test]
+    fn parses_serve_listen_options() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--producers",
+            "3",
+            "--addr-file",
+            "/tmp/addr",
+            "--users",
+            "100000",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { spec, listen, .. } => {
+                assert_eq!(spec.users, Some(100_000));
+                let listen = listen.expect("--listen must populate ListenOpts");
+                assert_eq!(listen.addr, "127.0.0.1:0");
+                assert_eq!(listen.producers, 3);
+                assert_eq!(
+                    listen.addr_file,
+                    Some(std::path::PathBuf::from("/tmp/addr"))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Plain serve stays in-process.
+        match parse(&s(&["serve"])).unwrap() {
+            Command::Serve { listen, .. } => assert_eq!(listen, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The networked-only flags are rejected without --listen.
+        assert!(parse(&s(&["serve", "--producers", "2"])).is_err());
+        assert!(parse(&s(&["serve", "--addr-file", "/tmp/addr"])).is_err());
+        assert!(parse(&s(&["serve", "--users", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_produce_with_fleet_coordinates() {
+        let cmd = parse(&s(&[
+            "produce",
+            "--connect",
+            "127.0.0.1:9000",
+            "--part",
+            "1/4",
+            "--solution",
+            "smp-olh",
+            "--users",
+            "5000",
+            "--snapshot-every",
+            "8",
+            "--quiet",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Produce {
+                spec,
+                connect,
+                part,
+                parts,
+                snapshot_every,
+                quiet,
+                ..
+            } => {
+                assert_eq!(connect, "127.0.0.1:9000");
+                assert_eq!((part, parts), (1, 4));
+                assert_eq!(snapshot_every, 8);
+                assert_eq!(spec.solution, solution_from_id("smp-olh").unwrap());
+                assert_eq!(spec.users, Some(5000));
+                assert!(quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: one-producer fleet, no snapshots.
+        match parse(&s(&["produce", "--connect", "h:1"])).unwrap() {
+            Command::Produce {
+                part,
+                parts,
+                snapshot_every,
+                ..
+            } => {
+                assert_eq!((part, parts), (0, 1));
+                assert_eq!(snapshot_every, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn produce_rejects_bad_arguments() {
+        // --connect is mandatory.
+        assert!(parse(&s(&["produce"])).is_err());
+        assert!(parse(&s(&["produce", "--part", "0/2"])).is_err());
+        // Malformed fleet coordinates.
+        for bad in ["2/2", "3/2", "x/y", "0/0", "1", "1/", "/2"] {
+            assert!(
+                parse(&s(&["produce", "--connect", "h:1", "--part", bad])).is_err(),
+                "`--part {bad}` must be rejected"
+            );
+        }
+        // Unknown and serve-only flags.
+        assert!(parse(&s(&["produce", "--connect", "h:1", "--bogus"])).is_err());
+        assert!(parse(&s(&["produce", "--connect", "h:1", "--listen", "x"])).is_err());
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! and the mean absolute error of the drained estimates against the
 //! dataset's true marginals.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
-use ldp_datasets::Dataset;
+use ldp_datasets::{corpora, Dataset};
 use ldp_protocols::{ProtocolKind, UeMode};
+use ldp_server::{ServerConfig, WireServer};
 use ldp_sim::{CollectionPipeline, CollectionRun, TrafficGenerator, TrafficShape};
 
 use crate::manifest::{config_hash, git_rev, Manifest};
@@ -59,6 +61,25 @@ impl ServeDataset {
             ServeDataset::Adult => cfg.adult(0),
             ServeDataset::Acs => cfg.acs(0),
             ServeDataset::Nursery => cfg.nursery(0),
+        }
+    }
+
+    /// [`ServeDataset::build`] with an optional explicit population size.
+    ///
+    /// `--users` exists because `--scale` is capped at the paper's n (the
+    /// Adult corpus tops out at 45,222 users) while the ingestion-tier soak
+    /// runs want millions. The override uses the same run-0 seed derivations
+    /// as [`ServeDataset::build`], so server and producer processes agree on
+    /// the corpus bit-for-bit whenever they agree on `(dataset, seed, users)`.
+    pub fn build_sized(self, cfg: &ExpConfig, users: Option<usize>) -> Dataset {
+        let Some(n) = users else {
+            return self.build(cfg);
+        };
+        let n = n.max(1);
+        match self {
+            ServeDataset::Adult => corpora::adult_like(n, cfg.seed),
+            ServeDataset::Acs => corpora::acs_employment_like(n, cfg.seed ^ 0xACE),
+            ServeDataset::Nursery => corpora::nursery_like(n, cfg.seed ^ 0x9925),
         }
     }
 }
@@ -117,6 +138,8 @@ pub struct ServeSpec {
     pub shape: TrafficShape,
     /// User-level privacy budget ε.
     pub epsilon: f64,
+    /// Explicit population size (`--users`), overriding `--scale`.
+    pub users: Option<usize>,
 }
 
 impl Default for ServeSpec {
@@ -126,6 +149,7 @@ impl Default for ServeSpec {
             dataset: ServeDataset::Adult,
             shape: TrafficShape::Steady,
             epsilon: 1.0,
+            users: None,
         }
     }
 }
@@ -146,7 +170,7 @@ pub struct ServeOutcome {
 
 /// Streams `spec` under `cfg` and measures it.
 pub fn run_serve(spec: &ServeSpec, cfg: &ExpConfig) -> ServeOutcome {
-    let dataset = spec.dataset.build(cfg);
+    let dataset = spec.dataset.build_sized(cfg, spec.users);
     let ks = dataset.schema().cardinalities();
     let pipeline = CollectionPipeline::from_kind(spec.solution, &ks, spec.epsilon)
         .expect("serve spec validated at parse time")
@@ -163,6 +187,83 @@ pub fn run_serve(spec: &ServeSpec, cfg: &ExpConfig) -> ServeOutcome {
         wall_secs,
         mae,
     }
+}
+
+/// Options of the networked `risks serve --listen` mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListenOpts {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Producer sessions to wait for before draining.
+    pub producers: usize,
+    /// File to write the bound address to (for scripted producers when the
+    /// port is ephemeral).
+    pub addr_file: Option<PathBuf>,
+}
+
+/// Binds a [`WireServer`] for `spec`, waits for `producers` DRAINed
+/// sessions, and measures the drained aggregate exactly like [`run_serve`].
+///
+/// The corpus is materialized only long enough to capture its schema and
+/// true marginals, then dropped **before** the listener binds — the serving
+/// process holds the merged aggregate and per-shard queues, nothing
+/// proportional to the population, so server RSS stays flat at any `--users`
+/// (the nightly soak pins this).
+pub fn run_serve_listen(
+    spec: &ServeSpec,
+    cfg: &ExpConfig,
+    listen: &ListenOpts,
+) -> std::io::Result<ServeOutcome> {
+    let dataset = spec.dataset.build_sized(cfg, spec.users);
+    let ks = dataset.schema().cardinalities();
+    let truth = dataset.marginals();
+    let expected = dataset.n() as u64;
+    drop(dataset);
+    let solution = spec
+        .solution
+        .build(&ks, spec.epsilon)
+        .expect("serve spec validated at parse time");
+    let server = WireServer::bind(
+        listen.addr.as_str(),
+        solution,
+        ServerConfig::default().shards(cfg.threads),
+    )?;
+    let addr = server.local_addr();
+    if let Some(path) = &listen.addr_file {
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+    eprintln!(
+        "[risks] serve: listening on {addr}, waiting for {} producer(s) to drain",
+        listen.producers
+    );
+    let started = Instant::now();
+    server.wait_for_producers(listen.producers);
+    let rejected = server.rejected_connections();
+    let snapshot = server.finish();
+    let wall_secs = started.elapsed().as_secs_f64();
+    if snapshot.n != expected {
+        eprintln!(
+            "[risks] serve: drained {} reports, expected {expected} — did the \
+             producer fleet cover every `--part` with matching flags?",
+            snapshot.n
+        );
+    }
+    if rejected > 0 {
+        eprintln!("[risks] serve: rejected {rejected} malformed connection(s)");
+    }
+    let mae = mean_abs_error(&snapshot.normalized, &truth);
+    Ok(ServeOutcome {
+        reports_per_sec: snapshot.n as f64 / wall_secs.max(1e-9),
+        run: CollectionRun {
+            aggregator: snapshot.aggregator,
+            estimates: snapshot.estimates,
+            normalized: snapshot.normalized,
+            n: snapshot.n,
+            shards: snapshot.shards,
+        },
+        wall_secs,
+        mae,
+    })
 }
 
 /// Mean absolute cell-wise difference between two estimate matrices.
@@ -193,26 +294,73 @@ pub fn serve_hash_id(spec: &ServeSpec) -> String {
         .find(|(_, kind)| *kind == spec.solution)
         .map_or("custom", |(id, _)| id);
     format!(
-        "serve:{solution_id}:{}:{}:{}",
+        "serve:{solution_id}:{}:{}:{}:{}",
         spec.dataset,
         spec.shape,
-        spec.epsilon.to_bits()
+        spec.epsilon.to_bits(),
+        spec.users.map_or(-1i64, |u| u as i64)
     )
 }
 
-/// Runs a serve request end to end for the CLI: stream, print the table
-/// (unless `quiet`), persist `serve.csv` and a `serve.manifest.json`.
-/// Returns the process exit code.
-pub fn execute_serve(spec: &ServeSpec, cfg: &ExpConfig, quiet: bool) -> i32 {
+/// Writes the drained normalized estimates as `serve_estimates.csv`.
+///
+/// Unlike `serve.csv` (which carries wall-clock and throughput columns and
+/// thus differs between runs), this file is a pure function of
+/// `(spec, seed)` — the CI loopback-smoke job byte-compares it between the
+/// in-process and multi-process paths, so values are printed with full
+/// `f64` round-trip precision.
+fn write_estimates_csv(outcome: &ServeOutcome, cfg: &ExpConfig) {
+    let mut table = Table::new(
+        "drained normalized estimates".to_string(),
+        &["attr", "value", "estimate"],
+    );
+    for (attr, row) in outcome.run.normalized.iter().enumerate() {
+        for (value, est) in row.iter().enumerate() {
+            table.row(vec![
+                attr.to_string(),
+                value.to_string(),
+                format!("{est:.17e}"),
+            ]);
+        }
+    }
+    table.write_csv(&cfg.out_dir, "serve_estimates.csv");
+}
+
+/// Runs a serve request end to end for the CLI: stream (in-process, or over
+/// the wire protocol when `listen` is set), print the table (unless
+/// `quiet`), persist `serve.csv` + `serve_estimates.csv` and a
+/// `serve.manifest.json`. Returns the process exit code.
+pub fn execute_serve(
+    spec: &ServeSpec,
+    cfg: &ExpConfig,
+    quiet: bool,
+    listen: Option<&ListenOpts>,
+) -> i32 {
     let solution_id = SOLUTION_IDS
         .iter()
         .find(|(_, kind)| *kind == spec.solution)
         .map_or("custom", |(id, _)| id);
     eprintln!(
-        "[risks] serve {} on {} ({} traffic): eps={} threads={} seed={} scale={}",
-        solution_id, spec.dataset, spec.shape, spec.epsilon, cfg.threads, cfg.seed, cfg.scale
+        "[risks] serve {} on {} ({} traffic): eps={} threads={} seed={} scale={} users={}",
+        solution_id,
+        spec.dataset,
+        spec.shape,
+        spec.epsilon,
+        cfg.threads,
+        cfg.seed,
+        cfg.scale,
+        spec.users.map_or("auto".to_string(), |u| u.to_string()),
     );
-    let outcome = run_serve(spec, cfg);
+    let outcome = match listen {
+        None => run_serve(spec, cfg),
+        Some(opts) => match run_serve_listen(spec, cfg, opts) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                eprintln!("[risks] serve: listener failed: {err}");
+                return 1;
+            }
+        },
+    };
     let mut table = Table::new(
         format!(
             "risks serve — {} on {} under {} traffic",
@@ -247,6 +395,7 @@ pub fn execute_serve(spec: &ServeSpec, cfg: &ExpConfig, quiet: bool) -> i32 {
         print!("{}", table.render());
     }
     table.write_csv(&cfg.out_dir, "serve.csv");
+    write_estimates_csv(&outcome, cfg);
     let manifest = Manifest {
         id: "serve".to_string(),
         config_hash: config_hash(&serve_hash_id(spec), cfg),
@@ -257,7 +406,7 @@ pub fn execute_serve(spec: &ServeSpec, cfg: &ExpConfig, quiet: bool) -> i32 {
         wall_secs: outcome.wall_secs,
         rows: table.len(),
         git_rev: git_rev(),
-        outputs: vec!["serve.csv".to_string()],
+        outputs: vec!["serve.csv".to_string(), "serve_estimates.csv".to_string()],
     };
     let path = manifest.write(&cfg.out_dir);
     eprintln!(
@@ -269,6 +418,68 @@ pub fn execute_serve(spec: &ServeSpec, cfg: &ExpConfig, quiet: bool) -> i32 {
         path.display()
     );
     0
+}
+
+/// Runs one producer of a `risks produce --connect` fleet: rebuilds the
+/// corpus and traffic schedule from `spec`/`cfg` (which must match the
+/// serving process's flags), streams its `part` of the population over the
+/// wire, and drains. With `snapshot_every > 0` an incremental SNAPSHOT
+/// round trip is logged every that many waves. Returns the exit code.
+pub fn execute_produce(
+    spec: &ServeSpec,
+    cfg: &ExpConfig,
+    connect: &str,
+    part: usize,
+    parts: usize,
+    snapshot_every: usize,
+    quiet: bool,
+) -> i32 {
+    let dataset = spec.dataset.build_sized(cfg, spec.users);
+    let ks = dataset.schema().cardinalities();
+    let pipeline = CollectionPipeline::from_kind(spec.solution, &ks, spec.epsilon)
+        .expect("produce spec validated at parse time")
+        .seed(cfg.seed);
+    let traffic = TrafficGenerator::new(spec.shape, dataset.n()).seed(cfg.seed);
+    eprintln!(
+        "[risks] produce {part}/{parts} → {connect}: {} on {} ({} traffic, {} users, seed {})",
+        spec.solution.name(),
+        spec.dataset,
+        spec.shape,
+        dataset.n(),
+        cfg.seed
+    );
+    let started = Instant::now();
+    let result = pipeline.serve_remote_part(
+        &dataset,
+        &traffic,
+        connect,
+        part,
+        parts,
+        snapshot_every,
+        &mut |snapshot| {
+            if !quiet {
+                eprintln!(
+                    "[risks] produce {part}/{parts}: server aggregate at {} reports",
+                    snapshot.n
+                );
+            }
+        },
+    );
+    let wall_secs = started.elapsed().as_secs_f64();
+    match result {
+        Ok(acked) => {
+            eprintln!(
+                "[risks] produce {part}/{parts} done in {wall_secs:.2}s: \
+                 server acknowledged {acked} reports ({:.0}/s)",
+                acked as f64 / wall_secs.max(1e-9)
+            );
+            0
+        }
+        Err(err) => {
+            eprintln!("[risks] produce {part}/{parts} failed: {err}");
+            1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +522,7 @@ mod tests {
             dataset: ServeDataset::Nursery,
             shape: TrafficShape::Burst,
             epsilon: 2.0,
+            users: None,
         };
         let outcome = run_serve(&spec, &cfg);
         assert_eq!(outcome.run.n as usize, cfg.nursery(0).n());
@@ -328,6 +540,84 @@ mod tests {
         .threads(cfg.threads)
         .run(&ds);
         assert_eq!(outcome.run.aggregator.counts(), batch.aggregator.counts());
+    }
+
+    #[test]
+    fn users_override_sizes_the_corpus_deterministically() {
+        let cfg = tiny_cfg();
+        let spec = ServeSpec {
+            users: Some(777),
+            ..ServeSpec::default()
+        };
+        let ds = spec.dataset.build_sized(&cfg, spec.users);
+        assert_eq!(ds.n(), 777);
+        // Same seed derivation as the scale path: at the natural size the
+        // override reproduces `build` exactly.
+        let natural = spec.dataset.build(&cfg);
+        let sized = spec.dataset.build_sized(&cfg, Some(natural.n()));
+        assert_eq!(sized.n(), natural.n());
+        assert_eq!(sized.marginals(), natural.marginals());
+    }
+
+    #[test]
+    fn listen_mode_drains_a_remote_producer_bit_identically() {
+        let cfg = tiny_cfg();
+        let spec = ServeSpec {
+            dataset: ServeDataset::Nursery,
+            users: Some(400),
+            ..ServeSpec::default()
+        };
+        // Baseline: the in-process batch pipeline at equal seed.
+        let ds = spec.dataset.build_sized(&cfg, spec.users);
+        let ks = ds.schema().cardinalities();
+        let baseline = CollectionPipeline::from_kind(spec.solution, &ks, spec.epsilon)
+            .unwrap()
+            .seed(cfg.seed)
+            .run(&ds);
+        // Networked: bind on an ephemeral port, discover it through the
+        // addr file, and drive one producer fleet of two parts.
+        let dir = std::env::temp_dir().join(format!("risks-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let listen = ListenOpts {
+            addr: "127.0.0.1:0".to_string(),
+            producers: 2,
+            addr_file: Some(addr_file.clone()),
+        };
+        let server = {
+            let (spec, cfg, listen) = (spec.clone(), cfg.clone(), listen.clone());
+            std::thread::spawn(move || run_serve_listen(&spec, &cfg, &listen).unwrap())
+        };
+        while !addr_file.exists() {
+            std::thread::yield_now();
+        }
+        let addr = std::fs::read_to_string(&addr_file)
+            .unwrap()
+            .trim()
+            .to_string();
+        for part in 0..2 {
+            assert_eq!(
+                execute_produce(&spec, &cfg, &addr, part, 2, 0, true),
+                0,
+                "producer {part} must drain cleanly"
+            );
+        }
+        let outcome = server.join().unwrap();
+        assert_eq!(outcome.run.n, baseline.n);
+        assert_eq!(
+            outcome.run.aggregator.counts(),
+            baseline.aggregator.counts()
+        );
+        for (a, b) in outcome
+            .run
+            .normalized
+            .iter()
+            .flatten()
+            .zip(baseline.normalized.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -358,6 +648,10 @@ mod tests {
             },
             ServeSpec {
                 epsilon: 4.0,
+                ..base.clone()
+            },
+            ServeSpec {
+                users: Some(12_345),
                 ..base.clone()
             },
         ];

@@ -46,9 +46,13 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod net;
 pub mod service;
 pub mod snapshot;
+pub mod wire;
 
 pub use config::ServerConfig;
+pub use net::WireServer;
 pub use service::{Envelope, LdpServer};
 pub use snapshot::ServerSnapshot;
+pub use wire::{Frame, WireError, WireSnapshot};

@@ -1,0 +1,505 @@
+//! The blocking socket front of the ingestion service: a std-only TCP
+//! listener that speaks the [`crate::wire`] protocol and feeds decoded
+//! batches into an [`LdpServer`]'s bounded shard channels.
+//!
+//! ## Threading and backpressure
+//!
+//! ```text
+//!  producer sockets ──► per-connection handler threads ──► LdpServer
+//!        (N)                 read_frame / validate          bounded
+//!                            ingest_batch (may block)       shard queues
+//! ```
+//!
+//! One OS thread per connection, blocking reads — no async runtime, per the
+//! vendored-dependency constraint, and none needed: ingestion is
+//! throughput-bound, not connection-count-bound, and a blocked thread *is*
+//! the backpressure mechanism. When every shard queue is full,
+//! `ingest_batch` blocks the handler, the handler stops calling `read`, the
+//! kernel receive buffer fills, the TCP window closes, and the remote
+//! producer's `write` stalls — flow control propagates from a full shard
+//! queue all the way to the producer process with no code in between.
+//!
+//! ## Error isolation
+//!
+//! A malformed frame (bad magic, version, CRC, truncation, an out-of-domain
+//! batch) closes **only the offending connection**, after a best-effort
+//! ABORT frame to the peer. The whole frame is validated against the
+//! server's solution before any envelope of it is ingested, so a bad frame
+//! never half-poisons a shard; other connections and the aggregation
+//! workers never notice.
+//!
+//! ## Determinism
+//!
+//! The socket path adds nothing to the ingest semantics: batches are
+//! decoded back to the same envelopes the producer pushed, and the shard
+//! merge is exact integer addition. A drain of a socket-fed server is
+//! therefore bit-identical to in-process ingestion of the same reports —
+//! the invariant `tests/net_equivalence.rs` pins across thread and
+//! connection counts.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ldp_core::solutions::DynSolution;
+
+use crate::config::ServerConfig;
+use crate::service::{Envelope, LdpServer};
+use crate::snapshot::ServerSnapshot;
+use crate::wire::{read_frame, solution_fingerprint, write_frame, Frame, WireError, WireSnapshot};
+
+/// Abort code sent to peers that fail the handshake.
+const ABORT_HANDSHAKE: u16 = 1;
+/// Abort code sent to peers whose frame stream is malformed.
+const ABORT_PROTOCOL: u16 = 2;
+
+/// A TCP ingestion frontend wrapping one [`LdpServer`].
+///
+/// [`WireServer::bind`] starts the accept loop; producers connect, speak
+/// the [`crate::wire`] session (HELLO, BATCHes, optional SNAPSHOT
+/// round trips, DRAIN), and [`WireServer::finish`] tears the listener down
+/// and drains the inner server into its final [`ServerSnapshot`].
+#[derive(Debug)]
+pub struct WireServer {
+    server: Option<Arc<LdpServer>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    stats: Arc<NetStats>,
+}
+
+/// Shared connection counters (diagnostics; none of these participate in
+/// the determinism contract).
+#[derive(Debug, Default)]
+struct NetStats {
+    /// Connections that completed a DRAIN handshake.
+    drained: AtomicUsize,
+    /// Connections dropped for a protocol violation.
+    rejected: AtomicUsize,
+    /// Reports ingested over all connections.
+    ingested: AtomicU64,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting producer connections for a freshly spawned [`LdpServer`]
+    /// over `solution` and `config`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        solution: DynSolution,
+        config: ServerConfig,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(LdpServer::spawn(solution, config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NetStats::default());
+        let accept = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("ldp-accept".into())
+                .spawn(move || accept_loop(&listener, &server, &stop, &stats))
+                .expect("cannot spawn accept thread")
+        };
+        Ok(WireServer {
+            server: Some(server),
+            addr,
+            stop,
+            accept: Some(accept),
+            stats,
+        })
+    }
+
+    /// The bound socket address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections that have completed a clean DRAIN handshake so far.
+    pub fn drained_producers(&self) -> usize {
+        self.stats.drained.load(Ordering::SeqCst)
+    }
+
+    /// Connections dropped for protocol violations so far.
+    pub fn rejected_connections(&self) -> usize {
+        self.stats.rejected.load(Ordering::SeqCst)
+    }
+
+    /// Reports ingested over the wire so far (counted at frame validation,
+    /// i.e. possibly slightly ahead of shard absorption).
+    pub fn ingested_reports(&self) -> u64 {
+        self.stats.ingested.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until at least `n` producer connections have drained cleanly
+    /// — the server-side rendezvous for a fixed-size producer fleet.
+    pub fn wait_for_producers(&self, n: usize) {
+        // Drains are rare, coarse events; a parked poll keeps this free of
+        // extra synchronization on the ingest path.
+        while self.drained_producers() < n {
+            std::thread::park_timeout(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Stops accepting, joins every connection handler, drains the inner
+    /// server and returns the final merged snapshot — bit-identical to an
+    /// in-process ingest of the same reports.
+    pub fn finish(mut self) -> ServerSnapshot {
+        self.shutdown_listener();
+        let server = self.server.take().expect("finish called once");
+        let server = Arc::try_unwrap(server)
+            .expect("all connection handlers joined, nothing else holds the server");
+        server.drain()
+    }
+
+    /// Signals the accept loop, wakes it with a dummy connection, and joins
+    /// the accept thread plus every handler it spawned.
+    fn shutdown_listener(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // `TcpListener::accept` has no timeout; a throwaway local connection
+        // is the portable way to wake it so it can observe `stop`.
+        let _ = TcpStream::connect(self.addr);
+        let handlers = accept.join().expect("accept thread panicked");
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        // A dropped-without-finish server still tears its threads down; the
+        // inner LdpServer then drains unobserved when the last Arc goes.
+        self.shutdown_listener();
+    }
+}
+
+/// Accepts until `stop` is set, spawning one handler thread per producer.
+/// Returns the handler join handles so the shutdown path can wait for
+/// in-flight connections to settle before draining.
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<LdpServer>,
+    stop: &AtomicBool,
+    stats: &Arc<NetStats>,
+) -> Vec<JoinHandle<()>> {
+    let fingerprint = solution_fingerprint(server.solution());
+    let mut handlers = Vec::new();
+    for (conn, stream) in listener.incoming().enumerate() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let server = Arc::clone(server);
+        let stats = Arc::clone(stats);
+        handlers.push(
+            std::thread::Builder::new()
+                .name(format!("ldp-conn-{conn}"))
+                .spawn(move || {
+                    match drive_connection(stream, &server, fingerprint, &stats) {
+                        Ok(true) => {
+                            stats.drained.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // A peer may disconnect without draining (e.g. a
+                        // monitoring probe); that is not a violation.
+                        Ok(false) => {}
+                        Err(_) => {
+                            stats.rejected.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+                .expect("cannot spawn connection handler"),
+        );
+    }
+    handlers
+}
+
+/// Runs one producer session to completion. `Ok(true)` is a clean DRAIN,
+/// `Ok(false)` a clean disconnect without one; any `Err` already sent a
+/// best-effort ABORT and stands for "this connection was cut, everyone
+/// else keeps going".
+fn drive_connection(
+    stream: TcpStream,
+    server: &LdpServer,
+    fingerprint: u64,
+    stats: &NetStats,
+) -> Result<bool, WireError> {
+    // Frames are small relative to throughput; turn Nagle off so snapshot
+    // and drain acks turn around immediately.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Session opener: exactly one HELLO with a matching fingerprint.
+    match read_frame(&mut reader) {
+        Ok(Frame::Hello { fingerprint: got }) if got == fingerprint => {
+            write_frame(
+                &mut writer,
+                &Frame::HelloAck {
+                    fingerprint,
+                    shards: server.config().shards as u32,
+                },
+            )?;
+            writer.flush()?;
+        }
+        Ok(Frame::Hello { fingerprint: got }) => {
+            let reason = format!(
+                "producer solution fingerprint {got:#018x} does not match the server's \
+                 {fingerprint:#018x} (different solution, domains or epsilon?)"
+            );
+            abort(&mut writer, ABORT_HANDSHAKE, &reason);
+            return Err(WireError::Handshake(reason));
+        }
+        Ok(_) => {
+            let reason = "expected HELLO as the first frame".to_string();
+            abort(&mut writer, ABORT_HANDSHAKE, &reason);
+            return Err(WireError::Handshake(reason));
+        }
+        Err(WireError::Closed) => return Ok(false),
+        Err(e) => {
+            abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
+            return Err(e);
+        }
+    }
+
+    let kind = server.solution().kind();
+    let ks = server.solution().ks().to_vec();
+    let mut ingested = 0u64;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Frame::Batch(batch)) => {
+                // Validate the *whole* frame before ingesting any of it:
+                // frames are atomic, so a malformed one is rejected without
+                // a single envelope reaching a shard.
+                if let Err(e) = batch.validate_for(kind, &ks) {
+                    let e = WireError::Batch(e);
+                    abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
+                    return Err(e);
+                }
+                let len = batch.len() as u64;
+                // May block on a full shard queue — that block is the
+                // backpressure path described in the module docs.
+                server.ingest_batch(batch.iter().map(|(uid, report)| Envelope { uid, report }));
+                ingested += len;
+                stats.ingested.fetch_add(len, Ordering::SeqCst);
+            }
+            Ok(Frame::SnapshotRequest { quiesce }) => {
+                if quiesce {
+                    server.quiesce();
+                }
+                let snapshot = server.snapshot();
+                write_frame(&mut writer, &Frame::Snapshot(WireSnapshot::from(&snapshot)))?;
+                writer.flush()?;
+            }
+            Ok(Frame::Drain) => {
+                write_frame(&mut writer, &Frame::DrainAck { n: ingested })?;
+                writer.flush()?;
+                return Ok(true);
+            }
+            Ok(Frame::Abort { .. }) => return Ok(false),
+            Ok(other) => {
+                let e = WireError::Payload(format!(
+                    "unexpected {} frame in an open session",
+                    frame_name(&other)
+                ));
+                abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
+                return Err(e);
+            }
+            Err(WireError::Closed) => return Ok(false),
+            Err(e) => {
+                abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Best-effort ABORT notification; the connection is going away either way.
+fn abort(writer: &mut impl Write, code: u16, message: &str) {
+    let _ = write_frame(
+        writer,
+        &Frame::Abort {
+            code,
+            message: message.to_string(),
+        },
+    );
+    let _ = writer.flush();
+}
+
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "HELLO",
+        Frame::HelloAck { .. } => "HELLO_ACK",
+        Frame::Batch(_) => "BATCH",
+        Frame::SnapshotRequest { .. } => "SNAPSHOT_REQUEST",
+        Frame::Snapshot(_) => "SNAPSHOT",
+        Frame::Drain => "DRAIN",
+        Frame::DrainAck { .. } => "DRAIN_ACK",
+        Frame::Abort { .. } => "ABORT",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_core::solutions::{CompactBatch, RsFdProtocol, SolutionKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spawn_server() -> (WireServer, DynSolution) {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            solution.clone(),
+            ServerConfig::default().shards(2),
+        )
+        .unwrap();
+        (server, solution)
+    }
+
+    fn handshake(addr: SocketAddr, solution: &DynSolution) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream.try_clone().unwrap();
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                fingerprint: solution_fingerprint(solution),
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Frame::HelloAck { .. }
+        ));
+        (reader, stream)
+    }
+
+    #[test]
+    fn socket_session_ingests_snapshots_and_drains() {
+        let (server, solution) = spawn_server();
+        let (mut reader, stream) = handshake(server.local_addr(), &solution);
+        let mut writer = stream.try_clone().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batch = CompactBatch::new();
+        for uid in 0..200u64 {
+            batch.push(uid, &solution.report(&[1, 2], &mut rng));
+        }
+        write_frame(&mut writer, &Frame::Batch(batch)).unwrap();
+        write_frame(&mut writer, &Frame::SnapshotRequest { quiesce: true }).unwrap();
+        writer.flush().unwrap();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Snapshot(snap) => {
+                assert_eq!(snap.n, 200);
+                assert_eq!(snap.estimates.len(), 2);
+            }
+            other => panic!("expected SNAPSHOT, got {other:?}"),
+        }
+        write_frame(&mut writer, &Frame::Drain).unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Frame::DrainAck { n: 200 }
+        ));
+        server.wait_for_producers(1);
+        let snapshot = server.finish();
+        assert_eq!(snapshot.n, 200);
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_rejected_at_handshake() {
+        let (server, _solution) = spawn_server();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(&mut writer, &Frame::Hello { fingerprint: 0xBAD }).unwrap();
+        writer.flush().unwrap();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Abort { code, .. } => assert_eq!(code, ABORT_HANDSHAKE),
+            other => panic!("expected ABORT, got {other:?}"),
+        }
+        // The server survives and still serves valid producers.
+        assert_eq!(server.finish().n, 0);
+    }
+
+    #[test]
+    fn corrupt_frame_closes_only_the_offending_connection() {
+        let (server, solution) = spawn_server();
+        let addr = server.local_addr();
+
+        // A well-behaved producer on one connection…
+        let (mut good_reader, good_stream) = handshake(addr, &solution);
+        let mut good_writer = good_stream.try_clone().unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut batch = CompactBatch::new();
+        for uid in 0..100u64 {
+            batch.push(uid, &solution.report(&[0, 1], &mut rng));
+        }
+        write_frame(&mut good_writer, &Frame::Batch(batch.clone())).unwrap();
+        good_writer.flush().unwrap();
+
+        // …and garbage on another: corrupt CRC after a valid handshake.
+        let (mut bad_reader, bad_stream) = handshake(addr, &solution);
+        let mut bad_writer = bad_stream.try_clone().unwrap();
+        let mut buf = Vec::new();
+        crate::wire::encode_frame(&Frame::Batch(batch), &mut buf);
+        *buf.last_mut().unwrap() ^= 0xFF;
+        std::io::Write::write_all(&mut bad_writer, &buf).unwrap();
+        bad_writer.flush().unwrap();
+        match read_frame(&mut bad_reader).unwrap() {
+            Frame::Abort { code, .. } => assert_eq!(code, ABORT_PROTOCOL),
+            other => panic!("expected ABORT, got {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut bad_reader),
+            Err(WireError::Closed)
+        ));
+
+        // The good connection is unaffected: it can still snapshot + drain.
+        write_frame(&mut good_writer, &Frame::Drain).unwrap();
+        good_writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut good_reader).unwrap(),
+            Frame::DrainAck { n: 100 }
+        ));
+        server.wait_for_producers(1);
+        assert_eq!(server.rejected_connections(), 1);
+        let snapshot = server.finish();
+        assert_eq!(snapshot.n, 100, "corrupt frame must not poison a shard");
+    }
+
+    #[test]
+    fn foreign_solution_batch_is_rejected_atomically() {
+        let (server, solution) = spawn_server();
+        let (mut reader, stream) = handshake(server.local_addr(), &solution);
+        let mut writer = stream.try_clone().unwrap();
+        // Structurally valid words, wrong shape: an SMP batch for a fake-
+        // data server. The whole frame must be rejected pre-ingest.
+        let smp = SolutionKind::Smp(ldp_protocols::ProtocolKind::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut batch = CompactBatch::new();
+        for uid in 0..50u64 {
+            batch.push(uid, &smp.report(&[1, 1], &mut rng));
+        }
+        write_frame(&mut writer, &Frame::Batch(batch)).unwrap();
+        writer.flush().unwrap();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Abort { code, .. } => assert_eq!(code, ABORT_PROTOCOL),
+            other => panic!("expected ABORT, got {other:?}"),
+        }
+        let snapshot = server.finish();
+        assert_eq!(snapshot.n, 0, "no envelope of a rejected frame may land");
+    }
+}

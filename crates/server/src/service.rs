@@ -30,7 +30,7 @@
 //! **per-shard** buffer pools after absorbing them (support is counted
 //! directly from the encoded words, never by rematerializing reports).
 //! Steady-state batched ingestion therefore allocates nothing on either
-//! side of the channel (with more than [`POOL_SLACK_PER_SHARD`] concurrent
+//! side of the channel (with more than `POOL_SLACK_PER_SHARD` concurrent
 //! producers the overflow buffers are dropped and reallocated — amortized
 //! per batch, never per report). The pool mutexes are the only shared
 //! state on the ingest path, touched once per batch *message* and never

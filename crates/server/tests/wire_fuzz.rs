@@ -1,0 +1,173 @@
+//! Fuzz-style robustness properties of the wire layer: mutated, truncated
+//! and garbage byte streams must always come back as typed [`WireError`]s —
+//! never a panic, and never a silently mis-decoded frame — both at the
+//! codec level ([`read_frame`] over raw bytes) and end-to-end against a live
+//! [`WireServer`], which must additionally keep its aggregate clean.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use ldp_core::solutions::{CompactBatch, RsFdProtocol, SolutionKind};
+use ldp_server::wire::{
+    encode_frame, read_frame, solution_fingerprint, write_frame, Frame, WireError, WireSnapshot,
+};
+use ldp_server::{ServerConfig, WireServer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A representative valid session's byte stream (handshake, batches, a
+/// snapshot exchange, drain) to mutate.
+fn session_bytes(seed: u64, reports: u64) -> Vec<u8> {
+    let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+        .build(&[5, 3, 4], 1.5)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::new();
+    let mut buf = Vec::new();
+    let mut frames = vec![Frame::Hello {
+        fingerprint: solution_fingerprint(&solution),
+    }];
+    let mut batch = CompactBatch::new();
+    for uid in 0..reports {
+        batch.push(uid, &solution.report(&[1, 2, 3], &mut rng));
+    }
+    frames.push(Frame::Batch(batch));
+    frames.push(Frame::SnapshotRequest { quiesce: true });
+    frames.push(Frame::Snapshot(WireSnapshot {
+        n: reports,
+        shards: 2,
+        estimates: vec![vec![0.2; 5], vec![0.33; 3], vec![0.25; 4]],
+        normalized: vec![vec![0.2; 5], vec![0.33; 3], vec![0.25; 4]],
+    }));
+    frames.push(Frame::Drain);
+    for frame in &frames {
+        encode_frame(frame, &mut buf);
+        stream.extend_from_slice(&buf);
+    }
+    stream
+}
+
+/// Reads frames until the stream errors or ends; the property under test is
+/// simply that this terminates without panicking.
+fn drain_stream(bytes: &[u8]) -> (usize, Option<WireError>) {
+    let mut reader = bytes;
+    let mut decoded = 0usize;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(_) => decoded += 1,
+            Err(WireError::Closed) => return (decoded, None),
+            Err(e) => return (decoded, Some(e)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Arbitrary byte flips anywhere in a valid session stream decode to a
+    /// typed error or to (possibly fewer) valid frames — never a panic.
+    #[test]
+    fn mutated_streams_never_panic(
+        seed in 0u64..50,
+        reports in 0u64..60,
+        flips in prop::collection::vec((0usize..4096, 1u8..255), 1..12),
+    ) {
+        let mut bytes = session_bytes(seed, reports);
+        for &(pos, xor) in &flips {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= xor;
+        }
+        drain_stream(&bytes);
+    }
+
+    /// Every truncation point yields Closed (at a frame boundary) or a
+    /// typed mid-frame error on the last frame — all earlier frames decode.
+    #[test]
+    fn truncated_streams_fail_typed(
+        seed in 0u64..50,
+        reports in 1u64..40,
+        cut in 0usize..100_000,
+    ) {
+        let bytes = session_bytes(seed, reports);
+        let cut = cut % bytes.len();
+        let (_, err) = drain_stream(&bytes[..cut]);
+        // A strict prefix can never decode the full 5-frame session; it
+        // must end in a clean Closed or a Truncated/Payload-class error.
+        match err {
+            None | Some(WireError::Truncated) => {}
+            Some(other) => panic!("cut at {cut}: unexpected {other:?}"),
+        }
+    }
+
+    /// Pure garbage (random bytes) is rejected without panicking.
+    #[test]
+    fn garbage_streams_fail_typed(
+        bytes in prop::collection::vec(0u8..255, 0..512),
+    ) {
+        drain_stream(&bytes);
+    }
+
+    /// End-to-end: a live server fed a mutated session over a real socket
+    /// never panics, never hangs, and never lets a corrupt frame's
+    /// envelopes into the aggregate — the drained count stays at what valid
+    /// prefix frames delivered, and a parallel clean producer is unharmed.
+    #[test]
+    fn live_server_survives_mutated_sessions(
+        seed in 0u64..20,
+        reports in 1u64..40,
+        flips in prop::collection::vec((16usize..4096, 1u8..255), 1..4),
+    ) {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[5, 3, 4], 1.5)
+            .unwrap();
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            solution.clone(),
+            ServerConfig::default().shards(2),
+        )
+        .unwrap();
+
+        // Mutate past the HELLO frame (first 24 bytes) so the session
+        // opens, then corrupt the rest.
+        let mut bytes = session_bytes(seed, reports);
+        for &(pos, xor) in &flips {
+            let pos = 24 + pos % (bytes.len() - 24);
+            bytes[pos] ^= xor;
+        }
+        let mut mutated = TcpStream::connect(server.local_addr()).unwrap();
+        mutated.write_all(&bytes).unwrap();
+        // Either the server aborts us mid-write (fine) or reads to the end.
+        let _ = mutated.shutdown(std::net::Shutdown::Write);
+
+        // A clean producer alongside must be able to drain exactly.
+        let clean = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(clean.try_clone().unwrap());
+        let mut writer = clean;
+        write_frame(&mut writer, &Frame::Hello {
+            fingerprint: solution_fingerprint(&solution),
+        })
+        .unwrap();
+        writer.flush().unwrap();
+        prop_assert!(matches!(read_frame(&mut reader).unwrap(), Frame::HelloAck { .. }));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1EA);
+        let mut batch = CompactBatch::new();
+        for uid in 0..25u64 {
+            batch.push(uid, &solution.report(&[0, 1, 2], &mut rng));
+        }
+        write_frame(&mut writer, &Frame::Batch(batch)).unwrap();
+        write_frame(&mut writer, &Frame::Drain).unwrap();
+        writer.flush().unwrap();
+        prop_assert!(matches!(read_frame(&mut reader).unwrap(), Frame::DrainAck { n: 25 }));
+
+        drop(mutated);
+        server.wait_for_producers(1);
+        let snapshot = server.finish();
+        // The clean producer's 25 reports always land; the mutated session
+        // contributes its valid prefix frames only (0 or `reports`).
+        prop_assert!(
+            snapshot.n == 25 || snapshot.n == 25 + reports,
+            "drained n = {} with reports = {}", snapshot.n, reports
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //!   burst, diurnal-ish ramp, churn) that drive the streamed
 //!   [`CollectionPipeline::serve`] mode through the `ldp_server` ingestion
 //!   service, bit-identical to the batch pass at equal seed.
+//! * [`net_client::NetClient`] — the producer side of the ingestion wire:
+//!   a blocking TCP client streaming checksummed `CompactBatch` frames to a
+//!   remote `ldp_server::WireServer`, driven from the traffic schedule by
+//!   [`CollectionPipeline::serve_remote`] for real multi-process ingestion.
 //! * [`par`] — deterministic scoped-thread parallel helpers used by the heavy
 //!   sweeps.
 
@@ -31,6 +35,7 @@
 pub mod attack_pipeline;
 pub mod campaign;
 pub mod composition;
+pub mod net_client;
 pub mod par;
 pub mod pipeline;
 pub mod rsfd_campaign;
@@ -39,6 +44,7 @@ pub mod traffic;
 
 pub use attack_pipeline::{AttackPipeline, AttackRun};
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
+pub use net_client::NetClient;
 pub use pipeline::{user_rng, CollectionPipeline, CollectionRun};
 pub use rsfd_campaign::{run_rsfd_campaign, RsFdCampaignConfig};
 pub use survey::SurveyPlan;

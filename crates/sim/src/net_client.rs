@@ -1,0 +1,167 @@
+//! The producer side of the ingestion wire: a blocking TCP client that
+//! batches sanitized reports into [`CompactBatch`] frames for a
+//! [`WireServer`](ldp_server::WireServer).
+//!
+//! One [`NetClient`] is one producer session: connect (HELLO/HELLO_ACK
+//! fingerprint handshake), [`NetClient::push`] reports — buffered locally
+//! and flushed as BATCH frames at the configured batch size —
+//! interleave [`NetClient::snapshot`] round trips for incremental progress,
+//! and [`NetClient::finish`] with a DRAIN/DRAIN_ACK handshake. The batch
+//! buffer and the frame scratch buffer are reused across flushes, so a
+//! steady-state producer allocates nothing per report.
+//!
+//! Backpressure needs no client-side code: when the server's shard queues
+//! fill, its handler stops reading, the TCP window closes, and the
+//! `write_all` inside [`NetClient::push`] simply blocks until the server
+//! catches up.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ldp_core::solutions::{CompactBatch, DynSolution, SolutionReport};
+use ldp_server::wire::{
+    encode_batch_frame, read_frame, solution_fingerprint, write_frame, Frame, WireError,
+    WireSnapshot,
+};
+
+/// Default reports per BATCH frame — matches the server's default
+/// channel-message batch (`ServerConfig::batch`).
+const DEFAULT_BATCH: usize = 1024;
+
+/// A connected producer session speaking the `ldp_server::wire` protocol.
+#[derive(Debug)]
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    batch: CompactBatch,
+    batch_size: usize,
+    frame_buf: Vec<u8>,
+    server_shards: u32,
+    sent: u64,
+}
+
+impl NetClient {
+    /// Connects to a serving [`WireServer`](ldp_server::WireServer) and runs
+    /// the HELLO handshake for `solution`. Fails with a typed error when
+    /// the server aggregates for a different solution configuration (the
+    /// fingerprint covers family, domain sizes and ε).
+    pub fn connect(addr: impl ToSocketAddrs, solution: &DynSolution) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream.try_clone()?;
+        let fingerprint = solution_fingerprint(solution);
+        write_frame(&mut writer, &Frame::Hello { fingerprint })?;
+        writer.flush()?;
+        let server_shards = match read_frame(&mut reader)? {
+            Frame::HelloAck {
+                fingerprint: theirs,
+                shards,
+            } if theirs == fingerprint => shards,
+            Frame::HelloAck {
+                fingerprint: theirs,
+                ..
+            } => {
+                return Err(WireError::Handshake(format!(
+                    "server echoed fingerprint {theirs:#018x}, expected {fingerprint:#018x}"
+                )))
+            }
+            Frame::Abort { code, message } => return Err(WireError::Remote { code, message }),
+            other => {
+                return Err(WireError::Handshake(format!(
+                    "expected HELLO_ACK, got {other:?}"
+                )))
+            }
+        };
+        Ok(NetClient {
+            reader,
+            stream,
+            batch: CompactBatch::new(),
+            batch_size: DEFAULT_BATCH,
+            frame_buf: Vec::new(),
+            server_shards,
+            sent: 0,
+        })
+    }
+
+    /// Sets the reports-per-frame batch size (clamped to ≥ 1).
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.batch_size = size.max(1);
+        self
+    }
+
+    /// The server's shard count, as announced in HELLO_ACK.
+    pub fn server_shards(&self) -> u32 {
+        self.server_shards
+    }
+
+    /// Reports pushed into this session so far (buffered or sent).
+    pub fn pushed(&self) -> u64 {
+        self.sent + self.batch.len() as u64
+    }
+
+    /// Buffers one sanitized report, sending a BATCH frame whenever the
+    /// buffer reaches the batch size. A blocked send *is* the backpressure
+    /// path — see the [module docs](crate::net_client).
+    pub fn push(&mut self, uid: u64, report: &SolutionReport) -> Result<(), WireError> {
+        self.batch.push(uid, report);
+        if self.batch.len() >= self.batch_size {
+            self.flush_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Sends any buffered reports and flushes the socket.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        if !self.batch.is_empty() {
+            self.flush_batch()?;
+        }
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Requests the server's current merged estimates; with `quiesce`, the
+    /// server barriers first so the snapshot covers at least everything
+    /// this producer pushed before the call (buffered reports are flushed
+    /// first). This is the incremental estimate-while-ingesting stream.
+    pub fn snapshot(&mut self, quiesce: bool) -> Result<WireSnapshot, WireError> {
+        self.flush()?;
+        write_frame(&mut self.stream, &Frame::SnapshotRequest { quiesce })?;
+        self.stream.flush()?;
+        match read_frame(&mut self.reader)? {
+            Frame::Snapshot(snapshot) => Ok(snapshot),
+            Frame::Abort { code, message } => Err(WireError::Remote { code, message }),
+            other => Err(WireError::Payload(format!(
+                "expected SNAPSHOT, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ends the session: flushes every buffered report, sends DRAIN and
+    /// waits for the server's DRAIN_ACK. Returns the number of reports the
+    /// server ingested over this connection (always equal to
+    /// [`NetClient::pushed`] on a healthy wire — the frames are checksummed
+    /// and the ack counts post-validation envelopes).
+    pub fn finish(mut self) -> Result<u64, WireError> {
+        self.flush()?;
+        write_frame(&mut self.stream, &Frame::Drain)?;
+        self.stream.flush()?;
+        match read_frame(&mut self.reader)? {
+            Frame::DrainAck { n } => Ok(n),
+            Frame::Abort { code, message } => Err(WireError::Remote { code, message }),
+            other => Err(WireError::Payload(format!(
+                "expected DRAIN_ACK, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Serializes the buffered batch into the reused frame buffer and
+    /// writes it out.
+    fn flush_batch(&mut self) -> Result<(), WireError> {
+        encode_batch_frame(&self.batch, &mut self.frame_buf);
+        self.stream.write_all(&self.frame_buf)?;
+        self.sent += self.batch.len() as u64;
+        self.batch.clear();
+        Ok(())
+    }
+}

@@ -239,6 +239,82 @@ impl CollectionPipeline {
         CollectionRun::from_snapshot(server.drain())
     }
 
+    /// The multi-process twin of [`CollectionPipeline::serve`]: drives one
+    /// producer session against a remote
+    /// [`WireServer`](ldp_server::WireServer) at `addr`, sanitizing every
+    /// user of the traffic schedule and streaming the reports as checksummed
+    /// BATCH frames. Returns the number of reports the server acknowledged
+    /// at DRAIN.
+    ///
+    /// Per-user randomness derives from the same [`user_rng`]`(seed, uid)`
+    /// streams as [`CollectionPipeline::run`], so a socket-fed server drain
+    /// is **bit-identical** to the in-process run at equal seed
+    /// (`tests/net_equivalence.rs` pins this across thread and connection
+    /// counts).
+    pub fn serve_remote(
+        &self,
+        dataset: &Dataset,
+        traffic: &TrafficGenerator,
+        addr: &str,
+    ) -> Result<u64, ldp_server::WireError> {
+        self.serve_remote_part(dataset, traffic, addr, 0, 1, 0, &mut |_| {})
+    }
+
+    /// [`CollectionPipeline::serve_remote`] for one producer of a fleet:
+    /// streams only the users with `uid % parts == part`, so `parts`
+    /// processes each running a distinct `part` cover the population
+    /// exactly once between them. With `snapshot_every > 0`, a
+    /// (non-quiescing) SNAPSHOT round trip is interleaved every that many
+    /// waves and handed to `on_snapshot` — the incremental
+    /// estimate-while-ingesting stream.
+    ///
+    /// # Panics
+    /// Panics when the dataset does not match the solution schema, the
+    /// traffic schedule does not match the population, or `part >= parts`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_remote_part(
+        &self,
+        dataset: &Dataset,
+        traffic: &TrafficGenerator,
+        addr: &str,
+        part: usize,
+        parts: usize,
+        snapshot_every: usize,
+        on_snapshot: &mut dyn FnMut(&ldp_server::WireSnapshot),
+    ) -> Result<u64, ldp_server::WireError> {
+        assert_eq!(
+            dataset.d(),
+            self.solution.d(),
+            "dataset does not match the solution schema"
+        );
+        assert_eq!(
+            traffic.n(),
+            dataset.n(),
+            "traffic schedule does not match the dataset population"
+        );
+        assert!(
+            part < parts,
+            "producer part {part} outside fleet of {parts}"
+        );
+        let mut client = crate::net_client::NetClient::connect(addr, &self.solution)?;
+        for (i, wave) in traffic.waves().enumerate() {
+            for &uid in wave
+                .iter()
+                .filter(|&&uid| uid % parts as u64 == part as u64)
+            {
+                let mut rng = user_rng(self.seed, uid);
+                client.push(
+                    uid,
+                    &self.solution.report(dataset.row(uid as usize), &mut rng),
+                )?;
+            }
+            if snapshot_every > 0 && (i + 1) % snapshot_every == 0 {
+                on_snapshot(&client.snapshot(false)?);
+            }
+        }
+        client.finish()
+    }
+
     /// The single seeded per-user sanitize loop behind `run`, `observe` and
     /// `run_with_observation`: each worker chunk folds its users' reports
     /// into one `A` via `absorb`, with user `uid`'s randomness drawn from

@@ -1,0 +1,257 @@
+//! Determinism properties of the *networked* ingestion path: a
+//! [`WireServer`] fed sanitized reports over real loopback sockets drains
+//! **bit-identically** to the in-process batch `CollectionPipeline::run` at
+//! equal seed — for every solution family, across server shard counts
+//! {1, 2, 8} × producer connections {1, 2, 4}, and including a quiesced
+//! snapshot taken mid-stream while the producer fleet holds at a barrier.
+//!
+//! This is the socket-tier extension of `tests/server_equivalence.rs`: the
+//! per-user randomness is pinned by `user_rng(seed, uid)` on the producer
+//! side and the aggregation is exact integer merging on the server side, so
+//! neither the frame boundaries, nor the connection interleaving, nor the
+//! shard count may leak into the drained estimates.
+
+use std::sync::Barrier;
+use std::thread;
+
+use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
+use ldp_datasets::corpora::adult_like;
+use ldp_datasets::Dataset;
+use ldp_protocols::ProtocolKind;
+use ldp_server::wire::WireSnapshot;
+use ldp_server::{ServerConfig, ServerSnapshot, WireServer};
+use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
+use ldp_sim::{user_rng, CollectionPipeline, CollectionRun, NetClient};
+
+const SEED: u64 = 17;
+
+fn assert_drain_matches_run(snapshot: &ServerSnapshot, reference: &CollectionRun, label: &str) {
+    assert_eq!(snapshot.n, reference.n, "{label}: n");
+    assert_eq!(
+        snapshot.aggregator.counts(),
+        reference.aggregator.counts(),
+        "{label}: support counts"
+    );
+    for (x, y) in snapshot
+        .estimates
+        .iter()
+        .flatten()
+        .zip(reference.estimates.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: estimates");
+    }
+    for (x, y) in snapshot
+        .normalized
+        .iter()
+        .flatten()
+        .zip(reference.normalized.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: normalized");
+    }
+}
+
+fn assert_wire_snapshot_matches_run(
+    snapshot: &WireSnapshot,
+    reference: &CollectionRun,
+    label: &str,
+) {
+    assert_eq!(snapshot.n, reference.n, "{label}: n");
+    for (x, y) in snapshot
+        .estimates
+        .iter()
+        .flatten()
+        .zip(reference.estimates.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: estimates");
+    }
+    for (x, y) in snapshot
+        .normalized
+        .iter()
+        .flatten()
+        .zip(reference.normalized.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: normalized");
+    }
+}
+
+/// Runs a `connections`-producer fleet against `server`'s address using
+/// [`CollectionPipeline::serve_remote_part`] and returns the summed
+/// DRAIN-acked report counts.
+fn run_fleet(
+    kind: SolutionKind,
+    epsilon: f64,
+    ds: &Dataset,
+    traffic: &TrafficGenerator,
+    addr: &str,
+    connections: usize,
+) -> u64 {
+    let ks = ds.schema().cardinalities();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|part| {
+                let (ks, addr) = (ks.clone(), addr);
+                s.spawn(move || {
+                    CollectionPipeline::from_kind(kind, &ks, epsilon)
+                        .unwrap()
+                        .seed(SEED)
+                        .serve_remote_part(ds, traffic, addr, part, connections, 0, &mut |_| {})
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+#[test]
+fn socket_drain_is_bit_identical_across_shards_and_connections() {
+    let ds = adult_like(600, 3);
+    let ks = ds.schema().cardinalities();
+    for kind in [
+        SolutionKind::Spl(ProtocolKind::Grr),
+        SolutionKind::Spl(ProtocolKind::Olh),
+        SolutionKind::Smp(ProtocolKind::Oue),
+        SolutionKind::Smp(ProtocolKind::Ss),
+        SolutionKind::RsFd(RsFdProtocol::Grr),
+        SolutionKind::RsFd(RsFdProtocol::UeZ(ldp_protocols::UeMode::Optimized)),
+        SolutionKind::RsRfd(RsRfdProtocol::Grr),
+    ] {
+        // The reference: a single-threaded in-process batch pass.
+        let reference = CollectionPipeline::from_kind(kind, &ks, 2.0)
+            .unwrap()
+            .seed(SEED)
+            .threads(1)
+            .run(&ds);
+        let traffic = TrafficGenerator::new(TrafficShape::Steady, ds.n())
+            .seed(SEED)
+            .wave(61);
+        for shards in [1usize, 2, 8] {
+            for connections in [1usize, 2, 4] {
+                let solution = kind.build(&ks, 2.0).unwrap();
+                let server = WireServer::bind(
+                    "127.0.0.1:0",
+                    solution,
+                    ServerConfig::default().shards(shards),
+                )
+                .unwrap();
+                let addr = server.local_addr().to_string();
+                let acked = run_fleet(kind, 2.0, &ds, &traffic, &addr, connections);
+                assert_eq!(acked, ds.n() as u64, "{kind} s={shards} c={connections}");
+                server.wait_for_producers(connections);
+                let snapshot = server.finish();
+                assert_drain_matches_run(
+                    &snapshot,
+                    &reference,
+                    &format!("{kind} shards={shards} connections={connections}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn traffic_shape_never_leaks_into_the_socket_drain() {
+    // The arrival schedule reorders the wire traffic but must not change a
+    // single drained bit.
+    let ds = adult_like(400, 5);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let reference = CollectionPipeline::from_kind(kind, &ks, 1.0)
+        .unwrap()
+        .seed(SEED)
+        .run(&ds);
+    for shape in TrafficShape::ALL {
+        let traffic = TrafficGenerator::new(shape, ds.n()).seed(SEED).wave(37);
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            kind.build(&ks, 1.0).unwrap(),
+            ServerConfig::default().shards(2),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let acked = run_fleet(kind, 1.0, &ds, &traffic, &addr, 2);
+        assert_eq!(acked, ds.n() as u64, "{shape}");
+        server.wait_for_producers(2);
+        assert_drain_matches_run(&server.finish(), &reference, &format!("shape {shape}"));
+    }
+}
+
+#[test]
+fn mid_stream_quiesced_snapshot_equals_batch_over_the_prefix() {
+    // While the whole producer fleet holds at a barrier after streaming the
+    // users 0..PREFIX, a quiesced SNAPSHOT round trip must report exactly
+    // the prefix — bit-identical to a batch run over those users — before
+    // the fleet resumes and the final drain equals the full-population run.
+    const PREFIX: usize = 260;
+    let ds = adult_like(500, 9);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let solution = kind.build(&ks, 1.5).unwrap();
+    let prefix_ds = Dataset::new(
+        ds.schema().clone(),
+        (0..PREFIX).flat_map(|u| ds.row(u).to_vec()).collect(),
+    );
+    let prefix_reference = CollectionPipeline::new(solution.clone())
+        .seed(SEED)
+        .run(&prefix_ds);
+    let full_reference = CollectionPipeline::new(solution.clone())
+        .seed(SEED)
+        .run(&ds);
+
+    for connections in [1usize, 2, 4] {
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            solution.clone(),
+            ServerConfig::default().shards(3),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let flushed = Barrier::new(connections);
+        let snapped = Barrier::new(connections);
+        thread::scope(|s| {
+            for part in 0..connections {
+                let (solution, addr) = (solution.clone(), addr.as_str());
+                let (ds, flushed, snapped) = (&ds, &flushed, &snapped);
+                let prefix_reference = &prefix_reference;
+                s.spawn(move || {
+                    let mut client = NetClient::connect(addr, &solution).unwrap().batch_size(32);
+                    let mine = |uid: u64| uid as usize % connections == part;
+                    for uid in (0..PREFIX as u64).filter(|&u| mine(u)) {
+                        let report =
+                            solution.report(ds.row(uid as usize), &mut user_rng(SEED, uid));
+                        client.push(uid, &report).unwrap();
+                    }
+                    // A snapshot round trip doubles as an ingestion ack for
+                    // this connection's frames: the handler reads in order,
+                    // so once the reply arrives our prefix is in the shards.
+                    client.snapshot(false).unwrap();
+                    flushed.wait();
+                    if part == 0 {
+                        // Everyone has flushed and holds; the quiesce
+                        // barriers the shards, so the snapshot covers the
+                        // prefix exactly.
+                        let snapshot = client.snapshot(true).unwrap();
+                        assert_wire_snapshot_matches_run(
+                            &snapshot,
+                            prefix_reference,
+                            &format!("quiesced prefix, {connections} connections"),
+                        );
+                    }
+                    snapped.wait();
+                    for uid in (PREFIX as u64..ds.n() as u64).filter(|&u| mine(u)) {
+                        let report =
+                            solution.report(ds.row(uid as usize), &mut user_rng(SEED, uid));
+                        client.push(uid, &report).unwrap();
+                    }
+                    client.finish().unwrap()
+                });
+            }
+        });
+        server.wait_for_producers(connections);
+        assert_drain_matches_run(
+            &server.finish(),
+            &full_reference,
+            &format!("full drain, {connections} connections"),
+        );
+    }
+}
