@@ -5,8 +5,9 @@
 //! measures end-to-end reports/sec (client sanitization → bounded-channel
 //! routing → sharded absorb → graceful drain) over a **solution-kind ×
 //! thread matrix** — RS+FD[GRR] (value tuples), SMP[OLH] (hashed reports,
-//! the O(k)-per-report counting path) and SPL[OUE] (bit-vector tuples) at
-//! n ∈ {1M, 10M} × threads {1, 2, 4, 8} — and **emits `BENCH_ingest.json`**
+//! the O(k)-per-report counting path), SPL[OUE] (bit-vector tuples) and
+//! MIXED[GRR+PM] (heterogeneous categorical + numeric fixed-point entries)
+//! at n ∈ {1M, 10M} × threads {1, 2, 4, 8} — and **emits `BENCH_ingest.json`**
 //! at the workspace root (override with the `BENCH_OUT` env var) so CI can
 //! archive the numbers run over run. `"RS+FD[GRR]/tcp"` rows re-measure the
 //! tuple kind with the reports crossing a real loopback socket through the
@@ -32,7 +33,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ldp_core::solutions::{RsFdProtocol, SolutionKind};
+use ldp_core::solutions::{MixedKind, RsFdProtocol, SolutionKind, SolutionReport};
+use ldp_core::{DynSolution, NumericKind};
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolKind;
 use ldp_server::{Envelope, LdpServer, ServerConfig, WireServer};
@@ -63,6 +65,37 @@ fn tuple_of<'a>(uid: u64, ks: &[usize], buf: &'a mut [u32; MAX_D]) -> &'a [u32] 
         buf[j] = (mix3(uid, j as u64, 0xD07) % k as u64) as u32;
     }
     &buf[..ks.len()]
+}
+
+/// Deterministic synthetic normalized record (`[-1, 1]`) for `uid` over
+/// `d_num` continuous attributes, stack-buffered like [`tuple_of`].
+fn numeric_of(uid: u64, d_num: usize, buf: &mut [f64; MAX_D]) -> &[f64] {
+    for (j, slot) in buf.iter_mut().take(d_num).enumerate() {
+        *slot = (mix3(uid, j as u64, 0x117) % 2001) as f64 / 1000.0 - 1.0;
+    }
+    &buf[..d_num]
+}
+
+/// Synthesizes `uid`'s sanitized report for any solution family over `ks`
+/// (zero-cardinality entries are numeric dimensions, which come last in the
+/// bench schemas as in `MixedDataset`).
+fn synth_report(
+    solution: &DynSolution,
+    ks: &[usize],
+    uid: u64,
+    rng: &mut SmallRng,
+) -> SolutionReport {
+    let d_cat = ks.iter().filter(|&&k| k != 0).count();
+    let mut cbuf = [0u32; MAX_D];
+    if d_cat == ks.len() {
+        return solution.report(tuple_of(uid, ks, &mut cbuf), rng);
+    }
+    let mut nbuf = [0.0f64; MAX_D];
+    let cat = tuple_of(uid, &ks[..d_cat], &mut cbuf);
+    let num = numeric_of(uid, ks.len() - d_cat, &mut nbuf);
+    solution
+        .report_mixed(cat, num, rng)
+        .expect("bench numeric values are in range")
 }
 
 /// Streams `n` users through a `threads`-sharded server, fed by
@@ -98,12 +131,11 @@ fn run_once(solution_kind: SolutionKind, ks: &[usize], n: usize, threads: usize)
             scope.spawn(move || {
                 let lo = p * n / producers;
                 let hi = (p + 1) * n / producers;
-                let mut buf = [0u32; MAX_D];
                 server.ingest_batch((lo as u64..hi as u64).map(move |uid| {
                     let mut rng = SmallRng::seed_from_u64(mix3(0xBEAC, uid, BENCH_SALT));
                     Envelope {
                         uid,
-                        report: solution.report(tuple_of(uid, ks, &mut buf), &mut rng),
+                        report: synth_report(solution, ks, uid, &mut rng),
                     }
                 }));
             });
@@ -158,11 +190,10 @@ fn run_once_tcp(
                 let mut client = NetClient::connect(addr, solution).expect("producer connects");
                 let lo = p * n / producers;
                 let hi = (p + 1) * n / producers;
-                let mut buf = [0u32; MAX_D];
                 for uid in lo as u64..hi as u64 {
                     let mut rng = SmallRng::seed_from_u64(mix3(0xBEAC, uid, BENCH_SALT));
                     client
-                        .push(uid, &solution.report(tuple_of(uid, ks, &mut buf), &mut rng))
+                        .push(uid, &synth_report(solution, ks, uid, &mut rng))
                         .expect("push over loopback");
                 }
                 client.finish().expect("drain handshake");
@@ -228,14 +259,25 @@ fn main() {
     };
     let threads: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     // A compact domain keeps the bench measuring channels + absorb, not
-    // cache misses over a huge count table.
-    let ks = [16usize, 8, 5, 4];
+    // cache misses over a huge count table. The mixed kind appends two
+    // numeric dimensions (zero-cardinality entries) to the categorical part.
+    const CAT_KS: [usize; 4] = [16, 8, 5, 4];
+    const MIXED_KS: [usize; 6] = [16, 8, 5, 4, 0, 0];
     // One kind per hot report shape: value tuples, hashed reports (the
-    // domain-sweep counting path), and unary bit vectors.
-    let kinds = [
-        SolutionKind::RsFd(RsFdProtocol::Grr),
-        SolutionKind::Smp(ProtocolKind::Olh),
-        SolutionKind::Spl(ProtocolKind::Oue),
+    // domain-sweep counting path), unary bit vectors, and heterogeneous
+    // categorical + numeric fixed-point entries.
+    let kinds: [(SolutionKind, &[usize]); 4] = [
+        (SolutionKind::RsFd(RsFdProtocol::Grr), &CAT_KS),
+        (SolutionKind::Smp(ProtocolKind::Olh), &CAT_KS),
+        (SolutionKind::Spl(ProtocolKind::Oue), &CAT_KS),
+        (
+            SolutionKind::Mixed(MixedKind {
+                protocol: ProtocolKind::Grr,
+                numeric: NumericKind::Piecewise,
+                sample_k: 2,
+            }),
+            &MIXED_KS,
+        ),
     ];
 
     // Best of nine repetitions per cell (one in smoke mode), with the reps
@@ -246,26 +288,35 @@ fn main() {
     // and the per-cell minimum wall time is the measurement least polluted
     // by scheduler interference.
     let reps = if smoke { 1 } else { 9 };
-    // (kind, n, threads, over_tcp): the in-process matrix, plus loopback-TCP
-    // rows for the tuple kind at the smaller population — enough to track
-    // the wire tier's throughput tax run over run without doubling the
-    // bench's wall time.
-    let mut cells: Vec<(SolutionKind, usize, usize, bool)> = kinds
+    // (kind, ks, n, threads, over_tcp): the in-process matrix, plus
+    // loopback-TCP rows for the tuple and mixed kinds at the smaller
+    // population — enough to track the wire tier's throughput tax run over
+    // run without doubling the bench's wall time.
+    let mut cells: Vec<(SolutionKind, &[usize], usize, usize, bool)> = kinds
         .iter()
-        .flat_map(|&kind| {
+        .flat_map(|&(kind, ks)| {
             sizes
                 .iter()
-                .flat_map(move |&n| threads.iter().map(move |&t| (kind, n, t, false)))
+                .flat_map(move |&n| threads.iter().map(move |&t| (kind, ks, n, t, false)))
         })
         .collect();
-    cells.extend(threads.iter().map(|&t| (kinds[0], sizes[0], t, true)));
+    cells.extend(
+        threads
+            .iter()
+            .map(|&t| (kinds[0].0, kinds[0].1, sizes[0], t, true)),
+    );
+    cells.extend(
+        threads
+            .iter()
+            .map(|&t| (kinds[3].0, kinds[3].1, sizes[0], t, true)),
+    );
     let mut best: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
     for _ in 0..reps {
-        for (slot, &(kind, n, t, over_tcp)) in cells.iter().enumerate() {
+        for (slot, &(kind, ks, n, t, over_tcp)) in cells.iter().enumerate() {
             let m = if over_tcp {
-                run_once_tcp(kind, &ks, n, t)
+                run_once_tcp(kind, ks, n, t)
             } else {
-                run_once(kind, &ks, n, t)
+                run_once(kind, ks, n, t)
             };
             if best[slot]
                 .as_ref()

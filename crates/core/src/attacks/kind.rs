@@ -4,6 +4,7 @@
 
 use ldp_protocols::ProtocolError;
 
+use super::numeric::NumericScenario;
 use super::scenarios::{InferenceScenario, PieScenario, ReidentScenario};
 use super::MAX_METRIC_SLOTS;
 use crate::inference::{AttackClassifier, AttackModel, InferenceOutcome};
@@ -64,6 +65,17 @@ pub struct InferenceConfig {
     pub classifier: AttackClassifier,
 }
 
+/// Configuration of the numeric value-range inference attack against mixed
+/// solutions (see [`NumericScenario`](super::NumericScenario)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericConfig {
+    /// Global dimension index of the attacked numeric attribute (must carry
+    /// the `NUMERIC_DIM` sentinel in the deployed solution's `ks`).
+    pub dim: usize,
+    /// Number of equal-width value-range buckets over `[-1, 1]`.
+    pub buckets: usize,
+}
+
 /// The paper's attacks as a plain enum for sweeps and runtime configuration
 /// — the adversary counterpart of
 /// [`SolutionKind`](crate::solutions::SolutionKind). Build a runnable
@@ -85,6 +97,10 @@ pub struct InferenceConfig {
 /// * [`AttackKind::PieAudit`] — the Appendix C PIE relaxation: which
 ///   attributes a `(U, α)`-PIE server would send in the clear at target
 ///   Bayes error β, and with what ε budgets it randomizes the rest.
+/// * [`AttackKind::NumericValueRange`] — value-range inference against the
+///   numeric dimension of a mixed solution: a per-user Bayes update of the
+///   population value histogram with the Duchi/PM/HM report likelihood,
+///   reporting bucket-placement accuracy against the prior-mode baseline.
 #[derive(Debug, Clone)]
 pub enum AttackKind {
     /// Re-identification with per-`k` RID-ACC.
@@ -96,6 +112,8 @@ pub enum AttackKind {
         /// Target Bayes error probability `β_{U|S}` of Corollary 1.
         beta: f64,
     },
+    /// Numeric value-range inference (mixed solutions only).
+    NumericValueRange(NumericConfig),
 }
 
 impl AttackKind {
@@ -109,6 +127,9 @@ impl AttackKind {
             }
             AttackKind::SampledAttribute(cfg) => format!("AIF[{}]", cfg.model.name()),
             AttackKind::PieAudit { beta } => format!("PIE[beta={beta}]"),
+            AttackKind::NumericValueRange(cfg) => {
+                format!("NUM-VRI[dim={},B={}]", cfg.dim, cfg.buckets)
+            }
         }
     }
 
@@ -182,6 +203,16 @@ impl AttackKind {
                     return Err(ProtocolError::InvalidProbability(*beta));
                 }
             }
+            AttackKind::NumericValueRange(cfg) => {
+                // One bucket would make the attack trivially (and
+                // meaninglessly) 100% accurate.
+                if cfg.buckets < 2 {
+                    return Err(ProtocolError::InvalidPrior {
+                        reason: "numeric value-range inference needs at least 2 buckets"
+                            .to_string(),
+                    });
+                }
+            }
         }
         Ok(match self {
             AttackKind::Reident(cfg) => DynAttack::Reident(ReidentScenario::new(cfg)),
@@ -189,6 +220,9 @@ impl AttackKind {
                 DynAttack::SampledAttribute(InferenceScenario::new(cfg))
             }
             AttackKind::PieAudit { beta } => DynAttack::PieAudit(PieScenario::new(beta)),
+            AttackKind::NumericValueRange(cfg) => {
+                DynAttack::NumericValueRange(NumericScenario::new(cfg))
+            }
         })
     }
 }
@@ -210,6 +244,8 @@ pub enum DynAttack {
     SampledAttribute(InferenceScenario),
     /// See [`PieScenario`].
     PieAudit(PieScenario),
+    /// See [`NumericScenario`].
+    NumericValueRange(NumericScenario),
 }
 
 impl DynAttack {
@@ -219,6 +255,7 @@ impl DynAttack {
             DynAttack::Reident(s) => AttackKind::Reident(s.config().clone()),
             DynAttack::SampledAttribute(s) => AttackKind::SampledAttribute(s.config().clone()),
             DynAttack::PieAudit(s) => AttackKind::PieAudit { beta: s.beta() },
+            DynAttack::NumericValueRange(s) => AttackKind::NumericValueRange(*s.config()),
         }
     }
 
@@ -238,6 +275,7 @@ impl super::Attack for DynAttack {
             DynAttack::Reident(s) => super::Attack::needs_observation(s),
             DynAttack::SampledAttribute(s) => super::Attack::needs_observation(s),
             DynAttack::PieAudit(s) => super::Attack::needs_observation(s),
+            DynAttack::NumericValueRange(s) => super::Attack::needs_observation(s),
         }
     }
 
@@ -250,6 +288,7 @@ impl super::Attack for DynAttack {
             DynAttack::Reident(s) => super::Attack::fit(s, view, rng),
             DynAttack::SampledAttribute(s) => super::Attack::fit(s, view, rng),
             DynAttack::PieAudit(s) => super::Attack::fit(s, view, rng),
+            DynAttack::NumericValueRange(s) => super::Attack::fit(s, view, rng),
         }
     }
 }
@@ -298,6 +337,31 @@ impl PieOutcome {
     }
 }
 
+/// Numeric value-range inference result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericOutcome {
+    /// Fraction (%) of users whose true value landed in the guessed bucket.
+    pub acc: f64,
+    /// Prior-mode baseline (%): the accuracy of an adversary who never reads
+    /// the wire and always guesses the most likely bucket.
+    pub baseline: f64,
+    /// Number of value-range buckets over `[-1, 1]`.
+    pub buckets: usize,
+    /// Number of users evaluated (the full population).
+    pub n_targets: usize,
+    /// How many users' reports actually carried the attacked dimension
+    /// (expected `n·sample_k/d` under sampling).
+    pub n_observed: usize,
+}
+
+impl NumericOutcome {
+    /// Attack lift (% points) over the prior-only adversary — the leakage
+    /// attributable to the LDP reports themselves.
+    pub fn lift(&self) -> f64 {
+        self.acc - self.baseline
+    }
+}
+
 /// One attack result, covering every scenario's report shape — the adversary
 /// counterpart of [`SolutionReport`](crate::solutions::SolutionReport).
 #[derive(Debug, Clone)]
@@ -308,6 +372,8 @@ pub enum AttackOutcome {
     Inference(InferenceOutcome),
     /// PIE pass-through audit.
     Pie(PieOutcome),
+    /// Numeric value-range inference.
+    Numeric(NumericOutcome),
 }
 
 impl AttackOutcome {
@@ -331,6 +397,14 @@ impl AttackOutcome {
     pub fn pie(&self) -> Option<&PieOutcome> {
         match self {
             AttackOutcome::Pie(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The numeric value-range outcome, when this is one.
+    pub fn numeric(&self) -> Option<&NumericOutcome> {
+        match self {
+            AttackOutcome::Numeric(o) => Some(o),
             _ => None,
         }
     }

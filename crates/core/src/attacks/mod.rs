@@ -23,18 +23,20 @@
 //! **bit-identical** for every thread count.
 
 mod kind;
+mod numeric;
 mod scenarios;
 
 pub use kind::{
-    AttackKind, AttackOutcome, BackgroundKnowledge, DynAttack, InferenceConfig, PieOutcome,
-    ReidentConfig, ReidentOutcome,
+    AttackKind, AttackOutcome, BackgroundKnowledge, DynAttack, InferenceConfig, NumericConfig,
+    NumericOutcome, PieOutcome, ReidentConfig, ReidentOutcome,
 };
+pub use numeric::{FittedNumeric, NumericScenario};
 pub use scenarios::{
     FittedInference, FittedPie, FittedReident, InferenceScenario, PieScenario, ReidentEval,
     ReidentScenario,
 };
 
-use ldp_datasets::Dataset;
+use ldp_datasets::{Dataset, MixedDataset};
 use ldp_protocols::hash::mix3;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -54,6 +56,11 @@ pub struct AdversaryView<'a> {
     pub solution: &'a DynSolution,
     /// Every sanitized message of the round (the adversary sees the wire).
     pub observed: &'a [SolutionReport],
+    /// Continuous ground truth for mixed rounds: the numeric attacks need
+    /// the users' true normalized values (and population histograms as
+    /// priors), which the categorical [`Dataset`] cannot carry. `None` for
+    /// purely categorical rounds.
+    pub numeric_truth: Option<&'a MixedDataset>,
 }
 
 /// An attack scenario, object-safe: randomness enters through

@@ -91,6 +91,10 @@ impl ReidentScenario {
                 .collect(),
             DynSolution::RsFd(s) => self.profile_fake_data(s, &extract_tuples(view.observed), rng),
             DynSolution::RsRfd(s) => self.profile_fake_data(s, &extract_tuples(view.observed), rng),
+            DynSolution::Mixed(_) => panic!(
+                "re-identification does not profile mixed numeric rounds; use \
+                 AttackKind::NumericValueRange against mixed solutions"
+            ),
         }
     }
 
@@ -532,6 +536,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let attack = AttackKind::Reident(ReidentConfig::default())
             .build()
@@ -562,6 +567,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let scenario = ReidentScenario::new(ReidentConfig::default());
         let profiles = scenario.profile_round(&view, &mut fit_rng(6));
@@ -581,6 +587,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let attack = AttackKind::Reident(ReidentConfig {
             classifier: logistic(),
@@ -608,6 +615,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let model = AttackModel::NoKnowledge { synth_factor: 1.0 };
         let attack = AttackKind::SampledAttribute(InferenceConfig {
@@ -651,6 +659,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let attack = AttackKind::SampledAttribute(InferenceConfig {
             model: AttackModel::NoKnowledge { synth_factor: 1.0 },
@@ -673,6 +682,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let attack = AttackKind::PieAudit { beta: 0.5 }.build().unwrap();
         let outcome = evaluate_serial(Attack::fit(&attack, &view, &mut fit_rng(18)).as_ref(), 18);
@@ -784,6 +794,7 @@ mod tests {
             dataset: &ds,
             solution: &solution,
             observed: &observed,
+            numeric_truth: None,
         };
         let attack: Box<dyn Attack> = Box::new(
             AttackKind::Reident(ReidentConfig::default())

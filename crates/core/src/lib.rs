@@ -37,6 +37,7 @@ pub mod amplification;
 pub mod attacks;
 pub mod inference;
 pub mod metrics;
+pub mod numeric;
 pub mod pie;
 pub mod profiling;
 pub mod reident;
@@ -44,7 +45,9 @@ pub mod solutions;
 
 pub use amplification::amplify;
 pub use attacks::{Attack, AttackKind, AttackOutcome, DynAttack, FittedAttack};
+pub use numeric::{DynNumeric, NumericKind, NumericOracle, NumericReport};
 pub use solutions::{
-    DynSolution, MultidimAggregator, MultidimReport, MultidimSolution, RsFd, RsFdProtocol, RsRfd,
-    RsRfdProtocol, Smp, SolutionKind, SolutionReport, Spl,
+    DynSolution, Mixed, MixedEntry, MixedKind, MixedReport, MultidimAggregator, MultidimReport,
+    MultidimSolution, RsFd, RsFdProtocol, RsRfd, RsRfdProtocol, Smp, SolutionKind, SolutionReport,
+    Spl, NUMERIC_DIM,
 };

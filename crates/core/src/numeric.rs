@@ -1,0 +1,612 @@
+//! Numeric-dimension mechanisms: ε-LDP mean estimation over `[-1, 1]`.
+//!
+//! The numeric counterpart of `ldp_protocols`' frequency oracles, after
+//! Wang et al., *"Collecting and Analyzing Multidimensional Data with Local
+//! Differential Privacy"* (ICDE 2019): each mechanism perturbs one
+//! `[-1, 1]`-normalized continuous value `t` into an **unbiased** sanitized
+//! value `y` (`E[y | t] = t`), so the population mean is estimated by
+//! averaging reports, with a closed-form per-report variance for analytic
+//! error bands.
+//!
+//! * [`Duchi`] — two-point mechanism: `y ∈ {±C_D}` with
+//!   `C_D = (e^ε + 1)/(e^ε − 1)`; `Var[y|t] = C_D² − t²`.
+//! * [`Piecewise`] — the Piecewise Mechanism (PM): `y ∈ [−C, C]` with
+//!   `C = (e^{ε/2} + 1)/(e^{ε/2} − 1)`, density `e^{ε/2}`-fold higher on a
+//!   length-`(C−1)` window centered so the mechanism stays unbiased;
+//!   `Var[y|t] = t²/(e^{ε/2} − 1) + (e^{ε/2} + 3)/(3 (e^{ε/2} − 1)²)`.
+//! * [`Hybrid`] — mixes PM (probability `α = 1 − e^{−ε/2}`) and Duchi when
+//!   `ε > 0.61`, pure Duchi otherwise; `Var = α·Var_PM + (1−α)·Var_Duchi`.
+//!
+//! ## Fixed-point reports and determinism
+//!
+//! Sanitized values are quantized to a signed 40-bit fixed point
+//! ([`NumericReport`], scale [`NUMERIC_SCALE`]). Aggregation then sums exact
+//! `i128` integers, so sharded and serial aggregation are **bit-identical**
+//! for every thread count — the same merge-determinism contract the
+//! categorical support counts obey. The quantization step (2⁻⁴⁰ ≈ 9·10⁻¹³)
+//! is orders of magnitude below the statistical noise at any population.
+//!
+//! Inputs are validated at the boundary: NaN, ±∞ or out-of-range values are
+//! a typed [`ProtocolError::InvalidNumericInput`], never a silently
+//! corrupted encoding.
+
+use ldp_protocols::{validate_epsilon, ProtocolError};
+use rand::{Rng, RngCore};
+
+/// Fixed-point scale of a [`NumericReport`]: values are stored as
+/// `round(y · 2⁴⁰)`.
+pub const NUMERIC_SCALE: i64 = 1 << 40;
+
+/// Budget threshold below which the Hybrid Mechanism degenerates to pure
+/// Duchi (Wang et al. §3.3: for ε ≤ 0.61 Duchi's variance is never worse).
+pub const HYBRID_SWITCH_EPS: f64 = 0.61;
+
+/// One sanitized numeric report: a `[-C, C]` value quantized to fixed point
+/// so server-side aggregation is exact integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NumericReport(i64);
+
+impl NumericReport {
+    /// Quantizes a sanitized value.
+    pub fn from_f64(y: f64) -> Self {
+        NumericReport((y * NUMERIC_SCALE as f64).round() as i64)
+    }
+
+    /// The sanitized value this report encodes.
+    pub fn value(self) -> f64 {
+        self.0 as f64 / NUMERIC_SCALE as f64
+    }
+
+    /// Raw fixed-point payload (what crosses the wire).
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Rebuilds a report from its raw fixed-point payload.
+    pub fn from_raw(raw: i64) -> Self {
+        NumericReport(raw)
+    }
+}
+
+/// Validates a numeric input at the solution boundary.
+pub fn validate_numeric_input(t: f64) -> Result<(), ProtocolError> {
+    if !t.is_finite() || !(-1.0..=1.0).contains(&t) {
+        return Err(ProtocolError::InvalidNumericInput(t));
+    }
+    Ok(())
+}
+
+/// Common surface of the numeric mechanisms — the numeric counterpart of
+/// `ldp_protocols::FrequencyOracle`. Object-safe: randomness enters
+/// [`NumericOracle::sanitize`] through `&mut dyn RngCore`.
+pub trait NumericOracle {
+    /// Privacy budget ε this mechanism was built with.
+    fn epsilon(&self) -> f64;
+
+    /// Short display name (`"Duchi"`, `"PM"`, `"HM"`).
+    fn name(&self) -> &'static str;
+
+    /// Sanitizes one `[-1, 1]` input into an unbiased fixed-point report.
+    ///
+    /// NaN, ±∞ and out-of-range inputs are a typed
+    /// [`ProtocolError::InvalidNumericInput`].
+    fn sanitize(&self, t: f64, rng: &mut dyn RngCore) -> Result<NumericReport, ProtocolError>;
+
+    /// Closed-form per-report variance `Var[y | t]`.
+    fn variance(&self, t: f64) -> f64;
+
+    /// Largest magnitude the mechanism can output (`C`); every valid report
+    /// satisfies `|y| ≤ bound()` and the wire layer rejects anything beyond.
+    fn bound(&self) -> f64;
+
+    /// Likelihood of observing sanitized value `y` given true value `t`
+    /// (probability mass for Duchi's two-point output, density for PM's
+    /// continuum, the natural mixture for HM). The adversary's Bayes update
+    /// only ever uses ratios across `t`, for which the dominating measure
+    /// cancels.
+    fn likelihood(&self, y: f64, t: f64) -> f64;
+}
+
+/// Duchi et al.'s two-point mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duchi {
+    epsilon: f64,
+    /// Output magnitude `C_D = (e^ε + 1)/(e^ε − 1)`.
+    c: f64,
+}
+
+impl Duchi {
+    /// Builds the mechanism for budget `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self, ProtocolError> {
+        validate_epsilon(epsilon)?;
+        let e = epsilon.exp();
+        Ok(Duchi {
+            epsilon,
+            c: (e + 1.0) / (e - 1.0),
+        })
+    }
+
+    /// Probability of the positive pole `+C_D` given input `t`.
+    fn p_plus(&self, t: f64) -> f64 {
+        let e = self.epsilon.exp();
+        0.5 + t * (e - 1.0) / (2.0 * (e + 1.0))
+    }
+}
+
+impl NumericOracle for Duchi {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn name(&self) -> &'static str {
+        "Duchi"
+    }
+
+    fn sanitize(&self, t: f64, rng: &mut dyn RngCore) -> Result<NumericReport, ProtocolError> {
+        validate_numeric_input(t)?;
+        let y = if rng.random::<f64>() < self.p_plus(t) {
+            self.c
+        } else {
+            -self.c
+        };
+        Ok(NumericReport::from_f64(y))
+    }
+
+    fn variance(&self, t: f64) -> f64 {
+        self.c * self.c - t * t
+    }
+
+    fn bound(&self) -> f64 {
+        self.c
+    }
+
+    fn likelihood(&self, y: f64, t: f64) -> f64 {
+        if y > 0.0 {
+            self.p_plus(t)
+        } else {
+            1.0 - self.p_plus(t)
+        }
+    }
+}
+
+/// The Piecewise Mechanism (Wang et al. §3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Piecewise {
+    epsilon: f64,
+    /// `e^{ε/2}`.
+    s: f64,
+    /// Output magnitude `C = (e^{ε/2} + 1)/(e^{ε/2} − 1)`.
+    c: f64,
+}
+
+impl Piecewise {
+    /// Builds the mechanism for budget `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self, ProtocolError> {
+        validate_epsilon(epsilon)?;
+        let s = (epsilon / 2.0).exp();
+        Ok(Piecewise {
+            epsilon,
+            s,
+            c: (s + 1.0) / (s - 1.0),
+        })
+    }
+
+    /// The high-density window `[ℓ(t), r(t)]` (length `C − 1`).
+    fn window(&self, t: f64) -> (f64, f64) {
+        let ell = (self.c + 1.0) / 2.0 * t - (self.c - 1.0) / 2.0;
+        (ell, ell + self.c - 1.0)
+    }
+}
+
+impl NumericOracle for Piecewise {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn name(&self) -> &'static str {
+        "PM"
+    }
+
+    fn sanitize(&self, t: f64, rng: &mut dyn RngCore) -> Result<NumericReport, ProtocolError> {
+        validate_numeric_input(t)?;
+        let (ell, r) = self.window(t);
+        // With probability e^{ε/2}/(e^{ε/2}+1) draw from the window, else
+        // uniformly from the complement [−C, ℓ) ∪ (r, C] (total length C+1).
+        let y = if rng.random::<f64>() < self.s / (self.s + 1.0) {
+            ell + rng.random::<f64>() * (r - ell)
+        } else {
+            let v = rng.random::<f64>() * (self.c + 1.0);
+            let left = ell + self.c;
+            if v < left {
+                -self.c + v
+            } else {
+                r + (v - left)
+            }
+        };
+        Ok(NumericReport::from_f64(y))
+    }
+
+    fn variance(&self, t: f64) -> f64 {
+        t * t / (self.s - 1.0) + (self.s + 3.0) / (3.0 * (self.s - 1.0) * (self.s - 1.0))
+    }
+
+    fn bound(&self) -> f64 {
+        self.c
+    }
+
+    fn likelihood(&self, y: f64, t: f64) -> f64 {
+        if y.abs() > self.c {
+            return 0.0;
+        }
+        let (ell, r) = self.window(t);
+        if (ell..=r).contains(&y) {
+            self.s / ((self.s + 1.0) * (self.c - 1.0))
+        } else {
+            1.0 / ((self.s + 1.0) * (self.c + 1.0))
+        }
+    }
+}
+
+/// The Hybrid Mechanism (Wang et al. §3.3): a per-report coin between PM and
+/// Duchi, tuned so the worst-case variance beats both components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hybrid {
+    epsilon: f64,
+    /// Probability of taking the PM branch (0 for ε ≤ 0.61).
+    alpha: f64,
+    duchi: Duchi,
+    pm: Piecewise,
+}
+
+impl Hybrid {
+    /// Builds the mechanism for budget `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self, ProtocolError> {
+        validate_epsilon(epsilon)?;
+        let alpha = if epsilon > HYBRID_SWITCH_EPS {
+            1.0 - (-epsilon / 2.0).exp()
+        } else {
+            0.0
+        };
+        Ok(Hybrid {
+            epsilon,
+            alpha,
+            duchi: Duchi::new(epsilon)?,
+            pm: Piecewise::new(epsilon)?,
+        })
+    }
+
+    /// The PM-branch probability `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl NumericOracle for Hybrid {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn name(&self) -> &'static str {
+        "HM"
+    }
+
+    fn sanitize(&self, t: f64, rng: &mut dyn RngCore) -> Result<NumericReport, ProtocolError> {
+        validate_numeric_input(t)?;
+        if rng.random::<f64>() < self.alpha {
+            self.pm.sanitize(t, rng)
+        } else {
+            self.duchi.sanitize(t, rng)
+        }
+    }
+
+    fn variance(&self, t: f64) -> f64 {
+        self.alpha * self.pm.variance(t) + (1.0 - self.alpha) * self.duchi.variance(t)
+    }
+
+    fn bound(&self) -> f64 {
+        if self.alpha > 0.0 {
+            // C_PM > C_Duchi for every ε (the PM window is priced at ε/2).
+            self.pm.bound()
+        } else {
+            self.duchi.bound()
+        }
+    }
+
+    fn likelihood(&self, y: f64, t: f64) -> f64 {
+        // Duchi's atoms ±C_D carry the (1−α) mass; PM's continuum carries
+        // the rest. A quantized PM draw landing exactly on ±C_D has
+        // probability ~2⁻⁴⁰ and is ignored.
+        if (y.abs() - self.duchi.bound()).abs() < 1e-9 {
+            (1.0 - self.alpha) * self.duchi.likelihood(y, t)
+        } else {
+            self.alpha * self.pm.likelihood(y, t)
+        }
+    }
+}
+
+/// The numeric mechanism families, as a plain enum for sweeps and runtime
+/// configuration (the numeric counterpart of `ProtocolKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumericKind {
+    /// Duchi et al.'s two-point mechanism.
+    Duchi,
+    /// The Piecewise Mechanism.
+    Piecewise,
+    /// The Hybrid Mechanism (PM/Duchi mixture).
+    Hybrid,
+}
+
+impl NumericKind {
+    /// Every numeric mechanism, for sweeps.
+    pub const ALL: [NumericKind; 3] = [
+        NumericKind::Duchi,
+        NumericKind::Piecewise,
+        NumericKind::Hybrid,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NumericKind::Duchi => "Duchi",
+            NumericKind::Piecewise => "PM",
+            NumericKind::Hybrid => "HM",
+        }
+    }
+
+    /// Stable per-mechanism tag mixed into the wire fingerprint.
+    pub fn tag(self) -> u64 {
+        match self {
+            NumericKind::Duchi => 1,
+            NumericKind::Piecewise => 2,
+            NumericKind::Hybrid => 3,
+        }
+    }
+
+    /// Builds the mechanism for budget `epsilon`.
+    pub fn build(self, epsilon: f64) -> Result<DynNumeric, ProtocolError> {
+        Ok(match self {
+            NumericKind::Duchi => DynNumeric::Duchi(Duchi::new(epsilon)?),
+            NumericKind::Piecewise => DynNumeric::Piecewise(Piecewise::new(epsilon)?),
+            NumericKind::Hybrid => DynNumeric::Hybrid(Hybrid::new(epsilon)?),
+        })
+    }
+}
+
+impl std::fmt::Display for NumericKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Enum dispatcher over the concrete numeric mechanisms (the counterpart of
+/// `ldp_protocols::Oracle`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynNumeric {
+    /// See [`Duchi`].
+    Duchi(Duchi),
+    /// See [`Piecewise`].
+    Piecewise(Piecewise),
+    /// See [`Hybrid`].
+    Hybrid(Hybrid),
+}
+
+impl DynNumeric {
+    /// The mechanism family of this instance.
+    pub fn kind(&self) -> NumericKind {
+        match self {
+            DynNumeric::Duchi(_) => NumericKind::Duchi,
+            DynNumeric::Piecewise(_) => NumericKind::Piecewise,
+            DynNumeric::Hybrid(_) => NumericKind::Hybrid,
+        }
+    }
+}
+
+impl NumericOracle for DynNumeric {
+    fn epsilon(&self) -> f64 {
+        match self {
+            DynNumeric::Duchi(m) => m.epsilon(),
+            DynNumeric::Piecewise(m) => m.epsilon(),
+            DynNumeric::Hybrid(m) => m.epsilon(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    fn sanitize(&self, t: f64, rng: &mut dyn RngCore) -> Result<NumericReport, ProtocolError> {
+        match self {
+            DynNumeric::Duchi(m) => m.sanitize(t, rng),
+            DynNumeric::Piecewise(m) => m.sanitize(t, rng),
+            DynNumeric::Hybrid(m) => m.sanitize(t, rng),
+        }
+    }
+
+    fn variance(&self, t: f64) -> f64 {
+        match self {
+            DynNumeric::Duchi(m) => m.variance(t),
+            DynNumeric::Piecewise(m) => m.variance(t),
+            DynNumeric::Hybrid(m) => m.variance(t),
+        }
+    }
+
+    fn bound(&self) -> f64 {
+        match self {
+            DynNumeric::Duchi(m) => m.bound(),
+            DynNumeric::Piecewise(m) => m.bound(),
+            DynNumeric::Hybrid(m) => m.bound(),
+        }
+    }
+
+    fn likelihood(&self, y: f64, t: f64) -> f64 {
+        match self {
+            DynNumeric::Duchi(m) => m.likelihood(y, t),
+            DynNumeric::Piecewise(m) => m.likelihood(y, t),
+            DynNumeric::Hybrid(m) => m.likelihood(y, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mechanisms(eps: f64) -> Vec<DynNumeric> {
+        NumericKind::ALL
+            .iter()
+            .map(|k| k.build(eps).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn construction_rejects_bad_epsilon() {
+        for kind in NumericKind::ALL {
+            assert!(kind.build(0.0).is_err(), "{kind}: eps = 0");
+            assert!(kind.build(-1.0).is_err(), "{kind}: eps < 0");
+            assert!(kind.build(f64::NAN).is_err(), "{kind}: eps NaN");
+        }
+    }
+
+    #[test]
+    fn sanitize_rejects_non_finite_and_out_of_range_inputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for mech in mechanisms(1.0) {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0001, -1.5] {
+                assert!(
+                    matches!(
+                        mech.sanitize(bad, &mut rng),
+                        Err(ProtocolError::InvalidNumericInput(_))
+                    ),
+                    "{} accepted {bad}",
+                    mech.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reports_respect_the_output_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for eps in [0.3, 0.61, 1.0, 4.0] {
+            for mech in mechanisms(eps) {
+                for i in 0..2000 {
+                    let t = -1.0 + 2.0 * (i as f64 / 1999.0);
+                    let y = mech.sanitize(t, &mut rng).unwrap().value();
+                    assert!(
+                        y.abs() <= mech.bound() + 1e-9,
+                        "{} eps={eps}: |{y}| > {}",
+                        mech.name(),
+                        mech.bound()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mechanisms_are_unbiased_within_5_sigma() {
+        // E[y | t] = t for each mechanism; at n draws the empirical mean
+        // must land within 5·sqrt(Var(t)/n) of t.
+        let n = 200_000;
+        for eps in [0.5, 1.0, 2.0] {
+            for mech in mechanisms(eps) {
+                for t in [-0.8f64, -0.2, 0.0, 0.4, 0.9] {
+                    let mut rng = StdRng::seed_from_u64(0x5EED ^ eps.to_bits() ^ t.to_bits());
+                    let mut sum = 0i128;
+                    for _ in 0..n {
+                        sum += i128::from(mech.sanitize(t, &mut rng).unwrap().raw());
+                    }
+                    let mean = sum as f64 / NUMERIC_SCALE as f64 / n as f64;
+                    let tol = 5.0 * (mech.variance(t) / n as f64).sqrt();
+                    assert!(
+                        (mean - t).abs() <= tol,
+                        "{} eps={eps} t={t}: mean {mean:.5} off by {:.5} > {tol:.5}",
+                        mech.name(),
+                        (mean - t).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_variance_matches_analytic_variance() {
+        let n = 200_000usize;
+        for mech in mechanisms(1.5) {
+            let t = 0.3;
+            let mut rng = StdRng::seed_from_u64(0x7A12_5EED);
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..n {
+                let y = mech.sanitize(t, &mut rng).unwrap().value();
+                sum += y;
+                sumsq += y * y;
+            }
+            let mean = sum / n as f64;
+            let var = sumsq / n as f64 - mean * mean;
+            let analytic = mech.variance(t);
+            // The sample variance of n iid draws concentrates tightly; 5%
+            // relative slack is far beyond 5σ at n = 200k.
+            assert!(
+                (var - analytic).abs() / analytic < 0.05,
+                "{}: empirical {var:.4} vs analytic {analytic:.4}",
+                mech.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_interpolates_between_pm_and_duchi() {
+        let hm = Hybrid::new(2.0).unwrap();
+        let pm = Piecewise::new(2.0).unwrap();
+        let duchi = Duchi::new(2.0).unwrap();
+        for t in [-0.7, 0.0, 0.5] {
+            let v = hm.variance(t);
+            let lo = pm.variance(t).min(duchi.variance(t));
+            let hi = pm.variance(t).max(duchi.variance(t));
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+        // Below the switch threshold HM is exactly Duchi.
+        let hm_low = Hybrid::new(0.5).unwrap();
+        assert_eq!(hm_low.alpha(), 0.0);
+        assert_eq!(hm_low.variance(0.3), Duchi::new(0.5).unwrap().variance(0.3));
+        assert_eq!(hm_low.bound(), Duchi::new(0.5).unwrap().bound());
+    }
+
+    #[test]
+    fn pm_likelihood_integrates_to_one() {
+        let pm = Piecewise::new(1.2).unwrap();
+        for t in [-0.9, 0.0, 0.6] {
+            let steps = 200_000;
+            let h = 2.0 * pm.bound() / steps as f64;
+            let total: f64 = (0..steps)
+                .map(|i| pm.likelihood(-pm.bound() + (i as f64 + 0.5) * h, t) * h)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-3, "t={t}: integral {total}");
+        }
+    }
+
+    #[test]
+    fn duchi_probabilities_are_valid_and_monotone_in_t() {
+        let duchi = Duchi::new(1.0).unwrap();
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let t = -1.0 + 0.1 * i as f64;
+            let p = duchi.p_plus(t);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_is_exact_on_raw_values() {
+        for raw in [0i64, 1, -1, 77_777, -NUMERIC_SCALE * 3, NUMERIC_SCALE] {
+            assert_eq!(NumericReport::from_raw(raw).raw(), raw);
+        }
+        let y = 0.123456789;
+        assert!((NumericReport::from_f64(y).value() - y).abs() < 2.0 / NUMERIC_SCALE as f64);
+    }
+}

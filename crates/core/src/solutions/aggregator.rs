@@ -35,6 +35,9 @@
 use ldp_protocols::oracle::count_support;
 use ldp_protocols::{FrequencyOracle, Oracle, Report};
 
+use crate::numeric::{DynNumeric, NUMERIC_SCALE};
+
+use super::mixed::{MixedEntry, MixedReport};
 use super::rsfd::RsFdProtocol;
 use super::rsrfd::RsRfdProtocol;
 use super::smp::SmpReport;
@@ -71,6 +74,17 @@ pub(crate) enum EstimatorSpec {
         pqs: Vec<(f64, f64)>,
         /// Per-attribute fake-data priors `f̃`.
         priors: Vec<Vec<f64>>,
+    },
+    /// Mixed categorical+numeric: per-dimension Eq. (2) for categorical
+    /// dims over their own `n_j`, exact fixed-point means for numeric dims.
+    Mixed {
+        /// Per-dimension `(ε / sample_k)`-budget oracles (None for numeric
+        /// dims).
+        oracles: Vec<Option<Oracle>>,
+        /// The numeric mechanism (at `ε / sample_k`).
+        numeric: DynNumeric,
+        /// Dimensions sampled per user.
+        sample_k: usize,
     },
 }
 
@@ -115,6 +129,31 @@ impl EstimatorSpec {
                     priors: rb,
                 },
             ) => pa == pb && qa == qb && ra == rb,
+            (
+                EstimatorSpec::Mixed {
+                    oracles: oa,
+                    numeric: na,
+                    sample_k: ka,
+                },
+                EstimatorSpec::Mixed {
+                    oracles: ob,
+                    numeric: nb,
+                    sample_k: kb,
+                },
+            ) => {
+                na == nb
+                    && ka == kb
+                    && oa.len() == ob.len()
+                    && oa.iter().zip(ob).all(|(x, y)| match (x, y) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => {
+                            x.kind() == y.kind()
+                                && x.domain_size() == y.domain_size()
+                                && x.epsilon() == y.epsilon()
+                        }
+                        _ => false,
+                    })
+            }
             _ => false,
         }
     }
@@ -188,11 +227,15 @@ pub struct MultidimAggregator {
     ks: Vec<usize>,
     /// Support counts `C_j(v)`, one vector per attribute.
     counts: Vec<Vec<u64>>,
-    /// Reports contributing to each attribute. Maintained only under SMP,
-    /// where each report covers a single disclosed attribute; every other
-    /// solution's reports cover all attributes, so their per-attribute count
-    /// is just `n`.
+    /// Reports contributing to each attribute. Maintained under SMP and the
+    /// mixed solution, where each report covers a subset of the dimensions;
+    /// every other solution's reports cover all attributes, so their
+    /// per-attribute count is just `n`.
     n_attr: Vec<u64>,
+    /// Exact fixed-point sums of numeric-dimension reports (mixed solution
+    /// only; always zero for categorical dims). `i128` cannot overflow:
+    /// |report| ≤ C·2^40 ≲ 2^50 even at tiny ε, so ~2^77 reports fit.
+    num_sums: Vec<i128>,
     /// Total reports absorbed.
     n: u64,
     spec: EstimatorSpec,
@@ -202,13 +245,23 @@ impl MultidimAggregator {
     pub(crate) fn new(ks: Vec<usize>, spec: EstimatorSpec) -> Self {
         let counts = ks.iter().map(|&k| vec![0u64; k]).collect();
         let n_attr = vec![0; ks.len()];
+        let num_sums = vec![0; ks.len()];
         MultidimAggregator {
             ks,
             counts,
             n_attr,
+            num_sums,
             n: 0,
             spec,
         }
+    }
+
+    /// Whether dimension `j` is a numeric `[-1, 1]` dimension (mixed
+    /// solution only; always false elsewhere). Numeric dimensions estimate a
+    /// single mean instead of a frequency vector and must not be projected
+    /// onto the probability simplex.
+    pub fn is_numeric_dim(&self, j: usize) -> bool {
+        matches!(&self.spec, EstimatorSpec::Mixed { oracles, .. } if oracles[j].is_none())
     }
 
     /// Domain sizes `k_j`.
@@ -226,6 +279,13 @@ impl MultidimAggregator {
         &self.counts
     }
 
+    /// Exact fixed-point report sums per dimension (non-zero only on the
+    /// numeric dimensions of a mixed solution). Exposed so equivalence tests
+    /// can assert bit-exact numeric aggregation, not just estimates.
+    pub fn num_sums(&self) -> &[i128] {
+        &self.num_sums
+    }
+
     /// Absorbs any solution's report, dispatching on its shape.
     ///
     /// # Panics
@@ -237,6 +297,44 @@ impl MultidimAggregator {
             SolutionReport::Full(reports) => self.absorb_full(reports),
             SolutionReport::Smp(report) => self.absorb_smp(report),
             SolutionReport::Tuple(report) => self.absorb_tuple(report),
+            SolutionReport::Mixed(report) => self.absorb_mixed(report),
+        }
+    }
+
+    /// Absorbs one mixed categorical+numeric report: each disclosed
+    /// dimension's entry is counted (categorical) or summed exactly in fixed
+    /// point (numeric).
+    pub fn absorb_mixed(&mut self, report: &MixedReport) {
+        let EstimatorSpec::Mixed {
+            oracles, sample_k, ..
+        } = &self.spec
+        else {
+            panic!("absorb_mixed: this aggregator does not serve mixed reports");
+        };
+        assert_eq!(
+            report.entries.len(),
+            *sample_k,
+            "mixed report must carry exactly sample_k entries"
+        );
+        self.n += 1;
+        for (j, entry) in &report.entries {
+            assert!(*j < self.ks.len(), "dimension index out of range");
+            self.n_attr[*j] += 1;
+            match entry {
+                MixedEntry::Cat(rep) => {
+                    let oracle = oracles[*j]
+                        .as_ref()
+                        .expect("categorical entry on a numeric dimension");
+                    count_support(oracle, &mut self.counts[*j], rep);
+                }
+                MixedEntry::Num(y) => {
+                    assert!(
+                        oracles[*j].is_none(),
+                        "numeric entry on a categorical dimension"
+                    );
+                    self.num_sums[*j] += y.raw() as i128;
+                }
+            }
         }
     }
 
@@ -312,6 +410,39 @@ impl MultidimAggregator {
                         super::compact::count_entry(counts, None, j, &mut cursor);
                     }
                 }
+                (3, EstimatorSpec::Mixed { oracles, .. }) => {
+                    // `a` = number of entries; validated against sample_k by
+                    // `CompactBatch::validate_for`.
+                    self.n += 1;
+                    for _ in 0..a {
+                        let dim_word = cursor.next();
+                        let subtag = dim_word & 0b11;
+                        let j = (dim_word >> 2) as usize;
+                        assert!(j < self.ks.len(), "dimension index out of range");
+                        self.n_attr[j] += 1;
+                        match subtag {
+                            0 => {
+                                let oracle = oracles[j]
+                                    .as_ref()
+                                    .expect("categorical entry on a numeric dimension");
+                                super::compact::count_entry(
+                                    &mut self.counts[j],
+                                    Some(oracle),
+                                    j,
+                                    &mut cursor,
+                                );
+                            }
+                            1 => {
+                                assert!(
+                                    oracles[j].is_none(),
+                                    "numeric entry on a categorical dimension"
+                                );
+                                self.num_sums[j] += (cursor.next() as i64) as i128;
+                            }
+                            other => panic!("absorb_compact: invalid mixed subtag {other}"),
+                        }
+                    }
+                }
                 (kind, _) => panic!(
                     "absorb_compact: batch entry kind {kind} does not match this \
                      aggregator's solution"
@@ -348,6 +479,9 @@ impl MultidimAggregator {
         for (a, b) in self.n_attr.iter_mut().zip(&other.n_attr) {
             *a += b;
         }
+        for (a, b) in self.num_sums.iter_mut().zip(&other.num_sums) {
+            *a += b;
+        }
         for (ca, cb) in self.counts.iter_mut().zip(&other.counts) {
             for (a, b) in ca.iter_mut().zip(cb) {
                 *a += b;
@@ -381,6 +515,37 @@ impl MultidimAggregator {
         match &self.spec {
             EstimatorSpec::Spl { oracles } => eq2(oracles, &|_| self.n),
             EstimatorSpec::Smp { oracles } => eq2(oracles, &|j| self.n_attr[j]),
+            EstimatorSpec::Mixed { oracles, .. } => self
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(j, cj)| {
+                    let nj = self.n_attr[j];
+                    match &oracles[j] {
+                        // Numeric dimension: the mean of unbiased per-report
+                        // values, computed from the exact fixed-point sum.
+                        // Length-1 row = a single mean, not a frequency
+                        // vector.
+                        None => {
+                            if nj == 0 {
+                                return vec![0.0];
+                            }
+                            vec![self.num_sums[j] as f64 / NUMERIC_SCALE as f64 / nj as f64]
+                        }
+                        // Categorical dimension: Eq. (2) over its own n_j.
+                        Some(oracle) => {
+                            if nj == 0 {
+                                return vec![0.0; cj.len()];
+                            }
+                            let n = nj as f64;
+                            let p = oracle.est_p();
+                            let q = oracle.est_q();
+                            let denom = p - q;
+                            cj.iter().map(|&c| (c as f64 / n - q) / denom).collect()
+                        }
+                    }
+                })
+                .collect(),
             EstimatorSpec::RsFd { protocol, pqs } => {
                 let n = self.n as f64;
                 let d = self.ks.len() as f64;
@@ -458,11 +623,20 @@ impl MultidimAggregator {
     }
 
     /// [`MultidimAggregator::estimate`] projected onto the probability
-    /// simplex per attribute.
+    /// simplex per attribute. Numeric dimensions of a mixed solution are a
+    /// mean in `[-1, 1]`, not a frequency vector, and pass through clamped
+    /// instead of being projected.
     pub fn estimate_normalized(&self) -> Vec<Vec<f64>> {
         self.estimate()
             .iter()
-            .map(|e| ldp_protocols::oracle::normalize_simplex(e))
+            .enumerate()
+            .map(|(j, e)| {
+                if self.is_numeric_dim(j) {
+                    e.iter().map(|&m| m.clamp(-1.0, 1.0)).collect()
+                } else {
+                    ldp_protocols::oracle::normalize_simplex(e)
+                }
+            })
             .collect()
     }
 }

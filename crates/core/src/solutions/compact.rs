@@ -24,24 +24,36 @@
 //!     kind 0 = Full  (a = d)           → d entries follow
 //!     kind 1 = Smp   (a = attr)        → 1 entry follows
 //!     kind 2 = Tuple (a = d, b = sampled) → d entries follow
+//!     kind 3 = Mixed (a = entries)     → a dimension-tagged entries follow
 //! entry header:   tag(2 bits) | payload(bits 2..)
 //!     tag 0 = Value  (payload = v)     → no extra words
 //!     tag 1 = Hashed                   → words: seed, g | value << 32
 //!     tag 2 = Subset (payload = len)   → ⌈len/2⌉ words, two u32 each
 //!     tag 3 = Bits   (payload = nbits) → ⌈nbits/64⌉ BitVec blocks, verbatim
+//! mixed entry:    subtag(2 bits) | dim(bits 2..), then:
+//!     subtag 0 = categorical           → one standard entry follows
+//!     subtag 1 = numeric               → one word: fixed-point i64 as u64
+//!     subtags 2/3 are invalid (BadSolutionKind)
 //! ```
 //!
 //! [`MultidimAggregator::absorb_compact`]: super::MultidimAggregator::absorb_compact
 
 use ldp_protocols::{BitVec, FrequencyOracle, Oracle, Report};
 
-use super::kind::SolutionKind;
+use crate::numeric::{NumericOracle, NumericReport, NUMERIC_SCALE};
+
+use super::kind::{DynSolution, SolutionKind};
+use super::mixed::{MixedEntry, MixedReport, NUMERIC_DIM};
 use super::smp::SmpReport;
 use super::{MultidimReport, SolutionReport};
 
 const KIND_FULL: u64 = 0;
 const KIND_SMP: u64 = 1;
 const KIND_TUPLE: u64 = 2;
+const KIND_MIXED: u64 = 3;
+
+const SUBTAG_CAT: u64 = 0;
+const SUBTAG_NUM: u64 = 1;
 
 const TAG_VALUE: u64 = 0;
 const TAG_HASHED: u64 = 1;
@@ -157,6 +169,21 @@ impl CompactBatch {
                     self.push_entry(rep);
                 }
             }
+            SolutionReport::Mixed(MixedReport { entries }) => {
+                self.words.push(KIND_MIXED | ((entries.len() as u64) << 2));
+                for (j, entry) in entries {
+                    match entry {
+                        MixedEntry::Cat(rep) => {
+                            self.words.push(SUBTAG_CAT | ((*j as u64) << 2));
+                            self.push_entry(rep);
+                        }
+                        MixedEntry::Num(y) => {
+                            self.words.push(SUBTAG_NUM | ((*j as u64) << 2));
+                            self.words.push(y.raw() as u64);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -205,6 +232,22 @@ impl CompactBatch {
                 KIND_TUPLE => SolutionReport::Tuple(MultidimReport {
                     values: (0..a).map(|_| cursor.decode_entry()).collect(),
                     sampled: b,
+                }),
+                KIND_MIXED => SolutionReport::Mixed(MixedReport {
+                    entries: (0..a)
+                        .map(|_| {
+                            let dim_word = cursor.next();
+                            let j = (dim_word >> 2) as usize;
+                            match dim_word & 0b11 {
+                                SUBTAG_CAT => (j, MixedEntry::Cat(cursor.decode_entry())),
+                                SUBTAG_NUM => (
+                                    j,
+                                    MixedEntry::Num(NumericReport::from_raw(cursor.next() as i64)),
+                                ),
+                                other => unreachable!("corrupt mixed subtag {other}"),
+                            }
+                        })
+                        .collect(),
                 }),
                 other => unreachable!("corrupt solution header kind {other}"),
             };
@@ -303,6 +346,44 @@ impl CompactBatch {
     pub fn validate_for(&self, kind: SolutionKind, ks: &[usize]) -> Result<(), CompactDecodeError> {
         walk_words(&self.words, self.uids.len(), Some((kind, ks)))
     }
+
+    /// [`CompactBatch::validate_for`] plus the solution-instance checks only
+    /// a built solution can supply. For mixed solutions this bounds every
+    /// numeric entry's magnitude by the mechanism's output bound (Duchi/PM/HM
+    /// reports all lie in `[-C, C]`), so a forged fixed-point payload cannot
+    /// drag a mean estimate arbitrarily far — the numeric analogue of the
+    /// categorical `Value < k_j` domain rule.
+    pub fn validate_for_solution(&self, solution: &DynSolution) -> Result<(), CompactDecodeError> {
+        self.validate_for(solution.kind(), solution.ks())?;
+        let DynSolution::Mixed(mixed) = solution else {
+            return Ok(());
+        };
+        // One rounding step of slack: a legitimate boundary report quantizes
+        // to at most round(C · 2^40).
+        let bound_raw = (mixed.numeric_oracle().bound() * NUMERIC_SCALE as f64).round() as i64 + 1;
+        let mut cursor = self.cursor();
+        while !cursor.done() {
+            // Structure already validated above: every header is kind 3 with
+            // `a` well-formed dimension-tagged entries.
+            let (_, a, _) = cursor.solution_header();
+            for _ in 0..a {
+                let dim_word = cursor.next();
+                let j = (dim_word >> 2) as usize;
+                if dim_word & 0b11 == SUBTAG_NUM {
+                    let raw = cursor.next() as i64;
+                    if raw.abs() > bound_raw {
+                        return Err(CompactDecodeError::Domain(format!(
+                            "dim {j}: numeric report {raw} exceeds the mechanism bound \
+                             {bound_raw}"
+                        )));
+                    }
+                } else {
+                    cursor.skip_entry();
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Shared structural (and optionally domain) validation walk over a batch's
@@ -322,7 +403,7 @@ fn walk_words(
         let a = ((header >> 2) & 0x7FFF_FFFF) as usize;
         let b = (header >> 33) as usize;
         let entries = match kind {
-            KIND_FULL | KIND_TUPLE => a,
+            KIND_FULL | KIND_TUPLE | KIND_MIXED => a,
             KIND_SMP => 1,
             other => return Err(CompactDecodeError::BadSolutionKind(other)),
         };
@@ -333,6 +414,7 @@ fn walk_words(
                 (SolutionKind::Smp(_), KIND_SMP) if a < d => {}
                 (SolutionKind::RsFd(_) | SolutionKind::RsRfd(_), KIND_TUPLE) if a == d && b < d => {
                 }
+                (SolutionKind::Mixed(m), KIND_MIXED) if a == m.sample_k && a <= d && b == 0 => {}
                 _ => {
                     return Err(CompactDecodeError::Domain(format!(
                         "report header (kind {kind}, a {a}, b {b}) does not fit {} over d = {d}",
@@ -340,6 +422,53 @@ fn walk_words(
                     )))
                 }
             }
+        }
+        if kind == KIND_MIXED {
+            // Dimension-tagged entries: each is a dim word (subtag | j << 2)
+            // followed by a standard categorical entry or one numeric word.
+            let mut prev_dim: Option<usize> = None;
+            for _ in 0..entries {
+                let dim_word = *words.get(pos).ok_or(CompactDecodeError::TruncatedWords)?;
+                pos += 1;
+                let subtag = dim_word & 0b11;
+                let j = (dim_word >> 2) as usize;
+                if let Some((_, ks)) = check {
+                    if j >= ks.len() {
+                        return Err(CompactDecodeError::Domain(format!(
+                            "mixed entry dimension {j} outside d = {}",
+                            ks.len()
+                        )));
+                    }
+                    if prev_dim.is_some_and(|p| j <= p) {
+                        return Err(CompactDecodeError::Domain(format!(
+                            "mixed entry dimensions must be strictly ascending, got {j} after \
+                             {prev_dim:?}"
+                        )));
+                    }
+                    prev_dim = Some(j);
+                    let is_numeric = ks[j] == NUMERIC_DIM;
+                    if (subtag == SUBTAG_NUM) != is_numeric {
+                        return Err(CompactDecodeError::Domain(format!(
+                            "mixed entry subtag {subtag} does not match dimension {j} \
+                             (k_j = {})",
+                            ks[j]
+                        )));
+                    }
+                }
+                match subtag {
+                    SUBTAG_CAT => {
+                        pos = walk_entry(words, pos, check.map(|(s, ks)| (s, ks[j], j)))?;
+                    }
+                    SUBTAG_NUM => {
+                        if pos >= words.len() {
+                            return Err(CompactDecodeError::TruncatedWords);
+                        }
+                        pos += 1;
+                    }
+                    other => return Err(CompactDecodeError::BadSolutionKind(other)),
+                }
+            }
+            continue;
         }
         for entry in 0..entries {
             // The attribute this entry estimates for: position for
@@ -466,10 +595,23 @@ impl<'a> Cursor<'a> {
         self.pos >= self.words.len()
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         let w = self.words[self.pos];
         self.pos += 1;
         w
+    }
+
+    /// Advances past one standard entry without materializing it.
+    fn skip_entry(&mut self) {
+        let header = self.next();
+        let payload = header >> 2;
+        match header & 0b11 {
+            TAG_VALUE => {}
+            TAG_HASHED => self.pos += 2,
+            TAG_SUBSET => self.pos += (payload as usize).div_ceil(2),
+            TAG_BITS => self.pos += (payload as usize).div_ceil(64),
+            other => unreachable!("corrupt entry tag {other}"),
+        }
     }
 
     /// Reads a solution header, returning `(kind, a, b)` per the wire format.
@@ -760,16 +902,14 @@ mod tests {
 
     #[test]
     fn corrupt_words_are_structurally_rejected() {
+        // A header flipped to the mixed kind no longer fits the SPL solution
+        // the receiver built — `validate_for` is the gate.
         let batch = sample_batch(SolutionKind::Spl(ProtocolKind::Olh), &[4, 3], 8, 5);
-        let mut bytes = Vec::new();
-        batch.encode_into(&mut bytes);
-        // Flip the first solution header to the reserved kind 3.
-        let first_word = 16 + 8 * batch.len();
-        let mut corrupt = bytes.clone();
-        corrupt[first_word] |= 0b11;
+        let mut corrupt = batch.clone();
+        corrupt.words[0] |= 0b11;
         assert!(matches!(
-            CompactBatch::decode_from(&corrupt),
-            Err(CompactDecodeError::BadSolutionKind(3))
+            corrupt.validate_for(SolutionKind::Spl(ProtocolKind::Olh), &[4, 3]),
+            Err(CompactDecodeError::Domain(_))
         ));
         // A dirty padding bit past a bit-vector's width is caught before it
         // can trip `BitVec::from_blocks` on the decode path.
@@ -782,6 +922,145 @@ mod tests {
             CompactBatch::decode_from(&bytes),
             Err(CompactDecodeError::DirtyBitPadding)
         ));
+    }
+
+    const MIXED_KS: [usize; 4] = [5, 0, 3, 0];
+
+    fn mixed_kind(sample_k: usize) -> SolutionKind {
+        SolutionKind::Mixed(super::super::MixedKind {
+            protocol: ProtocolKind::Grr,
+            numeric: crate::numeric::NumericKind::Piecewise,
+            sample_k,
+        })
+    }
+
+    fn sample_mixed_batch(n: u64, seed: u64, eps: f64, sample_k: usize) -> CompactBatch {
+        let solution = mixed_kind(sample_k).build(&MIXED_KS, eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = CompactBatch::new();
+        for uid in 0..n {
+            let cat = [(uid as u32) % 5, (uid as u32) % 3];
+            let num = [(uid % 19) as f64 / 9.5 - 1.0, (uid % 7) as f64 / 3.5 - 1.0];
+            batch.push(uid, &solution.report_mixed(&cat, &num, &mut rng).unwrap());
+        }
+        batch
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(40))]
+
+        /// Mixed categorical+numeric reports survive push → bytes → decode →
+        /// iter unchanged, and validate against their own solution.
+        #[test]
+        fn mixed_reports_roundtrip(
+            n in 0u64..40,
+            seed in 0u64..1_000,
+            sample_k in 1usize..5,
+        ) {
+            let solution = mixed_kind(sample_k).build(&MIXED_KS, 2.0).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reports: Vec<(u64, SolutionReport)> = (0..n)
+                .map(|uid| {
+                    let cat = [(uid as u32) % 5, (uid as u32) % 3];
+                    let num = [(uid % 19) as f64 / 9.5 - 1.0, (uid % 7) as f64 / 3.5 - 1.0];
+                    (uid, solution.report_mixed(&cat, &num, &mut rng).unwrap())
+                })
+                .collect();
+            let mut batch = CompactBatch::new();
+            for (uid, report) in &reports {
+                batch.push(*uid, report);
+            }
+            let decoded_reports: Vec<_> = batch.iter().collect();
+            proptest::prop_assert_eq!(&decoded_reports, &reports);
+            let mut bytes = Vec::new();
+            batch.encode_into(&mut bytes);
+            proptest::prop_assert_eq!(bytes.len(), batch.encoded_len());
+            let decoded = CompactBatch::decode_from(&bytes).unwrap();
+            proptest::prop_assert_eq!(&decoded, &batch);
+            proptest::prop_assert!(decoded.validate_for(mixed_kind(sample_k), &MIXED_KS).is_ok());
+            proptest::prop_assert!(decoded.validate_for_solution(&solution).is_ok());
+        }
+    }
+
+    #[test]
+    fn mixed_batches_reject_foreign_shapes_and_corruption() {
+        let batch = sample_mixed_batch(6, 9, 2.0, 4);
+        // Shape gates in both directions.
+        assert!(matches!(
+            batch.validate_for(SolutionKind::Spl(ProtocolKind::Grr), &MIXED_KS),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        let spl = sample_batch(SolutionKind::Spl(ProtocolKind::Grr), &[4, 3], 5, 2);
+        assert!(matches!(
+            spl.validate_for(mixed_kind(2), &[4, 0]),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        // Wrong sample_k: the entry count must match the solution.
+        assert!(batch.validate_for(mixed_kind(2), &MIXED_KS).is_err());
+        // An invalid subtag is structurally rejected, with or without a
+        // target solution.
+        let mut corrupt = batch.clone();
+        corrupt.words[1] = (corrupt.words[1] & !0b11) | 0b10;
+        let mut bytes = Vec::new();
+        corrupt.encode_into(&mut bytes);
+        assert!(matches!(
+            CompactBatch::decode_from(&bytes),
+            Err(CompactDecodeError::BadSolutionKind(2))
+        ));
+        assert!(corrupt.validate_for(mixed_kind(4), &MIXED_KS).is_err());
+        // A subtag that contradicts the schema (numeric entry on a
+        // categorical dimension) is a domain error.
+        let solution = mixed_kind(4).build(&MIXED_KS, 2.0).unwrap();
+        let mut swapped = batch.clone();
+        // dim word for dimension 0 (categorical, GRR value entry follows).
+        assert_eq!(swapped.words[1] & 0b11, 0);
+        swapped.words[1] |= 0b01;
+        assert!(matches!(
+            swapped.validate_for(mixed_kind(4), &MIXED_KS),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        // A forged numeric payload far past the mechanism bound passes the
+        // structural walk but not the solution-instance magnitude gate.
+        let mut forged = batch.clone();
+        // words: [header, dim0, value0, dim1, raw1, ...] — words[4] is the
+        // first numeric fixed-point payload.
+        assert_eq!(forged.words[3] & 0b11, 1);
+        forged.words[4] = (i64::MAX / 2) as u64;
+        assert!(forged.validate_for(mixed_kind(4), &MIXED_KS).is_ok());
+        assert!(matches!(
+            forged.validate_for_solution(&solution),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        // The untampered batch passes both gates.
+        assert!(batch.validate_for_solution(&solution).is_ok());
+    }
+
+    #[test]
+    fn mixed_absorb_compact_matches_decoded_absorb() {
+        let solution = mixed_kind(3).build(&MIXED_KS, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut batch = CompactBatch::new();
+        for uid in 0..500u64 {
+            let cat = [(uid as u32) % 5, (uid as u32) % 3];
+            let num = [(uid % 19) as f64 / 9.5 - 1.0, (uid % 7) as f64 / 3.5 - 1.0];
+            batch.push(uid, &solution.report_mixed(&cat, &num, &mut rng).unwrap());
+        }
+        let mut compact_agg = solution.aggregator();
+        compact_agg.absorb_compact(&batch);
+        let mut decoded_agg = solution.aggregator();
+        for (_, report) in batch.iter() {
+            decoded_agg.absorb(&report);
+        }
+        assert_eq!(compact_agg.n(), decoded_agg.n());
+        assert_eq!(compact_agg.counts(), decoded_agg.counts());
+        for (a, b) in compact_agg
+            .estimate()
+            .iter()
+            .flatten()
+            .zip(decoded_agg.estimate().iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use ldp_protocols::{ProtocolError, ProtocolKind, Report};
 use rand::RngCore;
 
+use super::mixed::{Mixed, MixedKind, MixedReport};
 use super::rsfd::{RsFd, RsFdProtocol};
 use super::rsrfd::{RsRfd, RsRfdProtocol};
 use super::smp::{Smp, SmpReport};
@@ -25,6 +26,9 @@ pub enum SolutionReport {
     /// RS+FD / RS+RFD: a full fake-data tuple with a hidden sampled
     /// attribute.
     Tuple(MultidimReport),
+    /// Mixed categorical+numeric: `sample_k` disclosed dimensions, each with
+    /// a frequency-oracle or fixed-point numeric entry.
+    Mixed(MixedReport),
 }
 
 /// The four collection solutions of the paper, as a plain enum for sweeps
@@ -40,6 +44,9 @@ pub enum SolutionKind {
     /// RS+RFD with the given protocol (priors via
     /// [`SolutionKind::build_with_priors`], uniform otherwise).
     RsRfd(RsRfdProtocol),
+    /// Mixed categorical+numeric sample-`k`-of-`d` collection (numeric
+    /// dimensions marked with cardinality 0 in `ks`).
+    Mixed(MixedKind),
 }
 
 impl SolutionKind {
@@ -50,6 +57,12 @@ impl SolutionKind {
             SolutionKind::Smp(kind) => format!("SMP[{}]", kind.name()),
             SolutionKind::RsFd(protocol) => protocol.name(),
             SolutionKind::RsRfd(protocol) => protocol.name(),
+            SolutionKind::Mixed(m) => format!(
+                "MIXED[{}+{},k={}]",
+                m.protocol.name(),
+                m.numeric.name(),
+                m.sample_k
+            ),
         }
     }
 
@@ -66,6 +79,7 @@ impl SolutionKind {
                 let uniform: Vec<Vec<f64>> = ks.iter().map(|&k| vec![1.0 / k as f64; k]).collect();
                 DynSolution::RsRfd(RsRfd::new(protocol, ks, epsilon, uniform)?)
             }
+            SolutionKind::Mixed(m) => DynSolution::Mixed(Mixed::new(m, ks, epsilon)?),
         })
     }
 
@@ -108,6 +122,8 @@ pub enum DynSolution {
     RsFd(RsFd),
     /// See [`RsRfd`].
     RsRfd(RsRfd),
+    /// See [`Mixed`].
+    Mixed(Mixed),
 }
 
 impl DynSolution {
@@ -118,6 +134,7 @@ impl DynSolution {
             DynSolution::Smp(s) => SolutionKind::Smp(s.kind()),
             DynSolution::RsFd(s) => SolutionKind::RsFd(s.protocol()),
             DynSolution::RsRfd(s) => SolutionKind::RsRfd(s.protocol()),
+            DynSolution::Mixed(s) => SolutionKind::Mixed(s.mixed_kind()),
         }
     }
 
@@ -138,6 +155,7 @@ impl DynSolution {
             DynSolution::Smp(s) => s.ks(),
             DynSolution::RsFd(s) => s.ks(),
             DynSolution::RsRfd(s) => s.ks(),
+            DynSolution::Mixed(s) => s.ks(),
         }
     }
 
@@ -148,6 +166,7 @@ impl DynSolution {
             DynSolution::Smp(s) => s.epsilon(),
             DynSolution::RsFd(s) => s.epsilon(),
             DynSolution::RsRfd(s) => s.epsilon(),
+            DynSolution::Mixed(s) => s.epsilon(),
         }
     }
 
@@ -159,17 +178,46 @@ impl DynSolution {
             DynSolution::Smp(s) => s.epsilon(),
             DynSolution::RsFd(s) => s.epsilon_amplified(),
             DynSolution::RsRfd(s) => s.epsilon_amplified(),
+            DynSolution::Mixed(s) => s.epsilon_per_dim(),
         }
     }
 
     /// Client-side sanitization of one user tuple. Randomness enters through
     /// `&mut dyn RngCore`, keeping this callable behind any object boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`DynSolution::Mixed`], whose user tuples carry numeric
+    /// values a `&[u32]` cannot express — mixed producers must call
+    /// [`DynSolution::report_mixed`] instead.
     pub fn report(&self, tuple: &[u32], rng: &mut dyn RngCore) -> SolutionReport {
         match self {
             DynSolution::Spl(s) => SolutionReport::Full(s.report(tuple, rng)),
             DynSolution::Smp(s) => SolutionReport::Smp(s.report(tuple, rng)),
             DynSolution::RsFd(s) => SolutionReport::Tuple(s.report_dyn(tuple, rng)),
             DynSolution::RsRfd(s) => SolutionReport::Tuple(s.report_dyn(tuple, rng)),
+            DynSolution::Mixed(_) => {
+                panic!("mixed solutions sanitize via DynSolution::report_mixed")
+            }
+        }
+    }
+
+    /// Client-side sanitization of one heterogeneous user tuple: categorical
+    /// values in `cat` (dimension order), normalized `[-1, 1]` numeric values
+    /// in `num` (dimension order). The purely categorical solutions require
+    /// `num` to be empty and delegate to [`DynSolution::report`].
+    pub fn report_mixed(
+        &self,
+        cat: &[u32],
+        num: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> Result<SolutionReport, ProtocolError> {
+        match self {
+            DynSolution::Mixed(s) => Ok(SolutionReport::Mixed(s.report_mixed_dyn(cat, num, rng)?)),
+            _ if !num.is_empty() => Err(ProtocolError::ReportMismatch {
+                expected: "categorical solution given numeric values",
+            }),
+            _ => Ok(self.report(cat, rng)),
         }
     }
 
@@ -181,6 +229,7 @@ impl DynSolution {
             DynSolution::Smp(s) => s.aggregator(),
             DynSolution::RsFd(s) => s.aggregator(),
             DynSolution::RsRfd(s) => s.aggregator(),
+            DynSolution::Mixed(s) => s.aggregator(),
         }
     }
 
@@ -216,6 +265,12 @@ impl From<RsFd> for DynSolution {
 impl From<RsRfd> for DynSolution {
     fn from(s: RsRfd) -> Self {
         DynSolution::RsRfd(s)
+    }
+}
+
+impl From<Mixed> for DynSolution {
+    fn from(s: Mixed) -> Self {
+        DynSolution::Mixed(s)
     }
 }
 
@@ -318,5 +373,55 @@ mod tests {
             SolutionKind::RsRfd(RsRfdProtocol::Grr).name(),
             "RS+RFD[GRR]"
         );
+        assert_eq!(
+            SolutionKind::Mixed(MixedKind {
+                protocol: ProtocolKind::Grr,
+                numeric: crate::numeric::NumericKind::Piecewise,
+                sample_k: 2,
+            })
+            .name(),
+            "MIXED[GRR+PM,k=2]"
+        );
+    }
+
+    #[test]
+    fn mixed_kind_builds_and_reports_through_dyn_surface() {
+        let kind = SolutionKind::Mixed(MixedKind {
+            protocol: ProtocolKind::Grr,
+            numeric: crate::numeric::NumericKind::Hybrid,
+            sample_k: 2,
+        });
+        let ks = [4usize, 0, 3];
+        let solution = kind.build(&ks, 1.5).unwrap();
+        assert_eq!(solution.kind(), kind);
+        assert_eq!(solution.ks(), &ks[..]);
+        assert!((solution.epsilon_per_report() - 0.75).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = solution.report_mixed(&[1, 2], &[0.5], &mut rng).unwrap();
+        assert!(matches!(report, SolutionReport::Mixed(r) if r.entries.len() == 2));
+        // Categorical solutions still flow through report_mixed, but reject
+        // numeric values.
+        let spl = SolutionKind::Spl(ProtocolKind::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        assert!(matches!(
+            spl.report_mixed(&[1, 2], &[], &mut rng),
+            Ok(SolutionReport::Full(_))
+        ));
+        assert!(spl.report_mixed(&[1, 2], &[0.5], &mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "report_mixed")]
+    fn plain_report_panics_for_mixed() {
+        let solution = SolutionKind::Mixed(MixedKind {
+            protocol: ProtocolKind::Grr,
+            numeric: crate::numeric::NumericKind::Duchi,
+            sample_k: 1,
+        })
+        .build(&[4, 0], 1.0)
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        solution.report(&[1], &mut rng);
     }
 }

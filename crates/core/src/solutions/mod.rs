@@ -12,6 +12,7 @@
 mod aggregator;
 mod compact;
 mod kind;
+mod mixed;
 mod rsfd;
 mod rsrfd;
 mod smp;
@@ -20,6 +21,7 @@ mod spl;
 pub use aggregator::MultidimAggregator;
 pub use compact::{CompactBatch, CompactDecodeError};
 pub use kind::{DynSolution, SolutionKind, SolutionReport};
+pub use mixed::{Mixed, MixedEntry, MixedKind, MixedReport, NUMERIC_DIM};
 pub use rsfd::{RsFd, RsFdProtocol};
 pub use rsrfd::{RsRfd, RsRfdProtocol};
 pub use smp::{Smp, SmpReport};

@@ -26,10 +26,12 @@ pub mod corpora;
 pub mod csv;
 pub mod dataset;
 pub mod generator;
+pub mod mixed;
 pub mod priors;
 pub mod schema;
 
 pub use dataset::Dataset;
 pub use generator::{GeneratorConfig, LatentClassGenerator};
+pub use mixed::{MixedDataset, NumericAttribute};
 pub use priors::{correct_priors, IncorrectPrior};
 pub use schema::{Attribute, Schema};

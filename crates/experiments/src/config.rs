@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use ldp_datasets::corpora;
-use ldp_datasets::Dataset;
+use ldp_datasets::{mixed, Dataset, MixedDataset};
 use ldp_gbdt::GbdtParams;
 
 /// Shared configuration of all experiment binaries.
@@ -68,6 +68,16 @@ impl ExpConfig {
         corpora::nursery_like(
             self.scaled(corpora::NURSERY_N, 1500),
             self.seed ^ (run << 8) ^ 0x9925,
+        )
+    }
+
+    /// MixedSurvey corpus (categorical survey plus age / hours-per-week
+    /// continuous attributes) at the configured scale — the bed of the
+    /// numeric-dimension extension experiments.
+    pub fn mixed_survey(&self, run: u64) -> MixedDataset {
+        mixed::mixed_survey_like(
+            self.scaled(mixed::MIXED_SURVEY_N, 1500),
+            self.seed ^ (run << 8) ^ 0x317ED,
         )
     }
 

@@ -32,6 +32,7 @@ pub mod cli;
 pub mod config;
 pub mod manifest;
 pub mod mse;
+pub mod numeric;
 pub mod registry;
 pub mod runner;
 pub mod serve;

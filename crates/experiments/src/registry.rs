@@ -163,11 +163,15 @@ pub enum ExperimentKind {
     AblationClassifier,
     /// Ablation: top-k sensitivity of the re-identification decision.
     AblationTopk,
+    /// Extension: mean-estimation MSE of the numeric mechanisms vs ε.
+    NumericMse,
+    /// Extension: NUM-VRI value-range inference risk vs ε.
+    NumericRisk,
 }
 
 impl ExperimentKind {
     /// Every experiment, in presentation order.
-    pub const ALL: [ExperimentKind; 17] = [
+    pub const ALL: [ExperimentKind; 19] = [
         ExperimentKind::Fig01,
         ExperimentKind::Fig02,
         ExperimentKind::Fig03,
@@ -185,6 +189,8 @@ impl ExperimentKind {
         ExperimentKind::Fig17,
         ExperimentKind::AblationClassifier,
         ExperimentKind::AblationTopk,
+        ExperimentKind::NumericMse,
+        ExperimentKind::NumericRisk,
     ];
 
     /// Stable identifier, equal to `build().id()`.
@@ -276,6 +282,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::Fig17 => "fig17",
             ExperimentKind::AblationClassifier => "ablation_classifier",
             ExperimentKind::AblationTopk => "ablation_topk",
+            ExperimentKind::NumericMse => "numeric_mse",
+            ExperimentKind::NumericRisk => "numeric_risk",
         }
     }
 
@@ -298,6 +306,12 @@ impl Experiment for DynExperiment {
             ExperimentKind::Fig17 => "AIF-ACC on ACSEmployment vs RS+RFD (incorrect priors)",
             ExperimentKind::AblationClassifier => "inference-attack classifier family ablation",
             ExperimentKind::AblationTopk => "re-identification top-k sensitivity ablation",
+            ExperimentKind::NumericMse => {
+                "mean-estimation MSE of Duchi/PM/HM in a mixed k-of-d collection"
+            }
+            ExperimentKind::NumericRisk => {
+                "NUM-VRI value-range inference accuracy vs the numeric mechanisms"
+            }
         }
     }
 
@@ -320,6 +334,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::Fig17 => "Appendix E, Fig. 17",
             ExperimentKind::AblationClassifier => "DESIGN.md ablation (Fig. 3 setting)",
             ExperimentKind::AblationTopk => "DESIGN.md ablation (Fig. 2 setting)",
+            ExperimentKind::NumericMse => "extension (§7 outlook): numeric utility",
+            ExperimentKind::NumericRisk => "extension (§7 outlook): numeric risk",
         }
     }
 
@@ -342,6 +358,7 @@ impl Experiment for DynExperiment {
             | ExperimentKind::Fig17
             | ExperimentKind::AblationClassifier => &["ACSEmployment"],
             ExperimentKind::Fig15 => &["Nursery"],
+            ExperimentKind::NumericMse | ExperimentKind::NumericRisk => &["MixedSurvey"],
         }
     }
 
@@ -369,6 +386,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::Fig17 => &["fig17.csv"],
             ExperimentKind::AblationClassifier => &["ablation_classifier.csv"],
             ExperimentKind::AblationTopk => &["ablation_topk.csv"],
+            ExperimentKind::NumericMse => &["numeric_mse.csv"],
+            ExperimentKind::NumericRisk => &["numeric_risk.csv"],
         }
     }
 
@@ -393,6 +412,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::Fig17 => 100.0,
             ExperimentKind::AblationClassifier => 70.0,
             ExperimentKind::AblationTopk => 80.0,
+            ExperimentKind::NumericMse => 40.0,
+            ExperimentKind::NumericRisk => 85.0,
         }
     }
 
@@ -415,6 +436,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::Fig17 => crate::fig17::run(cfg),
             ExperimentKind::AblationClassifier => crate::ablation::run_classifier(cfg),
             ExperimentKind::AblationTopk => crate::ablation::run_topk(cfg),
+            ExperimentKind::NumericMse => crate::numeric::run_mse(cfg),
+            ExperimentKind::NumericRisk => crate::numeric::run_risk(cfg),
         }
     }
 }

@@ -30,6 +30,9 @@ pub enum ProtocolError {
     },
     /// A parameter that must lie in `(0, 1)` (e.g. a probability) was not.
     InvalidProbability(f64),
+    /// A numeric input to a `[-1, 1]` mechanism was NaN, infinite or outside
+    /// the normalized range.
+    InvalidNumericInput(f64),
 }
 
 impl fmt::Display for ProtocolError {
@@ -52,6 +55,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::InvalidProbability(p) => {
                 write!(f, "probability must lie in (0, 1), got {p}")
+            }
+            ProtocolError::InvalidNumericInput(t) => {
+                write!(f, "numeric input must be finite and in [-1, 1], got {t}")
             }
         }
     }

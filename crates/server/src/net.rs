@@ -269,16 +269,18 @@ fn drive_connection(
         }
     }
 
-    let kind = server.solution().kind();
-    let ks = server.solution().ks().to_vec();
+    let solution = server.solution().clone();
     let mut ingested = 0u64;
     loop {
         match read_frame(&mut reader) {
             Ok(Frame::Batch(batch)) => {
                 // Validate the *whole* frame before ingesting any of it:
                 // frames are atomic, so a malformed one is rejected without
-                // a single envelope reaching a shard.
-                if let Err(e) = batch.validate_for(kind, &ks) {
+                // a single envelope reaching a shard. The solution-instance
+                // check additionally bounds numeric fixed-point magnitudes
+                // for mixed batches (a forged huge report would otherwise
+                // poison the exact sums).
+                if let Err(e) = batch.validate_for_solution(&solution) {
                     let e = WireError::Batch(e);
                     abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
                     return Err(e);

@@ -36,10 +36,9 @@ impl ServerSnapshot {
             // Zero-users edge: a valid, honest snapshot (see field docs).
             estimates.iter().map(|e| vec![0.0; e.len()]).collect()
         } else {
-            estimates
-                .iter()
-                .map(|e| ldp_protocols::oracle::normalize_simplex(e))
-                .collect()
+            // Simplex projection per categorical attribute; numeric means of
+            // a mixed solution are clamped to [-1, 1] instead.
+            aggregator.estimate_normalized()
         };
         ServerSnapshot {
             n: aggregator.n(),

@@ -241,7 +241,8 @@ impl From<&ServerSnapshot> for WireSnapshot {
 }
 
 /// Fingerprint of a solution's wire-relevant configuration (family name,
-/// domain sizes, ε). HELLO/HELLO_ACK exchange it so a producer sanitizing
+/// domain sizes, ε — and for mixed solutions the numeric mechanism and
+/// sample budget). HELLO/HELLO_ACK exchange it so a producer sanitizing
 /// for a different solution — which would silently bias every estimate —
 /// is rejected at handshake instead of poisoning the aggregate.
 pub fn solution_fingerprint(solution: &DynSolution) -> u64 {
@@ -251,6 +252,15 @@ pub fn solution_fingerprint(solution: &DynSolution) -> u64 {
     }
     for b in solution.name().bytes() {
         h = mix2(h, u64::from(b));
+    }
+    // The heterogeneous schema (0-sentinel dimensions) is already folded via
+    // `ks`; pin the numeric mechanism and per-user budget split explicitly so
+    // the handshake rejects a producer randomizing the same schema with a
+    // different mechanism even if display names ever collide.
+    if let DynSolution::Mixed(m) = solution {
+        let mk = m.mixed_kind();
+        h = mix2(h, mk.numeric.tag());
+        h = mix2(h, mk.sample_k as u64);
     }
     h
 }

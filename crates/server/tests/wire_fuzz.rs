@@ -7,7 +7,9 @@
 use std::io::Write;
 use std::net::TcpStream;
 
-use ldp_core::solutions::{CompactBatch, RsFdProtocol, SolutionKind};
+use ldp_core::solutions::{CompactBatch, MixedKind, RsFdProtocol, SolutionKind};
+use ldp_core::NumericKind;
+use ldp_protocols::ProtocolKind;
 use ldp_server::wire::{
     encode_frame, read_frame, solution_fingerprint, write_frame, Frame, WireError, WireSnapshot,
 };
@@ -48,6 +50,38 @@ fn session_bytes(seed: u64, reports: u64) -> Vec<u8> {
     stream
 }
 
+/// A valid mixed-solution session's byte stream (heterogeneous schema with
+/// numeric dimensions) to mutate.
+fn mixed_session_bytes(seed: u64, reports: u64) -> Vec<u8> {
+    let solution = SolutionKind::Mixed(MixedKind {
+        protocol: ProtocolKind::Grr,
+        numeric: NumericKind::Piecewise,
+        sample_k: 2,
+    })
+    .build(&[5, 3, 0, 0], 1.5)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::new();
+    let mut buf = Vec::new();
+    let mut frames = vec![Frame::Hello {
+        fingerprint: solution_fingerprint(&solution),
+    }];
+    let mut batch = CompactBatch::new();
+    for uid in 0..reports {
+        let report = solution
+            .report_mixed(&[1, 2], &[0.25, -0.5], &mut rng)
+            .unwrap();
+        batch.push(uid, &report);
+    }
+    frames.push(Frame::Batch(batch));
+    frames.push(Frame::Drain);
+    for frame in &frames {
+        encode_frame(frame, &mut buf);
+        stream.extend_from_slice(&buf);
+    }
+    stream
+}
+
 /// Reads frames until the stream errors or ends; the property under test is
 /// simply that this terminates without panicking.
 fn drain_stream(bytes: &[u8]) -> (usize, Option<WireError>) {
@@ -60,6 +94,58 @@ fn drain_stream(bytes: &[u8]) -> (usize, Option<WireError>) {
             Err(e) => return (decoded, Some(e)),
         }
     }
+}
+
+/// The HELLO fingerprint separates mixed solutions that differ only in the
+/// numeric mechanism or the per-user sample budget, and a live server
+/// rejects such a producer at handshake.
+#[test]
+fn mixed_fingerprint_covers_numeric_mechanism_and_schema() {
+    let build = |numeric, sample_k| {
+        SolutionKind::Mixed(MixedKind {
+            protocol: ProtocolKind::Grr,
+            numeric,
+            sample_k,
+        })
+        .build(&[5, 3, 0, 0], 1.5)
+        .unwrap()
+    };
+    let pm = build(NumericKind::Piecewise, 2);
+    let duchi = build(NumericKind::Duchi, 2);
+    let pm_k1 = build(NumericKind::Piecewise, 1);
+    assert_ne!(
+        solution_fingerprint(&pm),
+        solution_fingerprint(&duchi),
+        "numeric mechanism must be part of the fingerprint"
+    );
+    assert_ne!(
+        solution_fingerprint(&pm),
+        solution_fingerprint(&pm_k1),
+        "sample budget must be part of the fingerprint"
+    );
+
+    // A producer sanitizing with Duchi must not get past HELLO on a PM
+    // server: the mismatch would silently bias every numeric mean.
+    let server = WireServer::bind("127.0.0.1:0", pm, ServerConfig::default().shards(2)).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            fingerprint: solution_fingerprint(&duchi),
+        },
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    match read_frame(&mut reader).unwrap() {
+        Frame::Abort { message, .. } => assert!(
+            message.contains("fingerprint"),
+            "abort should name the fingerprint mismatch: {message}"
+        ),
+        other => panic!("expected ABORT at handshake, got {other:?}"),
+    }
+    assert_eq!(server.finish().n, 0);
 }
 
 proptest! {
@@ -105,6 +191,23 @@ proptest! {
     fn garbage_streams_fail_typed(
         bytes in prop::collection::vec(0u8..255, 0..512),
     ) {
+        drain_stream(&bytes);
+    }
+
+    /// Mixed-solution sessions (numeric fixed-point entries on the wire) are
+    /// as mutation-robust as categorical ones: flips decode to typed errors
+    /// or valid frames, never a panic.
+    #[test]
+    fn mutated_mixed_streams_never_panic(
+        seed in 0u64..50,
+        reports in 0u64..60,
+        flips in prop::collection::vec((0usize..4096, 1u8..255), 1..12),
+    ) {
+        let mut bytes = mixed_session_bytes(seed, reports);
+        for &(pos, xor) in &flips {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= xor;
+        }
         drain_stream(&bytes);
     }
 

@@ -44,7 +44,7 @@ use ldp_core::attacks::{
 };
 use ldp_core::profiling::Profile;
 use ldp_core::reident::{MatchScratch, ReidentAttack};
-use ldp_datasets::Dataset;
+use ldp_datasets::{Dataset, MixedDataset};
 use ldp_protocols::ProtocolError;
 
 use crate::par;
@@ -132,6 +132,37 @@ impl AttackPipeline {
             dataset,
             solution: collection.solution(),
             observed: &observed,
+            numeric_truth: None,
+        };
+        let fitted = self.attack.fit(&view, &mut attacks::fit_rng(self.seed));
+        let outcome = self.evaluate(fitted.as_ref());
+        AttackRun {
+            outcome,
+            collection: crun,
+            fitted,
+        }
+    }
+
+    /// [`AttackPipeline::run`] over a mixed categorical + continuous round:
+    /// the collection pass sanitizes through
+    /// [`CollectionPipeline::run_mixed`] and the adversary's view carries the
+    /// continuous ground truth, so numeric attacks
+    /// ([`AttackKind::NumericValueRange`]) can fit their priors.
+    ///
+    /// # Panics
+    /// Panics when the mixed dataset does not match the collection solution,
+    /// or when the configured attack cannot run against mixed rounds.
+    pub fn run_mixed(&self, collection: &CollectionPipeline, mixed: &MixedDataset) -> AttackRun {
+        let (crun, observed) = if self.attack.needs_observation() {
+            collection.run_with_observation_mixed(mixed)
+        } else {
+            (collection.run_mixed(mixed), Vec::new())
+        };
+        let view = AdversaryView {
+            dataset: mixed.cat(),
+            solution: collection.solution(),
+            observed: &observed,
+            numeric_truth: Some(mixed),
         };
         let fitted = self.attack.fit(&view, &mut attacks::fit_rng(self.seed));
         let outcome = self.evaluate(fitted.as_ref());
@@ -345,6 +376,44 @@ mod tests {
             AttackPipeline::from_kind(AttackKind::Reident(ReidentConfig::default())).unwrap();
         let accs = pipeline.rid_acc(&index, &[]);
         assert_eq!(accs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sharded_numeric_attack_is_bit_identical_to_serial() {
+        use ldp_core::attacks::NumericConfig;
+        use ldp_core::solutions::MixedKind;
+        use ldp_core::NumericKind;
+        let mixed = ldp_datasets::mixed::mixed_survey_like(800, 13);
+        let collection = CollectionPipeline::from_kind(
+            SolutionKind::Mixed(MixedKind {
+                protocol: ProtocolKind::Grr,
+                numeric: NumericKind::Piecewise,
+                sample_k: 2,
+            }),
+            &mixed.ks(),
+            4.0,
+        )
+        .unwrap()
+        .seed(7)
+        .threads(3);
+        let pipeline = AttackPipeline::from_kind(AttackKind::NumericValueRange(NumericConfig {
+            dim: 4,
+            buckets: 4,
+        }))
+        .unwrap()
+        .seed(7);
+        let run = pipeline.clone().threads(1).run_mixed(&collection, &mixed);
+        let serial = evaluate_serial(run.fitted.as_ref(), 7);
+        assert_eq!(run.collection.n, 800);
+        for threads in [2usize, 8] {
+            let sharded = pipeline
+                .clone()
+                .threads(threads)
+                .evaluate(run.fitted.as_ref());
+            let (a, b) = (serial.numeric().unwrap(), sharded.numeric().unwrap());
+            assert_eq!(a.n_targets, b.n_targets);
+            assert_eq!(a.acc.to_bits(), b.acc.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -28,8 +28,8 @@
 //! assert_eq!(run.estimates.len(), dataset.d());
 //! ```
 
-use ldp_core::solutions::{DynSolution, MultidimAggregator, SolutionKind};
-use ldp_datasets::Dataset;
+use ldp_core::solutions::{DynSolution, MultidimAggregator, SolutionKind, SolutionReport};
+use ldp_datasets::{Dataset, MixedDataset};
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolError;
 use ldp_server::{Envelope, LdpServer, ServerConfig, ServerSnapshot};
@@ -126,8 +126,32 @@ impl CollectionPipeline {
     /// Panics when the dataset's attribute count differs from the
     /// solution's.
     pub fn run(&self, dataset: &Dataset) -> CollectionRun {
+        self.assert_dataset(dataset);
+        self.run_source(dataset.n(), self.dataset_reporter(dataset))
+    }
+
+    /// [`CollectionPipeline::run`] over a mixed categorical + continuous
+    /// dataset: each user's categorical row and normalized numeric row are
+    /// sanitized together through [`DynSolution::report_mixed`]. Identical
+    /// determinism contract (per-user [`user_rng`] streams, exact shard
+    /// merge).
+    ///
+    /// # Panics
+    /// Panics when the dataset's heterogeneous `ks` differ from the
+    /// solution's (the solution must be a mixed one).
+    pub fn run_mixed(&self, mixed: &MixedDataset) -> CollectionRun {
+        self.assert_mixed(mixed);
+        self.run_source(mixed.n(), self.mixed_reporter(mixed))
+    }
+
+    fn run_source(
+        &self,
+        n: usize,
+        report: impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync,
+    ) -> CollectionRun {
         let shards = self.sanitize_shards(
-            dataset,
+            n,
+            report,
             || self.solution.aggregator(),
             |agg, report| agg.absorb(&report),
         );
@@ -143,12 +167,33 @@ impl CollectionPipeline {
     /// # Panics
     /// Panics when the dataset's attribute count differs from the
     /// solution's.
-    pub fn run_with_observation(
+    pub fn run_with_observation(&self, dataset: &Dataset) -> (CollectionRun, Vec<SolutionReport>) {
+        self.assert_dataset(dataset);
+        self.run_with_observation_source(dataset.n(), self.dataset_reporter(dataset))
+    }
+
+    /// [`CollectionPipeline::run_with_observation`] over a mixed dataset —
+    /// the single-sanitization-pass entry for numeric attacks.
+    ///
+    /// # Panics
+    /// Panics when the dataset's heterogeneous `ks` differ from the
+    /// solution's.
+    pub fn run_with_observation_mixed(
         &self,
-        dataset: &Dataset,
-    ) -> (CollectionRun, Vec<ldp_core::solutions::SolutionReport>) {
+        mixed: &MixedDataset,
+    ) -> (CollectionRun, Vec<SolutionReport>) {
+        self.assert_mixed(mixed);
+        self.run_with_observation_source(mixed.n(), self.mixed_reporter(mixed))
+    }
+
+    fn run_with_observation_source(
+        &self,
+        n: usize,
+        report: impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync,
+    ) -> (CollectionRun, Vec<SolutionReport>) {
         let chunks = self.sanitize_shards(
-            dataset,
+            n,
+            report,
             || (self.solution.aggregator(), Vec::new()),
             |(agg, reports), report| {
                 agg.absorb(&report);
@@ -156,7 +201,7 @@ impl CollectionPipeline {
             },
         );
         let mut shards = Vec::with_capacity(chunks.len());
-        let mut observed = Vec::with_capacity(dataset.n());
+        let mut observed = Vec::with_capacity(n);
         for (agg, reports) in chunks {
             shards.push(agg);
             observed.extend(reports);
@@ -171,11 +216,35 @@ impl CollectionPipeline {
     /// what the server aggregated. Prefer
     /// [`CollectionPipeline::run_with_observation`] when the collection run
     /// is needed too (one sanitization pass instead of two).
-    pub fn observe(&self, dataset: &Dataset) -> Vec<ldp_core::solutions::SolutionReport> {
-        self.sanitize_shards(dataset, Vec::new, |reports, report| reports.push(report))
-            .into_iter()
-            .flatten()
-            .collect()
+    pub fn observe(&self, dataset: &Dataset) -> Vec<SolutionReport> {
+        self.assert_dataset(dataset);
+        self.sanitize_shards(
+            dataset.n(),
+            self.dataset_reporter(dataset),
+            Vec::new,
+            |reports, report| reports.push(report),
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// [`CollectionPipeline::observe`] over a mixed dataset.
+    ///
+    /// # Panics
+    /// Panics when the dataset's heterogeneous `ks` differ from the
+    /// solution's.
+    pub fn observe_mixed(&self, mixed: &MixedDataset) -> Vec<SolutionReport> {
+        self.assert_mixed(mixed);
+        self.sanitize_shards(
+            mixed.n(),
+            self.mixed_reporter(mixed),
+            Vec::new,
+            |reports, report| reports.push(report),
+        )
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// The streamed twin of [`CollectionPipeline::run`]: spins up an
@@ -199,14 +268,33 @@ impl CollectionPipeline {
     /// solution's, or when `traffic` was built for a different population
     /// size.
     pub fn serve(&self, dataset: &Dataset, traffic: &TrafficGenerator) -> CollectionRun {
-        assert_eq!(
-            dataset.d(),
-            self.solution.d(),
-            "dataset does not match the solution schema"
-        );
+        self.assert_dataset(dataset);
+        self.serve_source(dataset.n(), traffic, self.dataset_reporter(dataset))
+    }
+
+    /// [`CollectionPipeline::serve`] over a mixed dataset: the streamed
+    /// server drain of a mixed round, bit-identical to
+    /// [`CollectionPipeline::run_mixed`] at equal seed for every thread
+    /// count and traffic shape.
+    ///
+    /// # Panics
+    /// Panics when the dataset's heterogeneous `ks` differ from the
+    /// solution's, or when `traffic` was built for a different population
+    /// size.
+    pub fn serve_mixed(&self, mixed: &MixedDataset, traffic: &TrafficGenerator) -> CollectionRun {
+        self.assert_mixed(mixed);
+        self.serve_source(mixed.n(), traffic, self.mixed_reporter(mixed))
+    }
+
+    fn serve_source(
+        &self,
+        n: usize,
+        traffic: &TrafficGenerator,
+        report: impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync,
+    ) -> CollectionRun {
         assert_eq!(
             traffic.n(),
-            dataset.n(),
+            n,
             "traffic schedule does not match the dataset population"
         );
         let server = LdpServer::spawn(
@@ -230,7 +318,7 @@ impl CollectionPipeline {
                     let mut rng = user_rng(self.seed, uid);
                     Envelope {
                         uid,
-                        report: self.solution.report(dataset.row(uid as usize), &mut rng),
+                        report: report(uid as usize, &mut rng),
                     }
                 }));
                 Vec::<()>::new()
@@ -282,14 +370,63 @@ impl CollectionPipeline {
         snapshot_every: usize,
         on_snapshot: &mut dyn FnMut(&ldp_server::WireSnapshot),
     ) -> Result<u64, ldp_server::WireError> {
-        assert_eq!(
-            dataset.d(),
-            self.solution.d(),
-            "dataset does not match the solution schema"
-        );
+        self.assert_dataset(dataset);
+        self.serve_remote_source(
+            dataset.n(),
+            traffic,
+            addr,
+            part,
+            parts,
+            snapshot_every,
+            on_snapshot,
+            &self.dataset_reporter(dataset),
+        )
+    }
+
+    /// [`CollectionPipeline::serve_remote`] over a mixed dataset: streams
+    /// mixed reports to a remote [`WireServer`](ldp_server::WireServer)
+    /// through the same checksummed BATCH frames (the compact wire encoding
+    /// carries numeric entries unchanged). Bit-identical to
+    /// [`CollectionPipeline::run_mixed`] at equal seed.
+    ///
+    /// # Panics
+    /// Panics when the dataset's heterogeneous `ks` differ from the
+    /// solution's, or when `traffic` was built for a different population
+    /// size.
+    pub fn serve_remote_mixed(
+        &self,
+        mixed: &MixedDataset,
+        traffic: &TrafficGenerator,
+        addr: &str,
+    ) -> Result<u64, ldp_server::WireError> {
+        self.assert_mixed(mixed);
+        self.serve_remote_source(
+            mixed.n(),
+            traffic,
+            addr,
+            0,
+            1,
+            0,
+            &mut |_| {},
+            &self.mixed_reporter(mixed),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn serve_remote_source(
+        &self,
+        n: usize,
+        traffic: &TrafficGenerator,
+        addr: &str,
+        part: usize,
+        parts: usize,
+        snapshot_every: usize,
+        on_snapshot: &mut dyn FnMut(&ldp_server::WireSnapshot),
+        report: &dyn Fn(usize, &mut SmallRng) -> SolutionReport,
+    ) -> Result<u64, ldp_server::WireError> {
         assert_eq!(
             traffic.n(),
-            dataset.n(),
+            n,
             "traffic schedule does not match the dataset population"
         );
         assert!(
@@ -303,10 +440,7 @@ impl CollectionPipeline {
                 .filter(|&&uid| uid % parts as u64 == part as u64)
             {
                 let mut rng = user_rng(self.seed, uid);
-                client.push(
-                    uid,
-                    &self.solution.report(dataset.row(uid as usize), &mut rng),
-                )?;
+                client.push(uid, &report(uid as usize, &mut rng))?;
             }
             if snapshot_every > 0 && (i + 1) % snapshot_every == 0 {
                 on_snapshot(&client.snapshot(false)?);
@@ -316,30 +450,67 @@ impl CollectionPipeline {
     }
 
     /// The single seeded per-user sanitize loop behind `run`, `observe` and
-    /// `run_with_observation`: each worker chunk folds its users' reports
-    /// into one `A` via `absorb`, with user `uid`'s randomness drawn from
-    /// [`user_rng`]`(seed, uid)`. Chunk outputs come back in user order.
-    /// Keeping every caller on this loop is what guarantees the adversary's
-    /// observed wire is bit-identical to what the server aggregated.
+    /// `run_with_observation` (and their `_mixed` twins): each worker chunk
+    /// folds its users' reports into one `A` via `absorb`, with user `uid`'s
+    /// randomness drawn from [`user_rng`]`(seed, uid)` and the report itself
+    /// produced by the source-specific `report` closure. Chunk outputs come
+    /// back in user order. Keeping every caller on this loop is what
+    /// guarantees the adversary's observed wire is bit-identical to what the
+    /// server aggregated.
     fn sanitize_shards<A: Send>(
         &self,
-        dataset: &Dataset,
+        n: usize,
+        report: impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync,
         init: impl Fn() -> A + Sync,
-        absorb: impl Fn(&mut A, ldp_core::solutions::SolutionReport) + Sync,
+        absorb: impl Fn(&mut A, SolutionReport) + Sync,
     ) -> Vec<A> {
+        par::par_chunks(n, self.threads, |range| {
+            let mut acc = init();
+            for uid in range {
+                let mut rng = user_rng(self.seed, uid as u64);
+                absorb(&mut acc, report(uid, &mut rng));
+            }
+            vec![acc]
+        })
+    }
+
+    /// Per-user reporter over a categorical dataset.
+    fn dataset_reporter<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+    ) -> impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync + 'a {
+        move |uid, rng| self.solution.report(dataset.row(uid), rng)
+    }
+
+    /// Per-user reporter over a mixed dataset: categorical row + normalized
+    /// numeric row through [`DynSolution::report_mixed`]. The dataset
+    /// validated every numeric value at construction, so a reporting error
+    /// here is a bug, not bad input.
+    fn mixed_reporter<'a>(
+        &'a self,
+        mixed: &'a MixedDataset,
+    ) -> impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync + 'a {
+        move |uid, rng| {
+            self.solution
+                .report_mixed(mixed.cat().row(uid), mixed.num_row(uid), rng)
+                .expect("mixed dataset values are validated at construction")
+        }
+    }
+
+    fn assert_dataset(&self, dataset: &Dataset) {
         assert_eq!(
             dataset.d(),
             self.solution.d(),
             "dataset does not match the solution schema"
         );
-        par::par_chunks(dataset.n(), self.threads, |range| {
-            let mut acc = init();
-            for uid in range {
-                let mut rng = user_rng(self.seed, uid as u64);
-                absorb(&mut acc, self.solution.report(dataset.row(uid), &mut rng));
-            }
-            vec![acc]
-        })
+    }
+
+    fn assert_mixed(&self, mixed: &MixedDataset) {
+        assert_eq!(
+            mixed.ks(),
+            self.solution.ks().to_vec(),
+            "mixed dataset does not match the solution's heterogeneous ks"
+        );
     }
 
     /// Merges per-thread shards into the final [`CollectionRun`].
@@ -548,5 +719,110 @@ mod tests {
         CollectionPipeline::from_kind(SolutionKind::RsFd(RsFdProtocol::Grr), &[4, 3], 1.0)
             .unwrap()
             .run(&ds);
+    }
+
+    fn mixed_pipeline(seed: u64) -> (ldp_datasets::MixedDataset, CollectionPipeline) {
+        use ldp_core::solutions::MixedKind;
+        use ldp_core::NumericKind;
+        let mixed = ldp_datasets::mixed::mixed_survey_like(900, seed);
+        let pipeline = CollectionPipeline::from_kind(
+            SolutionKind::Mixed(MixedKind {
+                protocol: ProtocolKind::Grr,
+                numeric: NumericKind::Hybrid,
+                sample_k: 2,
+            }),
+            &mixed.ks(),
+            2.0,
+        )
+        .unwrap()
+        .seed(seed);
+        (mixed, pipeline)
+    }
+
+    #[test]
+    fn mixed_run_is_thread_count_independent() {
+        let (mixed, pipeline) = mixed_pipeline(17);
+        let serial = pipeline.clone().threads(1).run_mixed(&mixed);
+        for threads in [2usize, 8] {
+            let sharded = pipeline.clone().threads(threads).run_mixed(&mixed);
+            assert_eq!(serial.n, sharded.n);
+            assert_eq!(
+                serial.aggregator.counts(),
+                sharded.aggregator.counts(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.aggregator.num_sums(),
+                sharded.aggregator.num_sums(),
+                "threads={threads}: numeric fixed-point sums leaked thread count"
+            );
+            for (a, b) in serial
+                .estimates
+                .iter()
+                .flatten()
+                .zip(sharded.estimates.iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_serve_is_bit_identical_to_run_mixed() {
+        use crate::traffic::{TrafficGenerator, TrafficShape};
+        let (mixed, pipeline) = mixed_pipeline(23);
+        let pipeline = pipeline.threads(3);
+        let batch = pipeline.run_mixed(&mixed);
+        let traffic = TrafficGenerator::new(TrafficShape::Burst, mixed.n())
+            .seed(23)
+            .wave(101);
+        let served = pipeline.serve_mixed(&mixed, &traffic);
+        assert_eq!(served.n, batch.n);
+        assert_eq!(served.aggregator.counts(), batch.aggregator.counts());
+        assert_eq!(served.aggregator.num_sums(), batch.aggregator.num_sums());
+        for (a, b) in served
+            .estimates
+            .iter()
+            .flatten()
+            .zip(batch.estimates.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mixed_observation_replays_the_absorbed_wire() {
+        let (mixed, pipeline) = mixed_pipeline(31);
+        let pipeline = pipeline.threads(4);
+        let (run, observed) = pipeline.run_with_observation_mixed(&mixed);
+        assert_eq!(observed.len(), mixed.n());
+        let mut agg = pipeline.solution().aggregator();
+        for r in &observed {
+            agg.absorb(r);
+        }
+        assert_eq!(agg.counts(), run.aggregator.counts());
+        assert_eq!(agg.num_sums(), run.aggregator.num_sums());
+        assert_eq!(
+            observed.len(),
+            pipeline.observe_mixed(&mixed).len(),
+            "replayed wire must match the single-pass wire"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneous ks")]
+    fn mixed_run_rejects_schema_mismatch() {
+        let (mixed, _) = mixed_pipeline(1);
+        let wrong = CollectionPipeline::from_kind(
+            SolutionKind::Mixed(ldp_core::solutions::MixedKind {
+                protocol: ProtocolKind::Grr,
+                numeric: ldp_core::NumericKind::Duchi,
+                sample_k: 1,
+            }),
+            &[8, 5, 0],
+            1.0,
+        )
+        .unwrap();
+        wrong.run_mixed(&mixed);
     }
 }

@@ -16,13 +16,15 @@
 //! a 5σ false positive is vanishingly unlikely, while e.g. swapping `p*`
 //! and `q*` or using `n` instead of `n_j` shifts estimates by far more.
 
-use ldp_core::solutions::SolutionKind;
+use ldp_core::solutions::{MixedKind, SolutionKind};
+use ldp_core::{NumericKind, NumericOracle};
 use ldp_datasets::generator::{GeneratorConfig, LatentClassGenerator};
+use ldp_datasets::mixed::mixed_survey_like;
 use ldp_datasets::{Dataset, Schema};
 use ldp_protocols::{FrequencyOracle, ProtocolKind};
 use ldp_sim::CollectionPipeline;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const N: usize = 200_000;
 const Z: f64 = 5.0;
@@ -160,6 +162,171 @@ fn conformance_bands_would_catch_a_biased_estimator() {
         caught.is_err(),
         "a 25% multiplicative bias must not fit inside the tolerance band"
     );
+}
+
+/// Numeric mechanisms under conformance test, in presentation order.
+const NUMERIC_MECHANISMS: [NumericKind; 3] = [
+    NumericKind::Duchi,
+    NumericKind::Piecewise,
+    NumericKind::Hybrid,
+];
+
+/// Slack for the numeric bands (means are continuous — no count
+/// discreteness, only float rounding and the inner-band estimate noise).
+const NUM_SLACK: f64 = 0.002;
+
+/// A skewed 200k-value population over `[-1, 1]` (mean ≈ −1/3): the numeric
+/// analogue of [`population`].
+fn numeric_population() -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(0x40FA);
+    (0..N)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            u * u * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Empirical mean and mean-squared sanitization error of one mechanism over
+/// the whole population, plus the analytic per-report variance averaged over
+/// the true values.
+fn numeric_moments(kind: NumericKind, eps: f64, ts: &[f64], seed: u64) -> (f64, f64, f64) {
+    let oracle = kind.build(eps).expect("numeric oracle builds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let mut sq_err = 0.0;
+    for &t in ts {
+        let y = oracle
+            .sanitize(t, &mut rng)
+            .expect("population values are in range")
+            .value();
+        sum += y;
+        sq_err += (y - t) * (y - t);
+    }
+    let n = ts.len() as f64;
+    let analytic = ts.iter().map(|&t| oracle.variance(t)).sum::<f64>() / n;
+    (sum / n, sq_err / n, analytic)
+}
+
+#[test]
+fn numeric_mechanism_means_conform_to_analytic_bands() {
+    // Every mechanism's sanitized mean must land within Z standard errors of
+    // the true population mean, with σ from the closed-form `Var[y | t]` —
+    // a wrong `C`/`s` constant or a lost unbiasing factor shifts the mean by
+    // far more than 5σ at n = 200 000.
+    let ts = numeric_population();
+    let truth = ts.iter().sum::<f64>() / ts.len() as f64;
+    for kind in NUMERIC_MECHANISMS {
+        for (ei, eps) in [0.5, 1.0, 2.0, 4.0, 8.0].into_iter().enumerate() {
+            let seed = 0x40FA_0001 + (kind.tag() << 8) + ei as u64;
+            let (mean, _, analytic) = numeric_moments(kind, eps, &ts, seed);
+            let sigma = (analytic / N as f64).sqrt();
+            let tol = Z * sigma + NUM_SLACK;
+            assert!(
+                (mean - truth).abs() <= tol,
+                "{} eps {eps}: mean {mean:.5} vs true {truth:.5} \
+                 (|diff| {:.5} > tol {tol:.5}, sigma {sigma:.5})",
+                kind.name(),
+                (mean - truth).abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn numeric_mechanism_variances_conform_to_analytic_bands() {
+    // The mean squared sanitization error must match the average closed-form
+    // `Var[y | t]`; the tolerance is Z standard errors of the squared-error
+    // mean itself (its spread is bounded by the mechanism's output bound).
+    let ts = numeric_population();
+    for kind in NUMERIC_MECHANISMS {
+        for (ei, eps) in [0.5, 1.0, 2.0, 4.0, 8.0].into_iter().enumerate() {
+            let seed = 0x40FA_0002 + (kind.tag() << 8) + ei as u64;
+            let (_, mse, analytic) = numeric_moments(kind, eps, &ts, seed);
+            // Var[(y−t)²] ≤ E[(y−t)⁴] ≤ (C+1)² · E[(y−t)²].
+            let bound = kind.build(eps).unwrap().bound() + 1.0;
+            let sigma = (bound * bound * analytic / N as f64).sqrt();
+            let tol = Z * sigma + NUM_SLACK;
+            assert!(
+                (mse - analytic).abs() <= tol,
+                "{} eps {eps}: empirical var {mse:.5} vs analytic {analytic:.5} \
+                 (|diff| {:.5} > tol {tol:.5})",
+                kind.name(),
+                (mse - analytic).abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn numeric_bands_would_catch_a_biased_mechanism() {
+    // Power guard, mirroring the categorical one: the ε ≥ 1 mean bands must
+    // be tight enough that a constant 0.08 shift (≈ what a dropped
+    // unbiasing factor costs at these budgets) cannot hide inside them.
+    let ts = numeric_population();
+    for kind in NUMERIC_MECHANISMS {
+        for eps in [1.0, 2.0, 4.0, 8.0] {
+            let oracle = kind.build(eps).unwrap();
+            let analytic = ts.iter().map(|&t| oracle.variance(t)).sum::<f64>() / ts.len() as f64;
+            let tol = Z * (analytic / N as f64).sqrt() + NUM_SLACK;
+            assert!(
+                tol < 0.08,
+                "{} eps {eps}: band {tol:.5} too wide to detect a 0.08 bias",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_numeric_mean_estimates_conform_end_to_end() {
+    // Full-pipeline band: the mixed k-of-d collection's numeric mean
+    // estimates (fixed-point sums, per-attribute n_j accounting, budget
+    // split ε/k) must land within Z standard errors of the population mean.
+    // σ adds the without-replacement subsampling spread to the mechanism
+    // variance at the split budget.
+    let mixed = mixed_survey_like(N, 0x3153D);
+    let ks = mixed.ks();
+    let sample_k = 2usize;
+    let eps = 2.0;
+    let frac = sample_k as f64 / mixed.d() as f64;
+    let n_eff = N as f64 * frac;
+    for kind in NUMERIC_MECHANISMS {
+        let solution = SolutionKind::Mixed(MixedKind {
+            protocol: ProtocolKind::Grr,
+            numeric: kind,
+            sample_k,
+        })
+        .build(&ks, eps)
+        .expect("mixed solution builds");
+        let run = CollectionPipeline::new(solution)
+            .seed(0x3153D + kind.tag())
+            .threads(4)
+            .run_mixed(&mixed);
+        assert_eq!(run.n, N as u64);
+        let oracle = kind.build(eps / sample_k as f64).unwrap();
+        for j in 0..mixed.d_num() {
+            let truth = mixed.numeric_mean(j);
+            let est = run.estimates[mixed.d_cat() + j][0];
+            let mech_var = (0..mixed.n())
+                .map(|i| oracle.variance(mixed.num_value(i, j)))
+                .sum::<f64>()
+                / N as f64;
+            let pop_var = (0..mixed.n())
+                .map(|i| (mixed.num_value(i, j) - truth).powi(2))
+                .sum::<f64>()
+                / N as f64;
+            let sigma = ((mech_var + (1.0 - frac) * pop_var) / n_eff).sqrt();
+            let tol = Z * sigma + NUM_SLACK;
+            assert!(
+                (est - truth).abs() <= tol,
+                "MIXED[GRR+{}] numeric attr {j}: estimate {est:.5} vs true {truth:.5} \
+                 (|diff| {:.5} > tol {tol:.5}, sigma {sigma:.5})",
+                kind.name(),
+                (est - truth).abs()
+            );
+        }
+    }
 }
 
 #[test]

@@ -14,8 +14,10 @@
 use std::sync::Barrier;
 use std::thread;
 
-use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
+use ldp_core::solutions::{MixedKind, RsFdProtocol, RsRfdProtocol, SolutionKind};
+use ldp_core::NumericKind;
 use ldp_datasets::corpora::adult_like;
+use ldp_datasets::mixed::mixed_survey_like;
 use ldp_datasets::Dataset;
 use ldp_protocols::ProtocolKind;
 use ldp_server::wire::WireSnapshot;
@@ -146,6 +148,122 @@ fn socket_drain_is_bit_identical_across_shards_and_connections() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn mixed_socket_drain_is_bit_identical_to_the_batch_pipeline() {
+    // The heterogeneous solution family over real sockets: categorical
+    // support counts and numeric fixed-point sums drained from a WireServer
+    // must match the in-process batch pass bit for bit, for every numeric
+    // mechanism and server shard count.
+    let mixed = mixed_survey_like(700, 11);
+    let ks = mixed.ks();
+    for numeric in [
+        NumericKind::Duchi,
+        NumericKind::Piecewise,
+        NumericKind::Hybrid,
+    ] {
+        let kind = SolutionKind::Mixed(MixedKind {
+            protocol: ProtocolKind::Grr,
+            numeric,
+            sample_k: 2,
+        });
+        let solution = kind.build(&ks, 2.0).unwrap();
+        let reference = CollectionPipeline::new(solution.clone())
+            .seed(SEED)
+            .threads(1)
+            .run_mixed(&mixed);
+        let traffic = TrafficGenerator::new(TrafficShape::Burst, mixed.n())
+            .seed(SEED)
+            .wave(53);
+        for shards in [1usize, 2, 8] {
+            let server = WireServer::bind(
+                "127.0.0.1:0",
+                solution.clone(),
+                ServerConfig::default().shards(shards),
+            )
+            .unwrap();
+            let addr = server.local_addr().to_string();
+            let acked = CollectionPipeline::new(solution.clone())
+                .seed(SEED)
+                .serve_remote_mixed(&mixed, &traffic, &addr)
+                .unwrap();
+            assert_eq!(acked, mixed.n() as u64, "{numeric:?} shards={shards}");
+            server.wait_for_producers(1);
+            let snapshot = server.finish();
+            assert_eq!(
+                snapshot.aggregator.num_sums(),
+                reference.aggregator.num_sums(),
+                "{numeric:?} shards={shards}: numeric fixed-point sums"
+            );
+            assert_drain_matches_run(
+                &snapshot,
+                &reference,
+                &format!("MIXED[{numeric:?}] shards={shards}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_multi_producer_fleet_drains_bit_identically() {
+    // A fleet of NetClient connections pushing mixed reports (partitioned by
+    // uid) must fan in to the same drained bits as the single batch pass —
+    // the numeric entries survive CompactBatch encoding, frame boundaries
+    // and cross-connection interleaving unchanged.
+    let mixed = mixed_survey_like(500, 23);
+    let ks = mixed.ks();
+    let solution = SolutionKind::Mixed(MixedKind {
+        protocol: ProtocolKind::Grr,
+        numeric: NumericKind::Piecewise,
+        sample_k: 2,
+    })
+    .build(&ks, 1.5)
+    .unwrap();
+    let reference = CollectionPipeline::new(solution.clone())
+        .seed(SEED)
+        .threads(1)
+        .run_mixed(&mixed);
+    for connections in [1usize, 2, 4] {
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            solution.clone(),
+            ServerConfig::default().shards(3),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        thread::scope(|s| {
+            for part in 0..connections {
+                let (solution, addr, mixed) = (solution.clone(), addr.as_str(), &mixed);
+                s.spawn(move || {
+                    let mut client = NetClient::connect(addr, &solution).unwrap().batch_size(16);
+                    for uid in (0..mixed.n() as u64).filter(|&u| u as usize % connections == part) {
+                        let report = solution
+                            .report_mixed(
+                                mixed.cat().row(uid as usize),
+                                mixed.num_row(uid as usize),
+                                &mut user_rng(SEED, uid),
+                            )
+                            .unwrap();
+                        client.push(uid, &report).unwrap();
+                    }
+                    client.finish().unwrap()
+                });
+            }
+        });
+        server.wait_for_producers(connections);
+        let snapshot = server.finish();
+        assert_eq!(
+            snapshot.aggregator.num_sums(),
+            reference.aggregator.num_sums(),
+            "{connections} connections: numeric fixed-point sums"
+        );
+        assert_drain_matches_run(
+            &snapshot,
+            &reference,
+            &format!("mixed fleet, {connections} connections"),
+        );
     }
 }
 
