@@ -11,7 +11,7 @@
 //! * [`Duchi`] — two-point mechanism: `y ∈ {±C_D}` with
 //!   `C_D = (e^ε + 1)/(e^ε − 1)`; `Var[y|t] = C_D² − t²`.
 //! * [`Piecewise`] — the Piecewise Mechanism (PM): `y ∈ [−C, C]` with
-//!   `C = (e^{ε/2} + 1)/(e^{ε/2} − 1)`, density `e^{ε/2}`-fold higher on a
+//!   `C = (e^{ε/2} + 1)/(e^{ε/2} − 1)`, density `e^ε`-fold higher on a
 //!   length-`(C−1)` window centered so the mechanism stays unbiased;
 //!   `Var[y|t] = t²/(e^{ε/2} − 1) + (e^{ε/2} + 3)/(3 (e^{ε/2} − 1)²)`.
 //! * [`Hybrid`] — mixes PM (probability `α = 1 − e^{−ε/2}`) and Duchi when
@@ -119,17 +119,20 @@ impl Duchi {
     /// Builds the mechanism for budget `epsilon`.
     pub fn new(epsilon: f64) -> Result<Self, ProtocolError> {
         validate_epsilon(epsilon)?;
-        let e = epsilon.exp();
+        // (e^ε + 1)/(e^ε − 1) = 1 + 2/(e^ε − 1): exp_m1 keeps precision for
+        // small ε, and when e^ε overflows to ∞ the quotient is 0 rather
+        // than the NaN the naive ∞/∞ form produces, so C → 1.
         Ok(Duchi {
             epsilon,
-            c: (e + 1.0) / (e - 1.0),
+            c: 1.0 + 2.0 / epsilon.exp_m1(),
         })
     }
 
     /// Probability of the positive pole `+C_D` given input `t`.
     fn p_plus(&self, t: f64) -> f64 {
-        let e = self.epsilon.exp();
-        0.5 + t * (e - 1.0) / (2.0 * (e + 1.0))
+        // (e^ε − 1)/(e^ε + 1) = 1 − 2/(e^ε + 1), finite even when exp
+        // overflows (→ 1, i.e. p = (1 + t)/2).
+        0.5 + 0.5 * t * (1.0 - 2.0 / (self.epsilon.exp() + 1.0))
     }
 }
 
@@ -183,11 +186,14 @@ impl Piecewise {
     /// Builds the mechanism for budget `epsilon`.
     pub fn new(epsilon: f64) -> Result<Self, ProtocolError> {
         validate_epsilon(epsilon)?;
-        let s = (epsilon / 2.0).exp();
+        // `s` may overflow to ∞ for enormous ε; every place it is used is
+        // written so that limit stays finite and correct (C → 1, window
+        // probability → 1, variance → 0). exp_m1 keeps C precise for
+        // small ε.
         Ok(Piecewise {
             epsilon,
-            s,
-            c: (s + 1.0) / (s - 1.0),
+            s: (epsilon / 2.0).exp(),
+            c: 1.0 + 2.0 / (epsilon / 2.0).exp_m1(),
         })
     }
 
@@ -210,9 +216,10 @@ impl NumericOracle for Piecewise {
     fn sanitize(&self, t: f64, rng: &mut dyn RngCore) -> Result<NumericReport, ProtocolError> {
         validate_numeric_input(t)?;
         let (ell, r) = self.window(t);
-        // With probability e^{ε/2}/(e^{ε/2}+1) draw from the window, else
-        // uniformly from the complement [−C, ℓ) ∪ (r, C] (total length C+1).
-        let y = if rng.random::<f64>() < self.s / (self.s + 1.0) {
+        // With probability e^{ε/2}/(e^{ε/2}+1) = 1 − 1/(e^{ε/2}+1) draw
+        // from the window, else uniformly from the complement
+        // [−C, ℓ) ∪ (r, C] (total length C+1).
+        let y = if rng.random::<f64>() < 1.0 - 1.0 / (self.s + 1.0) {
             ell + rng.random::<f64>() * (r - ell)
         } else {
             let v = rng.random::<f64>() * (self.c + 1.0);
@@ -227,7 +234,11 @@ impl NumericOracle for Piecewise {
     }
 
     fn variance(&self, t: f64) -> f64 {
-        t * t / (self.s - 1.0) + (self.s + 3.0) / (3.0 * (self.s - 1.0) * (self.s - 1.0))
+        // t²/(s−1) + (s+3)/(3(s−1)²) rewritten in m = 1 − e^{−ε/2} (always
+        // in (0, 1]) so an overflowed s never reaches the arithmetic:
+        // substituting s = 1/(1−m) gives t²(1−m)/m + (1−m)(4−3m)/(3m²).
+        let m = -(-self.epsilon / 2.0).exp_m1();
+        t * t * (1.0 - m) / m + (1.0 - m) * (4.0 - 3.0 * m) / (3.0 * m * m)
     }
 
     fn bound(&self) -> f64 {
@@ -240,7 +251,10 @@ impl NumericOracle for Piecewise {
         }
         let (ell, r) = self.window(t);
         if (ell..=r).contains(&y) {
-            self.s / ((self.s + 1.0) * (self.c - 1.0))
+            // Window mass s/(s+1) spread over length C−1; the probability
+            // factor stays finite when s overflows (density → ∞ only in the
+            // genuine ε → ∞ Dirac limit, where C−1 → 0).
+            (1.0 - 1.0 / (self.s + 1.0)) / (self.c - 1.0)
         } else {
             1.0 / ((self.s + 1.0) * (self.c + 1.0))
         }
@@ -554,6 +568,42 @@ mod tests {
                 "{}: empirical {var:.4} vs analytic {analytic:.4}",
                 mech.name()
             );
+        }
+    }
+
+    #[test]
+    fn huge_epsilon_overflows_exp_but_not_the_mechanisms() {
+        // ε = 2000 overflows both e^ε and e^{ε/2} to ∞; the rewritten
+        // constant forms must keep C finite (→ 1) and the reports sane
+        // instead of quantizing NaN to raw 0.
+        let mut rng = StdRng::seed_from_u64(99);
+        for mech in mechanisms(2000.0) {
+            let c = mech.bound();
+            assert!(
+                c.is_finite() && (c - 1.0).abs() < 1e-9,
+                "{}: C = {c}",
+                mech.name()
+            );
+            for t in [-1.0f64, -0.25, 0.0, 0.5, 1.0] {
+                let y = mech.sanitize(t, &mut rng).unwrap().value();
+                assert!(
+                    y.is_finite() && y.abs() <= c + 1e-9,
+                    "{}: t = {t}, y = {y}",
+                    mech.name()
+                );
+                let v = mech.variance(t);
+                assert!(v.is_finite() && v >= -1e-12, "{}: var = {v}", mech.name());
+            }
+        }
+        // In the ε → ∞ limit PM degenerates to the identity mechanism and
+        // HM always takes the PM branch.
+        let pm = Piecewise::new(2000.0).unwrap();
+        let hm = Hybrid::new(2000.0).unwrap();
+        assert_eq!(hm.alpha(), 1.0);
+        for t in [-0.6, 0.0, 0.8] {
+            assert!((pm.sanitize(t, &mut rng).unwrap().value() - t).abs() < 1e-9);
+            assert!(pm.variance(t).abs() < 1e-9);
+            assert!((hm.sanitize(t, &mut rng).unwrap().value() - t).abs() < 1e-9);
         }
     }
 

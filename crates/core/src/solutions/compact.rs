@@ -359,8 +359,11 @@ impl CompactBatch {
             return Ok(());
         };
         // One rounding step of slack: a legitimate boundary report quantizes
-        // to at most round(C · 2^40).
-        let bound_raw = (mixed.numeric_oracle().bound() * NUMERIC_SCALE as f64).round() as i64 + 1;
+        // to at most round(C · 2^40). Held as u64 so the comparison below
+        // never needs i64::abs, which i64::MIN (a forgeable wire value)
+        // would overflow; the `as u64` cast saturates if C is enormous.
+        let bound_raw = ((mixed.numeric_oracle().bound() * NUMERIC_SCALE as f64).round() as u64)
+            .saturating_add(1);
         let mut cursor = self.cursor();
         while !cursor.done() {
             // Structure already validated above: every header is kind 3 with
@@ -371,7 +374,7 @@ impl CompactBatch {
                 let j = (dim_word >> 2) as usize;
                 if dim_word & 0b11 == SUBTAG_NUM {
                     let raw = cursor.next() as i64;
-                    if raw.abs() > bound_raw {
+                    if raw.unsigned_abs() > bound_raw {
                         return Err(CompactDecodeError::Domain(format!(
                             "dim {j}: numeric report {raw} exceeds the mechanism bound \
                              {bound_raw}"
@@ -1027,6 +1030,14 @@ mod tests {
         assert_eq!(forged.words[3] & 0b11, 1);
         forged.words[4] = (i64::MAX / 2) as u64;
         assert!(forged.validate_for(mixed_kind(4), &MIXED_KS).is_ok());
+        assert!(matches!(
+            forged.validate_for_solution(&solution),
+            Err(CompactDecodeError::Domain(_))
+        ));
+        // i64::MIN is the one magnitude i64::abs cannot represent: it must
+        // be rejected, not panic (debug) or wrap negative past the gate
+        // (release).
+        forged.words[4] = i64::MIN as u64;
         assert!(matches!(
             forged.validate_for_solution(&solution),
             Err(CompactDecodeError::Domain(_))
