@@ -8,10 +8,17 @@
 //! cover the batch entry point the ingestion service amortizes dispatch
 //! through; the `olh_nonpow2_g` case pins the generic-modulo loop flavor
 //! (ε = 1.5 → g = 5) next to the power-of-two mask flavor (ε = 2 → g = 8).
+//!
+//! The `sanitize` group is the client-side twin: UE `perturb_bits`
+//! throughput for SUE/OUE at the same k grid, per-bit reference vs the
+//! word-parallel path, so the speedup that closes the SPL[OUE] ingest gap
+//! is pinned in isolation. ε = 1.0 lands OUE in the dense (batched-mask)
+//! regime; the extra `OUE-sparse` id at ε = 4 prices the geometric
+//! skip-sampling regime on the other side of the `q = 2⁻⁵` crossover.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldp_protocols::oracle::{count_support, count_support_batch};
-use ldp_protocols::{FrequencyOracle, ProtocolKind, Report};
+use ldp_protocols::{BitVec, FrequencyOracle, ProtocolKind, Report, UeMode, UnaryEncoding};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -85,10 +92,59 @@ fn bench_olh_nonpow2(c: &mut Criterion) {
     group.finish();
 }
 
+/// Client-side UE sanitize: one one-hot input (the `randomize` shape)
+/// perturbed `BATCH` times into a pooled output vector; reported time is
+/// per batch, so reports/s = BATCH / time.
+fn bench_sanitize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sanitize");
+    let configs = [
+        ("SUE", UeMode::Symmetric, 1.0),
+        ("OUE", UeMode::Optimized, 1.0),
+        ("OUE-sparse", UeMode::Optimized, 4.0),
+    ];
+    for (label, mode, eps) in configs {
+        for k in [32usize, 256, 1024] {
+            let ue = UnaryEncoding::new(k, eps, mode).expect("bench UE builds");
+            if label == "OUE-sparse" {
+                assert!(ue.sparse_path(), "ε = 4 OUE must route sparse");
+            }
+            let input = BitVec::one_hot(k, k / 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}-word-parallel"), k),
+                &input,
+                |b, input| {
+                    let mut rng = StdRng::seed_from_u64(0xAB53);
+                    let mut out = BitVec::zeros(k);
+                    b.iter(|| {
+                        for _ in 0..BATCH {
+                            ue.perturb_bits_into(input, &mut out, &mut rng);
+                            black_box(&out);
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}-per-bit"), k),
+                &input,
+                |b, input| {
+                    let mut rng = StdRng::seed_from_u64(0xAB54);
+                    b.iter(|| {
+                        for _ in 0..BATCH {
+                            black_box(ue.perturb_bits_reference(input, &mut rng));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_count_support,
     bench_count_support_batch,
-    bench_olh_nonpow2
+    bench_olh_nonpow2,
+    bench_sanitize
 );
 criterion_main!(benches);

@@ -144,6 +144,10 @@ impl RsFd {
                     (Randomizers::Grr(_), false) => Report::Value(rng.random_range(0..k as u32)),
                     (Randomizers::Ue(ues), true) => ues[i].randomize(tuple[i], rng),
                     (Randomizers::Ue(ues), false) => match self.protocol {
+                        // UE-z fake: no zero vector is ever materialized — the
+                        // word-parallel background sampler writes Bernoulli(q)
+                        // words straight into the report, so the only
+                        // allocation is the report vector itself.
                         RsFdProtocol::UeZ(_) => Report::Bits(ues[i].perturb_zero_vector(rng)),
                         RsFdProtocol::UeR(_) => {
                             let fake = rng.random_range(0..k as u32);

@@ -2,7 +2,7 @@
 //! ε over the `d` attributes and report all of them with ε/d-LDP each. Kept
 //! as the utility baseline the paper dismisses for its high estimation error.
 
-use ldp_protocols::{FrequencyOracle, Oracle, ProtocolError, ProtocolKind, Report};
+use ldp_protocols::{FrequencyOracle, FusedUeGroup, Oracle, ProtocolError, ProtocolKind, Report};
 use rand::Rng;
 
 use super::{validate_config, EstimatorSpec, MultidimAggregator};
@@ -14,6 +14,11 @@ pub struct Spl {
     epsilon: f64,
     ks: Vec<usize>,
     oracles: Vec<Oracle>,
+    /// Word-fused tuple sanitizer for UE families whose domains pack into one
+    /// 64-bit word — every SPL attribute runs at the same ε/d, so UE's
+    /// `(p, q)` match across attributes by construction and the whole tuple's
+    /// background is one Bernoulli-mask scan (see [`FusedUeGroup`]).
+    fused: Option<FusedUeGroup>,
 }
 
 impl Spl {
@@ -25,11 +30,20 @@ impl Spl {
             .iter()
             .map(|&k| kind.build(k, per_attr))
             .collect::<Result<Vec<_>, _>>()?;
+        let fused = oracles
+            .iter()
+            .map(|o| match o {
+                Oracle::Ue(ue) => Some(ue),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()
+            .and_then(FusedUeGroup::build);
         Ok(Spl {
             kind,
             epsilon,
             ks: ks.to_vec(),
             oracles,
+            fused,
         })
     }
 
@@ -59,12 +73,29 @@ impl Spl {
         &self.oracles[j]
     }
 
+    /// Whether tuple sanitization runs through the word-fused UE path
+    /// (exposed so benches and conformance tests can assert which path a
+    /// configuration exercises).
+    pub fn fused_sanitize(&self) -> bool {
+        self.fused.is_some()
+    }
+
     /// Sanitizes the full tuple, one (ε/d)-LDP report per attribute.
+    ///
+    /// UE families whose domains pack into one 64-bit word fuse the whole
+    /// tuple into a single word draw ([`FusedUeGroup`]); everything else
+    /// randomizes attribute by attribute. Both paths produce identical
+    /// per-report marginals.
     ///
     /// # Panics
     /// Panics on tuple width mismatch.
     pub fn report<R: Rng + ?Sized>(&self, tuple: &[u32], rng: &mut R) -> Vec<Report> {
         assert_eq!(tuple.len(), self.d(), "tuple width mismatch");
+        if let Some(fused) = &self.fused {
+            let mut out = Vec::with_capacity(self.d());
+            fused.randomize_tuple_into(tuple, &mut out, rng);
+            return out;
+        }
         tuple
             .iter()
             .zip(&self.oracles)
@@ -161,6 +192,34 @@ mod tests {
             err(&spl_est),
             err(&smp_est)
         );
+    }
+
+    #[test]
+    fn ue_tuples_fuse_only_when_they_pack_into_one_word() {
+        // The ingest-bench shape (Σk = 33 ≤ 64) fuses; GRR never does; UE
+        // tuples wider than a word fall back to per-oracle randomize.
+        let fused = Spl::new(ProtocolKind::Oue, &[16, 8, 5, 4], 1.0).unwrap();
+        assert!(fused.fused_sanitize());
+        assert!(!Spl::new(ProtocolKind::Grr, &[16, 8, 5, 4], 1.0)
+            .unwrap()
+            .fused_sanitize());
+        let wide = Spl::new(ProtocolKind::Oue, &[40, 40], 1.0).unwrap();
+        assert!(!wide.fused_sanitize());
+        // Both UE paths still recover a point-mass marginal end to end.
+        for spl in [&fused, &wide] {
+            let mut rng = StdRng::seed_from_u64(0xF5ED);
+            let tuple: Vec<u32> = spl.ks().iter().map(|_| 1u32).collect();
+            let reports: Vec<Vec<Report>> =
+                (0..40_000).map(|_| spl.report(&tuple, &mut rng)).collect();
+            let est = spl.estimate(&reports);
+            for (j, attr) in est.iter().enumerate() {
+                assert!(
+                    (attr[1] - 1.0).abs() < 0.15,
+                    "attr {j} (fused={}): est {attr:?}",
+                    spl.fused_sanitize()
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,18 +5,90 @@
 //! to `sum(k_j)` bits per RS+FD tuple, so a packed representation matters for
 //! the large simulation campaigns.
 
+/// Vectors of up to `INLINE_WORDS · 64` bits are stored inline, without a
+/// heap allocation. Every attribute domain in the paper's datasets (k ≤ 92)
+/// fits, so the UE report hot path — four `BitVec` reports per user in the
+/// SPL ingest bench — allocates nothing.
+const INLINE_WORDS: usize = 2;
+
+/// Backing storage: a fixed inline array for short vectors, a heap `Vec` for
+/// long ones. The variant is a function of `len` alone (chosen at
+/// construction), so equal-length vectors always share a variant.
+#[derive(Debug, Clone)]
+enum Blocks {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
+
 /// Fixed-length packed bit vector backed by `u64` blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct BitVec {
-    blocks: Vec<u64>,
+    blocks: Blocks,
     len: usize,
+}
+
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.blocks() == other.blocks()
+    }
+}
+
+impl Eq for BitVec {}
+
+impl std::hash::Hash for BitVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.blocks().hash(state);
+    }
 }
 
 impl BitVec {
     /// Creates an all-zero bit vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
+        let blocks = if len <= INLINE_WORDS * 64 {
+            Blocks::Inline([0; INLINE_WORDS])
+        } else {
+            Blocks::Heap(vec![0; len.div_ceil(64)])
+        };
+        BitVec { blocks, len }
+    }
+
+    /// The valid words of the backing storage (`⌈len/64⌉` of them).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.blocks {
+            Blocks::Inline(a) => &a[..self.len.div_ceil(64)],
+            Blocks::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the valid words.
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let wc = self.len.div_ceil(64);
+        match &mut self.blocks {
+            Blocks::Inline(a) => &mut a[..wc],
+            Blocks::Heap(v) => v,
+        }
+    }
+
+    /// Builds a vector of at most 64 bits from a single word — the fused
+    /// tuple sanitizer ([`crate::ue::FusedUeGroup`]) slices its packed word
+    /// into per-attribute reports through this without touching the heap.
+    ///
+    /// # Panics
+    /// Panics if `len > 64`; lanes past `len` must be zero (debug-asserted).
+    #[inline]
+    pub fn from_word(word: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_word holds at most 64 bits, got {len}");
+        debug_assert!(
+            len == 64 || word >> len == 0,
+            "trailing bits past len must be zero"
+        );
+        let mut inline = [0u64; INLINE_WORDS];
+        inline[0] = word;
         BitVec {
-            blocks: vec![0; len.div_ceil(64)],
+            blocks: Blocks::Inline(inline),
             len,
         }
     }
@@ -54,7 +126,7 @@ impl BitVec {
             "bit index {index} out of range {}",
             self.len
         );
-        (self.blocks[index / 64] >> (index % 64)) & 1 == 1
+        (self.words()[index / 64] >> (index % 64)) & 1 == 1
     }
 
     /// Sets bit `index` to `value`.
@@ -69,24 +141,78 @@ impl BitVec {
             self.len
         );
         let mask = 1u64 << (index % 64);
+        let word = &mut self.words_mut()[index / 64];
         if value {
-            self.blocks[index / 64] |= mask;
+            *word |= mask;
         } else {
-            self.blocks[index / 64] &= !mask;
+            *word &= !mask;
         }
+    }
+
+    /// Number of backing `u64` words (`⌈len/64⌉`).
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
+    /// Mask of the valid lanes of word `wi`: all-ones except for the final
+    /// word of a non-multiple-of-64 vector, where only the low `len % 64`
+    /// lanes are set.
+    ///
+    /// # Panics
+    /// Panics if `wi >= word_count`.
+    #[inline]
+    pub fn lane_mask(&self, wi: usize) -> u64 {
+        assert!(wi < self.word_count(), "word index {wi} out of range");
+        if wi + 1 == self.word_count() && !self.len.is_multiple_of(64) {
+            (1u64 << (self.len % 64)) - 1
+        } else {
+            !0
+        }
+    }
+
+    /// Overwrites word `wi` with `word`, masking off lanes past
+    /// [`BitVec::len`] so the trailing-zeros invariant holds — the
+    /// word-parallel sanitize path writes whole sanitized words through
+    /// this.
+    ///
+    /// # Panics
+    /// Panics if `wi >= word_count`.
+    #[inline]
+    pub fn set_word(&mut self, wi: usize, word: u64) {
+        let mask = self.lane_mask(wi);
+        self.words_mut()[wi] = word & mask;
+    }
+
+    /// ORs `word` into word `wi`, masking off lanes past [`BitVec::len`].
+    ///
+    /// # Panics
+    /// Panics if `wi >= word_count`.
+    #[inline]
+    pub fn or_word(&mut self, wi: usize, word: u64) {
+        let mask = self.lane_mask(wi);
+        self.words_mut()[wi] |= word & mask;
+    }
+
+    /// Clears every bit (length unchanged) — the run-writer reset that lets
+    /// a pooled vector be reused without reallocating.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words_mut().fill(0);
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.words().iter().map(|b| b.count_ones() as usize).sum()
     }
 
     /// Iterator over the indices of the set bits, in increasing order.
     pub fn ones(&self) -> Ones<'_> {
+        let words = self.words();
         Ones {
-            bv: self,
+            words,
             block_idx: 0,
-            current: self.blocks.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
         }
     }
 
@@ -100,7 +226,7 @@ impl BitVec {
     /// copy the vector verbatim.
     #[inline]
     pub fn blocks(&self) -> &[u64] {
-        &self.blocks
+        self.words()
     }
 
     /// Rebuilds a vector of `len` bits from its backing blocks — the inverse
@@ -115,13 +241,20 @@ impl BitVec {
             len.is_multiple_of(64) || blocks.last().is_none_or(|b| b >> (len % 64) == 0),
             "trailing bits past len must be zero"
         );
+        let blocks = if len <= INLINE_WORDS * 64 {
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..blocks.len()].copy_from_slice(&blocks);
+            Blocks::Inline(inline)
+        } else {
+            Blocks::Heap(blocks)
+        };
         BitVec { blocks, len }
     }
 }
 
 /// Iterator over set-bit indices of a [`BitVec`].
 pub struct Ones<'a> {
-    bv: &'a BitVec,
+    words: &'a [u64],
     block_idx: usize,
     current: u64,
 }
@@ -140,10 +273,10 @@ impl Iterator for Ones<'_> {
                 return Some(idx);
             }
             self.block_idx += 1;
-            if self.block_idx >= self.bv.blocks.len() {
+            if self.block_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.bv.blocks[self.block_idx];
+            self.current = self.words[self.block_idx];
         }
     }
 }
@@ -214,6 +347,61 @@ mod tests {
     #[should_panic(expected = "block count mismatch")]
     fn from_blocks_rejects_wrong_block_count() {
         BitVec::from_blocks(vec![0; 2], 64);
+    }
+
+    #[test]
+    fn set_word_masks_the_tail_and_or_word_accumulates() {
+        for k in [5usize, 64, 65, 130, 192] {
+            let mut bv = BitVec::zeros(k);
+            assert_eq!(bv.word_count(), k.div_ceil(64));
+            for wi in 0..bv.word_count() {
+                bv.set_word(wi, !0);
+            }
+            // Every valid bit set, trailing lanes still zero.
+            assert_eq!(bv.count_ones(), k);
+            let rebuilt = BitVec::from_blocks(bv.blocks().to_vec(), k);
+            assert_eq!(rebuilt, bv);
+            bv.clear();
+            assert_eq!(bv.count_ones(), 0);
+            bv.or_word(0, 0b101);
+            bv.or_word(0, 0b110);
+            assert_eq!(bv.ones_vec(), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn lane_mask_covers_exactly_the_valid_lanes() {
+        let bv = BitVec::zeros(130);
+        assert_eq!(bv.lane_mask(0), !0);
+        assert_eq!(bv.lane_mask(1), !0);
+        assert_eq!(bv.lane_mask(2), 0b11);
+        let full = BitVec::zeros(128);
+        assert_eq!(full.lane_mask(1), !0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word index")]
+    fn set_word_out_of_range_panics() {
+        let mut bv = BitVec::zeros(64);
+        bv.set_word(1, 1);
+    }
+
+    #[test]
+    fn inline_and_heap_vectors_agree_across_construction_paths() {
+        // k ≤ 128 lives inline, k > 128 on the heap; equality and hashing
+        // must be storage-agnostic and `from_blocks` must round-trip both.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        for k in [5usize, 64, 92, 128, 129, 200] {
+            let mut bv = BitVec::zeros(k);
+            bv.set(k - 1, true);
+            bv.set(k / 2, true);
+            let rebuilt = BitVec::from_blocks(bv.blocks().to_vec(), k);
+            assert_eq!(rebuilt, bv);
+            set.insert(bv.clone());
+            assert!(set.contains(&rebuilt), "hash differs across paths k={k}");
+        }
+        assert_eq!(set.len(), 6);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use grr::Grr;
 pub use olh::Olh;
 pub use oracle::{Aggregator, FrequencyOracle, Oracle, ProtocolKind, Report};
 pub use ss::SubsetSelection;
-pub use ue::{UeMode, UnaryEncoding};
+pub use ue::{FusedUeGroup, UeMode, UnaryEncoding};
 
 /// Validates a privacy budget, returning it unchanged when strictly positive
 /// and finite.

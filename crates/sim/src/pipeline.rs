@@ -9,6 +9,14 @@
 //! bit-identical for every thread count and peak memory is
 //! `O(threads · Σ_j k_j)` regardless of the population size.
 //!
+//! The per-user sanitize calls route through the protocols' word-parallel
+//! paths (UE reports are built whole-word, never bit-by-bit — see the
+//! sanitize budget in `docs/ARCHITECTURE.md`), and each user draws from its
+//! own O(1)-seeded [`rand::rngs::SmallRng`] stream ([`crate::user_rng`]), so
+//! a draw-count change inside one user's sanitization can never shift
+//! another user's randomness — serial/sharded bit-identity survives
+//! protocol-internal sampling changes.
+//!
 //! ```
 //! use ldp_core::solutions::{RsFdProtocol, SolutionKind};
 //! use ldp_sim::CollectionPipeline;
