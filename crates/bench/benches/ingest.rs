@@ -12,7 +12,10 @@
 //! archive the numbers run over run. `"RS+FD[GRR]/tcp"` rows re-measure the
 //! tuple kind with the reports crossing a real loopback socket through the
 //! `ldp_server::wire` codec, pricing the networked tier against the
-//! in-process channels.
+//! in-process channels. `"SPL[OUE]/r4"` rows stream the same population for
+//! four ε-splitting rounds with an epoch-ring rotation between rounds,
+//! pricing the longitudinal serving path (per-round rebuild at ε/R plus the
+//! shard-swap barrier) against single-round ingestion.
 //!
 //! Under `--test` / `--smoke` (what `cargo test` and the CI smoke job pass)
 //! only a small population at threads {1, 2} runs, and the JSON is tagged
@@ -38,7 +41,7 @@ use ldp_core::{DynSolution, NumericKind};
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolKind;
 use ldp_server::{Envelope, LdpServer, ServerConfig, WireServer};
-use ldp_sim::NetClient;
+use ldp_sim::{BudgetPolicy, NetClient};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -47,6 +50,10 @@ const BENCH_SALT: u64 = 0x0146_3E57;
 
 /// Widest domain tuple the bench synthesizes (stack-allocated per user).
 const MAX_D: usize = 8;
+
+/// Rounds in the longitudinal (`/r4`) rows — matches the midpoint of the
+/// `longitudinal_risk` experiment grid.
+const ROUNDS: usize = 4;
 
 /// One measured configuration.
 struct Measurement {
@@ -217,6 +224,81 @@ fn run_once_tcp(
     }
 }
 
+/// The longitudinal twin of [`run_once`]: the same population reports for
+/// [`ROUNDS`] consecutive rounds under the ε-splitting budget policy (the
+/// solution is rebuilt at ε/R exactly as `risks serve --rounds` does), with
+/// [`LdpServer::advance_epoch`] closing a windowed snapshot between rounds.
+/// The row's delta against the single-round row is the cost of the epoch
+/// machinery: the per-worker shard swap barrier, the retention-ring push
+/// and the cumulative fold. Reported under `"<solution>/r4"` and measured
+/// in reports/sec over all `n × ROUNDS` absorbed reports.
+fn run_once_rounds(
+    solution_kind: SolutionKind,
+    ks: &[usize],
+    n: usize,
+    threads: usize,
+) -> Measurement {
+    let base = solution_kind.build(ks, 1.0).expect("bench solution builds");
+    let solution = BudgetPolicy::SplitEps
+        .round_solution(&base, ROUNDS)
+        .expect("split-budget solution builds");
+    let server = LdpServer::spawn(
+        solution.clone(),
+        ServerConfig::default()
+            .shards(threads)
+            .queue_depth(8)
+            .batch(512 * threads)
+            .retain(ROUNDS),
+    );
+    let producers = threads
+        .min(std::thread::available_parallelism().map_or(threads, std::num::NonZeroUsize::get));
+    let started = Instant::now();
+    for round in 0..ROUNDS as u64 {
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let server = &server;
+                let solution = &solution;
+                scope.spawn(move || {
+                    let lo = p * n / producers;
+                    let hi = (p + 1) * n / producers;
+                    server.ingest_batch((lo as u64..hi as u64).map(move |uid| {
+                        let mut rng =
+                            SmallRng::seed_from_u64(mix3(0xBEAC ^ round, uid, BENCH_SALT));
+                        Envelope {
+                            uid,
+                            report: synth_report(solution, ks, uid, &mut rng),
+                        }
+                    }));
+                });
+            }
+        });
+        server.advance_epoch();
+    }
+    assert_eq!(
+        server.epochs().len(),
+        ROUNDS,
+        "every round must close a retained epoch"
+    );
+    let snapshot = server.drain();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let total = n * ROUNDS;
+    assert_eq!(
+        snapshot.n, total as u64,
+        "every round's reports must be absorbed"
+    );
+    assert!(
+        snapshot.estimates.iter().flatten().all(|f| f.is_finite()),
+        "drained estimates must be finite"
+    );
+    Measurement {
+        solution: format!("{}/r{ROUNDS}", solution_kind.name()),
+        n,
+        threads,
+        wall_secs,
+        reports_per_sec: total as f64 / wall_secs.max(1e-9),
+    }
+}
+
 /// Hand-rolled JSON (the workspace carries no JSON crate).
 fn to_json(smoke: bool, results: &[Measurement]) -> String {
     let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
@@ -288,35 +370,47 @@ fn main() {
     // and the per-cell minimum wall time is the measurement least polluted
     // by scheduler interference.
     let reps = if smoke { 1 } else { 9 };
-    // (kind, ks, n, threads, over_tcp): the in-process matrix, plus
-    // loopback-TCP rows for the tuple and mixed kinds at the smaller
-    // population — enough to track the wire tier's throughput tax run over
-    // run without doubling the bench's wall time.
-    let mut cells: Vec<(SolutionKind, &[usize], usize, usize, bool)> = kinds
+    // (kind, ks, n, threads, mode): the in-process matrix, plus
+    // loopback-TCP rows for the tuple and mixed kinds and longitudinal
+    // (R=4 epochs) rows for the bit-vector kind, all at the smaller
+    // population — enough to track the wire tier's and epoch machinery's
+    // throughput tax run over run without doubling the bench's wall time.
+    #[derive(Clone, Copy)]
+    enum Mode {
+        InProc,
+        Tcp,
+        Rounds,
+    }
+    let mut cells: Vec<(SolutionKind, &[usize], usize, usize, Mode)> = kinds
         .iter()
         .flat_map(|&(kind, ks)| {
             sizes
                 .iter()
-                .flat_map(move |&n| threads.iter().map(move |&t| (kind, ks, n, t, false)))
+                .flat_map(move |&n| threads.iter().map(move |&t| (kind, ks, n, t, Mode::InProc)))
         })
         .collect();
     cells.extend(
         threads
             .iter()
-            .map(|&t| (kinds[0].0, kinds[0].1, sizes[0], t, true)),
+            .map(|&t| (kinds[0].0, kinds[0].1, sizes[0], t, Mode::Tcp)),
     );
     cells.extend(
         threads
             .iter()
-            .map(|&t| (kinds[3].0, kinds[3].1, sizes[0], t, true)),
+            .map(|&t| (kinds[3].0, kinds[3].1, sizes[0], t, Mode::Tcp)),
+    );
+    cells.extend(
+        threads
+            .iter()
+            .map(|&t| (kinds[2].0, kinds[2].1, sizes[0], t, Mode::Rounds)),
     );
     let mut best: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
     for _ in 0..reps {
-        for (slot, &(kind, ks, n, t, over_tcp)) in cells.iter().enumerate() {
-            let m = if over_tcp {
-                run_once_tcp(kind, ks, n, t)
-            } else {
-                run_once(kind, ks, n, t)
+        for (slot, &(kind, ks, n, t, mode)) in cells.iter().enumerate() {
+            let m = match mode {
+                Mode::InProc => run_once(kind, ks, n, t),
+                Mode::Tcp => run_once_tcp(kind, ks, n, t),
+                Mode::Rounds => run_once_rounds(kind, ks, n, t),
             };
             if best[slot]
                 .as_ref()

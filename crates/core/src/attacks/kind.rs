@@ -5,7 +5,7 @@
 use ldp_protocols::ProtocolError;
 
 use super::numeric::NumericScenario;
-use super::scenarios::{InferenceScenario, PieScenario, ReidentScenario};
+use super::scenarios::{AveragingScenario, InferenceScenario, PieScenario, ReidentScenario};
 use super::MAX_METRIC_SLOTS;
 use crate::inference::{AttackClassifier, AttackModel, InferenceOutcome};
 use crate::pie::PieDecision;
@@ -65,6 +65,21 @@ pub struct InferenceConfig {
     pub classifier: AttackClassifier,
 }
 
+/// Configuration of the longitudinal averaging attack: a re-identification
+/// adversary who pools each target's sanitized reports across `rounds`
+/// collection rounds before matching (per-attribute majority vote over the
+/// per-round deniability guesses). This is the risk that distinguishes the
+/// budget policies: fresh ε/R randomization leaks a new view every round,
+/// memoization replays one view and stays flat.
+#[derive(Debug, Clone)]
+pub struct AveragingConfig {
+    /// Number of pooled collection rounds; the observed wire must hold
+    /// `rounds · n` messages, round-major.
+    pub rounds: usize,
+    /// The underlying single-round re-identification configuration.
+    pub reident: ReidentConfig,
+}
+
 /// Configuration of the numeric value-range inference attack against mixed
 /// solutions (see [`NumericScenario`](super::NumericScenario)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +129,10 @@ pub enum AttackKind {
     },
     /// Numeric value-range inference (mixed solutions only).
     NumericValueRange(NumericConfig),
+    /// Longitudinal averaging: re-identification over reports pooled across
+    /// rounds (§ longitudinal risk; rises with rounds under ε-splitting,
+    /// flat under memoization).
+    Averaging(AveragingConfig),
 }
 
 impl AttackKind {
@@ -129,6 +148,15 @@ impl AttackKind {
             AttackKind::PieAudit { beta } => format!("PIE[beta={beta}]"),
             AttackKind::NumericValueRange(cfg) => {
                 format!("NUM-VRI[dim={},B={}]", cfg.dim, cfg.buckets)
+            }
+            AttackKind::Averaging(cfg) => {
+                let ks: Vec<String> = cfg.reident.top_ks.iter().map(|k| k.to_string()).collect();
+                format!(
+                    "AVG[R={}]({})[{}]",
+                    cfg.rounds,
+                    cfg.reident.background.name(),
+                    ks.join(",")
+                )
             }
         }
     }
@@ -213,6 +241,15 @@ impl AttackKind {
                     });
                 }
             }
+            AttackKind::Averaging(cfg) => {
+                if cfg.rounds == 0 {
+                    return Err(ProtocolError::InvalidPrior {
+                        reason: "the averaging attack needs at least one round to pool".to_string(),
+                    });
+                }
+                // The inner re-identification config shares Reident's rules.
+                AttackKind::Reident(cfg.reident.clone()).build()?;
+            }
         }
         Ok(match self {
             AttackKind::Reident(cfg) => DynAttack::Reident(ReidentScenario::new(cfg)),
@@ -223,6 +260,7 @@ impl AttackKind {
             AttackKind::NumericValueRange(cfg) => {
                 DynAttack::NumericValueRange(NumericScenario::new(cfg))
             }
+            AttackKind::Averaging(cfg) => DynAttack::Averaging(AveragingScenario::new(cfg)),
         })
     }
 }
@@ -246,6 +284,8 @@ pub enum DynAttack {
     PieAudit(PieScenario),
     /// See [`NumericScenario`].
     NumericValueRange(NumericScenario),
+    /// See [`AveragingScenario`].
+    Averaging(AveragingScenario),
 }
 
 impl DynAttack {
@@ -256,6 +296,7 @@ impl DynAttack {
             DynAttack::SampledAttribute(s) => AttackKind::SampledAttribute(s.config().clone()),
             DynAttack::PieAudit(s) => AttackKind::PieAudit { beta: s.beta() },
             DynAttack::NumericValueRange(s) => AttackKind::NumericValueRange(*s.config()),
+            DynAttack::Averaging(s) => AttackKind::Averaging(s.config().clone()),
         }
     }
 
@@ -276,6 +317,7 @@ impl super::Attack for DynAttack {
             DynAttack::SampledAttribute(s) => super::Attack::needs_observation(s),
             DynAttack::PieAudit(s) => super::Attack::needs_observation(s),
             DynAttack::NumericValueRange(s) => super::Attack::needs_observation(s),
+            DynAttack::Averaging(s) => super::Attack::needs_observation(s),
         }
     }
 
@@ -289,6 +331,7 @@ impl super::Attack for DynAttack {
             DynAttack::SampledAttribute(s) => super::Attack::fit(s, view, rng),
             DynAttack::PieAudit(s) => super::Attack::fit(s, view, rng),
             DynAttack::NumericValueRange(s) => super::Attack::fit(s, view, rng),
+            DynAttack::Averaging(s) => super::Attack::fit(s, view, rng),
         }
     }
 }

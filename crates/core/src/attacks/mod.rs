@@ -27,13 +27,13 @@ mod numeric;
 mod scenarios;
 
 pub use kind::{
-    AttackKind, AttackOutcome, BackgroundKnowledge, DynAttack, InferenceConfig, NumericConfig,
-    NumericOutcome, PieOutcome, ReidentConfig, ReidentOutcome,
+    AttackKind, AttackOutcome, AveragingConfig, BackgroundKnowledge, DynAttack, InferenceConfig,
+    NumericConfig, NumericOutcome, PieOutcome, ReidentConfig, ReidentOutcome,
 };
 pub use numeric::{FittedNumeric, NumericScenario};
 pub use scenarios::{
-    FittedInference, FittedPie, FittedReident, InferenceScenario, PieScenario, ReidentEval,
-    ReidentScenario,
+    AveragingScenario, FittedInference, FittedPie, FittedReident, InferenceScenario, PieScenario,
+    ReidentEval, ReidentScenario,
 };
 
 use ldp_datasets::{Dataset, MixedDataset};

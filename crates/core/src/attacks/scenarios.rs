@@ -5,8 +5,8 @@ use ldp_protocols::deniability::{best_guess_report, best_guess_with};
 use rand::RngCore;
 
 use super::kind::{
-    AttackKind, AttackOutcome, BackgroundKnowledge, InferenceConfig, PieOutcome, ReidentConfig,
-    ReidentOutcome,
+    AttackKind, AttackOutcome, AveragingConfig, BackgroundKnowledge, InferenceConfig, PieOutcome,
+    ReidentConfig, ReidentOutcome,
 };
 use super::{AdversaryView, Attack, FittedAttack};
 use crate::inference::{AttackModel, InferenceOutcome, SampledAttributeAttack};
@@ -244,6 +244,109 @@ impl FittedAttack for ReidentEval<'_> {
 
     fn outcome(&self, hit_counts: &[u64]) -> AttackOutcome {
         reident_outcome(self.index, self.top_ks, hit_counts, self.profiles.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Longitudinal averaging
+// ---------------------------------------------------------------------------
+
+/// The longitudinal averaging attack: a re-identification adversary who
+/// watches `rounds` collection rounds of the same population and pools each
+/// target's per-round deniability guesses **before** matching — per
+/// (user, attribute) majority vote, ties broken toward the earliest-observed
+/// value so the pooling is deterministic in the observed wire.
+///
+/// Against ε-splitting this grows along two axes at once: sampling solutions
+/// disclose a different attribute each fresh round (profile coverage
+/// `≈ d(1−(1−1/d)^R)`), and repeated views of the same attribute vote down
+/// the sanitization noise. Against memoization every round replays round 0's
+/// report, the vote is unanimous on a single view, and the pooled profile —
+/// hence the ASR — is exactly the single-round one.
+#[derive(Debug, Clone)]
+pub struct AveragingScenario {
+    config: AveragingConfig,
+}
+
+impl AveragingScenario {
+    /// Wraps a validated configuration (see `AttackKind::build`).
+    pub fn new(config: AveragingConfig) -> Self {
+        AveragingScenario { config }
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &AveragingConfig {
+        &self.config
+    }
+
+    /// Pools per-round profiles into one profile per user: for every
+    /// attribute any round observed, the prediction with the most round
+    /// votes wins (strict majority comparison → first value to reach the
+    /// top count wins ties, which is deterministic in round order).
+    fn pool_profiles(rounds: &[Vec<Profile>]) -> Vec<Profile> {
+        let n = rounds.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|user| {
+                // (attr, votes per value) in first-observed order; domains
+                // and d are small, so linear scans beat hashing here.
+                let mut votes: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
+                for round in rounds {
+                    for &(attr, value) in round[user].entries() {
+                        let slot = match votes.iter_mut().find(|(a, _)| *a == attr) {
+                            Some((_, counts)) => counts,
+                            None => {
+                                votes.push((attr, Vec::new()));
+                                &mut votes.last_mut().expect("just pushed").1
+                            }
+                        };
+                        match slot.iter_mut().find(|(v, _)| *v == value) {
+                            Some((_, c)) => *c += 1,
+                            None => slot.push((value, 1)),
+                        }
+                    }
+                }
+                let mut pooled = Profile::new();
+                for (attr, counts) in votes {
+                    let (winner, _) = counts
+                        .into_iter()
+                        .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
+                        .expect("an observed attribute has at least one vote");
+                    pooled.observe(attr, winner);
+                }
+                pooled
+            })
+            .collect()
+    }
+}
+
+impl Attack for AveragingScenario {
+    fn name(&self) -> String {
+        AttackKind::Averaging(self.config.clone()).name()
+    }
+
+    fn fit(&self, view: &AdversaryView<'_>, rng: &mut dyn RngCore) -> Box<dyn FittedAttack> {
+        let n = view.dataset.n();
+        let rounds = self.config.rounds.max(1);
+        assert_eq!(
+            view.observed.len(),
+            rounds * n,
+            "the averaging attack needs rounds·n observed messages, round-major"
+        );
+        let inner = ReidentScenario::new(self.config.reident.clone());
+        let per_round: Vec<Vec<Profile>> = (0..rounds)
+            .map(|r| {
+                let sub = AdversaryView {
+                    observed: &view.observed[r * n..(r + 1) * n],
+                    ..*view
+                };
+                inner.profile_round(&sub, rng)
+            })
+            .collect();
+        Box::new(FittedReident {
+            index: inner.build_index(view.dataset),
+            profiles: AveragingScenario::pool_profiles(&per_round),
+            top_ks: self.config.reident.top_ks.clone(),
+        })
     }
 }
 
@@ -693,6 +796,104 @@ mod tests {
     }
 
     #[test]
+    fn averaging_over_one_round_matches_plain_reident() {
+        let ks = [6usize, 8, 5, 4];
+        let ds = skewed_dataset(200, &ks, 22);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 8.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 23);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+            numeric_truth: None,
+        };
+        let plain = AttackKind::Reident(ReidentConfig::default())
+            .build()
+            .unwrap();
+        let pooled = AttackKind::Averaging(AveragingConfig {
+            rounds: 1,
+            reident: ReidentConfig::default(),
+        })
+        .build()
+        .unwrap();
+        let a = evaluate_serial(Attack::fit(&plain, &view, &mut fit_rng(24)).as_ref(), 24);
+        let b = evaluate_serial(Attack::fit(&pooled, &view, &mut fit_rng(24)).as_ref(), 24);
+        let (a, b) = (a.reident().unwrap(), b.reident().unwrap());
+        assert_eq!(a.rid_acc, b.rid_acc, "R=1 pooling must be a no-op");
+    }
+
+    #[test]
+    fn averaging_pools_identical_rounds_into_the_single_round_profile() {
+        // A memoized campaign replays round 0 on every round: pooling R
+        // identical copies must reproduce the single-round ASR exactly.
+        let ks = [6usize, 8, 5, 4];
+        let ds = skewed_dataset(200, &ks, 25);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 8.0)
+            .unwrap();
+        let one_round = observe(&solution, &ds, 26);
+        let replayed: Vec<SolutionReport> = (0..4).flat_map(|_| one_round.clone()).collect();
+        let single = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &one_round,
+            numeric_truth: None,
+        };
+        let longitudinal = AdversaryView {
+            observed: &replayed,
+            ..single
+        };
+        // GRR's deniability guess is deterministic (the reported value), so
+        // identical rounds yield identical per-round profiles even though
+        // profiling consumes rng.
+        let plain = AttackKind::Reident(ReidentConfig::default())
+            .build()
+            .unwrap();
+        let pooled = AttackKind::Averaging(AveragingConfig {
+            rounds: 4,
+            reident: ReidentConfig::default(),
+        })
+        .build()
+        .unwrap();
+        let a = evaluate_serial(Attack::fit(&plain, &single, &mut fit_rng(27)).as_ref(), 27);
+        let b = evaluate_serial(
+            Attack::fit(&pooled, &longitudinal, &mut fit_rng(27)).as_ref(),
+            27,
+        );
+        assert_eq!(
+            a.reident().unwrap().rid_acc,
+            b.reident().unwrap().rid_acc,
+            "memoized replay must leave the averaging adversary exactly where one round does"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds·n observed messages")]
+    fn averaging_rejects_a_short_wire() {
+        let ks = [4usize, 3];
+        let ds = skewed_dataset(50, &ks, 28);
+        let solution = SolutionKind::Smp(ProtocolKind::Grr)
+            .build(&ks, 2.0)
+            .unwrap();
+        let observed = observe(&solution, &ds, 29);
+        let view = AdversaryView {
+            dataset: &ds,
+            solution: &solution,
+            observed: &observed,
+            numeric_truth: None,
+        };
+        let pooled = AttackKind::Averaging(AveragingConfig {
+            rounds: 3,
+            reident: ReidentConfig::default(),
+        })
+        .build()
+        .unwrap();
+        Attack::fit(&pooled, &view, &mut fit_rng(30));
+    }
+
+    #[test]
     fn attack_kind_build_validates() {
         assert!(AttackKind::Reident(ReidentConfig {
             top_ks: vec![],
@@ -761,6 +962,22 @@ mod tests {
         .is_err());
         assert!(AttackKind::PieAudit { beta: 1.5 }.build().is_err());
         assert!(AttackKind::PieAudit { beta: 0.9 }.build().is_ok());
+        // Averaging validates its round count and its inner reident config.
+        assert!(AttackKind::Averaging(AveragingConfig {
+            rounds: 0,
+            reident: ReidentConfig::default(),
+        })
+        .build()
+        .is_err());
+        assert!(AttackKind::Averaging(AveragingConfig {
+            rounds: 2,
+            reident: ReidentConfig {
+                top_ks: vec![],
+                ..ReidentConfig::default()
+            },
+        })
+        .build()
+        .is_err());
     }
 
     #[test]
@@ -778,6 +995,14 @@ mod tests {
             "AIF[NK]"
         );
         assert_eq!(AttackKind::PieAudit { beta: 0.5 }.name(), "PIE[beta=0.5]");
+        assert_eq!(
+            AttackKind::Averaging(AveragingConfig {
+                rounds: 4,
+                reident: ReidentConfig::default(),
+            })
+            .name(),
+            "AVG[R=4](FK-RI)[1,10]"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::runner::{run_experiments, ExpStatus, RunOptions};
 use crate::serve::{solution_from_id, ListenOpts, ServeDataset, ServeSpec};
 use crate::ExpConfig;
 use ldp_sim::traffic::TrafficShape;
+use ldp_sim::BudgetPolicy;
 
 /// Usage text printed by `risks help` and on parse errors.
 pub const USAGE: &str = "\
@@ -41,6 +42,13 @@ SERVE OPTIONS (plus --scale/--seed/--threads/--out/--quiet from above):
     --eps <F>        user-level privacy budget ε (default 1.0)
     --users <N>      exact population size (overrides --scale; lets soak
                      runs exceed the paper-scale cap)
+    --rounds <R>     longitudinal mode: every user reports R times, one
+                     epoch per round (default 1)
+    --budget <ID>    split | memoize — how the campaign spends ε across
+                     rounds: ε/R per round, or sanitize once and replay
+                     the memoized report (default split)
+    --retain <W>     closed-epoch snapshots the server keeps for windowed
+                     queries (default 4; serve-side only)
     --listen <ADDR>  networked mode: bind the versioned wire-protocol
                      listener (`127.0.0.1:0` picks a free port) and
                      aggregate remote `risks produce` sessions instead of
@@ -49,9 +57,14 @@ SERVE OPTIONS (plus --scale/--seed/--threads/--out/--quiet from above):
                      the final drain (default 1)
     --addr-file <P>  with --listen: write the bound address to file P
                      (how scripts discover an ephemeral port)
+    --read-timeout-ms <MS>
+                     with --listen: ABORT a producer connection silent for
+                     MS milliseconds so a hung process cannot wedge the
+                     drain barrier (default 0 = no timeout)
 
-PRODUCE OPTIONS (--solution/--dataset/--shape/--eps/--users/--scale/--seed
-and --quiet from above; every spec flag must match the serving process):
+PRODUCE OPTIONS (--solution/--dataset/--shape/--eps/--users/--rounds/
+--budget/--scale/--seed and --quiet from above; every spec flag must match
+the serving process):
     --connect <ADDR>      server address (e.g. the --addr-file contents)
     --part <i/N>          stream only users with uid mod N == i, so N
                           producers with parts 0/N…(N-1)/N cover the
@@ -215,6 +228,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut quiet = false;
             let (mut listen_addr, mut producers, mut addr_file) =
                 (None::<String>, None::<usize>, None::<String>);
+            let mut read_timeout_ms = None::<u64>;
             while let Some(arg) = it.next() {
                 if parse_spec_flag(arg, &mut it, &mut spec)? {
                     continue;
@@ -229,6 +243,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         )
                     }
                     "--producers" => producers = Some(flag_value(arg, it.next())?),
+                    "--read-timeout-ms" => read_timeout_ms = Some(flag_value(arg, it.next())?),
                     "--addr-file" => {
                         addr_file = Some(
                             it.next()
@@ -254,9 +269,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     addr,
                     producers: producers.unwrap_or(1).max(1),
                     addr_file: addr_file.map(std::path::PathBuf::from),
+                    read_timeout_ms: read_timeout_ms.unwrap_or(0),
                 }),
-                None if producers.is_some() || addr_file.is_some() => {
-                    return Err("`--producers` and `--addr-file` require `--listen`".to_string())
+                None if producers.is_some() || addr_file.is_some() || read_timeout_ms.is_some() => {
+                    return Err(
+                        "`--producers`, `--addr-file` and `--read-timeout-ms` require `--listen`"
+                            .to_string(),
+                    )
                 }
                 None => None,
             };
@@ -356,6 +375,25 @@ fn parse_spec_flag<'a>(
                 return Err("`--users` must be at least 1".to_string());
             }
             spec.users = Some(users);
+        }
+        "--rounds" => {
+            let rounds: usize = flag_value(arg, it.next())?;
+            if rounds == 0 {
+                return Err("`--rounds` must be at least 1".to_string());
+            }
+            spec.rounds = rounds;
+        }
+        "--retain" => {
+            let retain: usize = flag_value(arg, it.next())?;
+            if retain == 0 {
+                return Err("`--retain` must keep at least 1 epoch window".to_string());
+            }
+            spec.retain = retain;
+        }
+        "--budget" => {
+            let raw = it.next().ok_or("`--budget` needs an id")?;
+            spec.budget = BudgetPolicy::from_id(raw)
+                .ok_or_else(|| format!("unknown budget policy `{raw}` (split | memoize)"))?;
         }
         _ => return Ok(false),
     }
@@ -665,6 +703,60 @@ mod tests {
                 assert_eq!(spec.epsilon, 2.5);
                 assert_eq!(threads, Some(8));
                 assert!(quiet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_longitudinal_flags() {
+        let cmd = parse(&s(&[
+            "serve", "--rounds", "4", "--budget", "memoize", "--retain", "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { spec, .. } => {
+                assert_eq!(spec.rounds, 4);
+                assert_eq!(spec.budget, BudgetPolicy::Memoize);
+                assert_eq!(spec.retain, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The spec flags are shared with `produce` so fleets can match the
+        // serving process.
+        match parse(&s(&[
+            "produce",
+            "--connect",
+            "h:1",
+            "--rounds",
+            "2",
+            "--budget",
+            "split",
+        ]))
+        .unwrap()
+        {
+            Command::Produce { spec, .. } => {
+                assert_eq!(spec.rounds, 2);
+                assert_eq!(spec.budget, BudgetPolicy::SplitEps);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&s(&["serve", "--rounds", "0"])).is_err());
+        assert!(parse(&s(&["serve", "--retain", "0"])).is_err());
+        assert!(parse(&s(&["serve", "--budget", "yolo"])).is_err());
+        // --read-timeout-ms is a listener option.
+        assert!(parse(&s(&["serve", "--read-timeout-ms", "50"])).is_err());
+        match parse(&s(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--read-timeout-ms",
+            "250",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { listen, .. } => {
+                assert_eq!(listen.unwrap().read_timeout_ms, 250);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -30,6 +30,7 @@ pub mod ablation;
 pub mod aif;
 pub mod cli;
 pub mod config;
+pub mod longitudinal;
 pub mod manifest;
 pub mod mse;
 pub mod numeric;

@@ -167,11 +167,15 @@ pub enum ExperimentKind {
     NumericMse,
     /// Extension: NUM-VRI value-range inference risk vs ε.
     NumericRisk,
+    /// Extension: averaging-attack ASR vs rounds under the budget policies.
+    LongitudinalRisk,
+    /// Extension: averaged-estimator MSE vs rounds under the budget policies.
+    LongitudinalMse,
 }
 
 impl ExperimentKind {
     /// Every experiment, in presentation order.
-    pub const ALL: [ExperimentKind; 19] = [
+    pub const ALL: [ExperimentKind; 21] = [
         ExperimentKind::Fig01,
         ExperimentKind::Fig02,
         ExperimentKind::Fig03,
@@ -191,6 +195,8 @@ impl ExperimentKind {
         ExperimentKind::AblationTopk,
         ExperimentKind::NumericMse,
         ExperimentKind::NumericRisk,
+        ExperimentKind::LongitudinalRisk,
+        ExperimentKind::LongitudinalMse,
     ];
 
     /// Stable identifier, equal to `build().id()`.
@@ -284,6 +290,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::AblationTopk => "ablation_topk",
             ExperimentKind::NumericMse => "numeric_mse",
             ExperimentKind::NumericRisk => "numeric_risk",
+            ExperimentKind::LongitudinalRisk => "longitudinal_risk",
+            ExperimentKind::LongitudinalMse => "longitudinal_mse",
         }
     }
 
@@ -312,6 +320,12 @@ impl Experiment for DynExperiment {
             ExperimentKind::NumericRisk => {
                 "NUM-VRI value-range inference accuracy vs the numeric mechanisms"
             }
+            ExperimentKind::LongitudinalRisk => {
+                "averaging-attack ASR vs rounds: eps-splitting vs memoization"
+            }
+            ExperimentKind::LongitudinalMse => {
+                "averaged-estimator MSE vs rounds: eps-splitting vs memoization"
+            }
         }
     }
 
@@ -336,6 +350,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::AblationTopk => "DESIGN.md ablation (Fig. 2 setting)",
             ExperimentKind::NumericMse => "extension (§7 outlook): numeric utility",
             ExperimentKind::NumericRisk => "extension (§7 outlook): numeric risk",
+            ExperimentKind::LongitudinalRisk => "extension (§7 outlook): longitudinal risk",
+            ExperimentKind::LongitudinalMse => "extension (§7 outlook): longitudinal utility",
         }
     }
 
@@ -359,6 +375,7 @@ impl Experiment for DynExperiment {
             | ExperimentKind::AblationClassifier => &["ACSEmployment"],
             ExperimentKind::Fig15 => &["Nursery"],
             ExperimentKind::NumericMse | ExperimentKind::NumericRisk => &["MixedSurvey"],
+            ExperimentKind::LongitudinalRisk | ExperimentKind::LongitudinalMse => &["Adult"],
         }
     }
 
@@ -388,6 +405,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::AblationTopk => &["ablation_topk.csv"],
             ExperimentKind::NumericMse => &["numeric_mse.csv"],
             ExperimentKind::NumericRisk => &["numeric_risk.csv"],
+            ExperimentKind::LongitudinalRisk => &["longitudinal_risk.csv"],
+            ExperimentKind::LongitudinalMse => &["longitudinal_mse.csv"],
         }
     }
 
@@ -414,6 +433,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::AblationTopk => 80.0,
             ExperimentKind::NumericMse => 40.0,
             ExperimentKind::NumericRisk => 85.0,
+            ExperimentKind::LongitudinalRisk => 180.0,
+            ExperimentKind::LongitudinalMse => 50.0,
         }
     }
 
@@ -438,6 +459,8 @@ impl Experiment for DynExperiment {
             ExperimentKind::AblationTopk => crate::ablation::run_topk(cfg),
             ExperimentKind::NumericMse => crate::numeric::run_mse(cfg),
             ExperimentKind::NumericRisk => crate::numeric::run_risk(cfg),
+            ExperimentKind::LongitudinalRisk => crate::longitudinal::run_risk(cfg),
+            ExperimentKind::LongitudinalMse => crate::longitudinal::run_mse(cfg),
         }
     }
 }

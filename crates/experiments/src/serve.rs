@@ -15,8 +15,8 @@ use std::time::Instant;
 use ldp_core::solutions::{RsFdProtocol, RsRfdProtocol, SolutionKind};
 use ldp_datasets::{corpora, Dataset};
 use ldp_protocols::{ProtocolKind, UeMode};
-use ldp_server::{ServerConfig, WireServer};
-use ldp_sim::{CollectionPipeline, CollectionRun, TrafficGenerator, TrafficShape};
+use ldp_server::{EpochSnapshot, ServerConfig, WireServer};
+use ldp_sim::{BudgetPolicy, CollectionPipeline, CollectionRun, TrafficGenerator, TrafficShape};
 
 use crate::manifest::{config_hash, git_rev, Manifest};
 use crate::table::{fnum, Table};
@@ -136,10 +136,17 @@ pub struct ServeSpec {
     pub dataset: ServeDataset,
     /// Arrival schedule shape.
     pub shape: TrafficShape,
-    /// User-level privacy budget ε.
+    /// User-level privacy budget ε (for the whole campaign: under
+    /// [`BudgetPolicy::SplitEps`] each of the `rounds` epochs spends ε/R).
     pub epsilon: f64,
     /// Explicit population size (`--users`), overriding `--scale`.
     pub users: Option<usize>,
+    /// Collection rounds (`--rounds`); every user reports once per round.
+    pub rounds: usize,
+    /// Closed-epoch snapshots the server retains (`--retain`).
+    pub retain: usize,
+    /// Longitudinal budget policy (`--budget split|memoize`).
+    pub budget: BudgetPolicy,
 }
 
 impl Default for ServeSpec {
@@ -150,6 +157,9 @@ impl Default for ServeSpec {
             shape: TrafficShape::Steady,
             epsilon: 1.0,
             users: None,
+            rounds: 1,
+            retain: 4,
+            budget: BudgetPolicy::SplitEps,
         }
     }
 }
@@ -166,6 +176,9 @@ pub struct ServeOutcome {
     /// Mean absolute error of the normalized estimates vs the dataset's
     /// true marginals, averaged over every attribute-value cell.
     pub mae: f64,
+    /// Closed per-epoch windows the server retained (newest-`retain` of the
+    /// `rounds` epochs; empty for a single-round run).
+    pub epochs: Vec<EpochSnapshot>,
 }
 
 /// Streams `spec` under `cfg` and measures it.
@@ -178,7 +191,14 @@ pub fn run_serve(spec: &ServeSpec, cfg: &ExpConfig) -> ServeOutcome {
         .threads(cfg.threads);
     let traffic = TrafficGenerator::new(spec.shape, dataset.n()).seed(cfg.seed);
     let started = Instant::now();
-    let run = pipeline.serve(&dataset, &traffic);
+    let (run, epochs) = if spec.rounds > 1 {
+        let longitudinal = pipeline
+            .serve_rounds(&dataset, &traffic, spec.rounds, spec.budget, spec.retain)
+            .expect("serve spec validated at parse time");
+        (longitudinal.cumulative, longitudinal.epochs)
+    } else {
+        (pipeline.serve(&dataset, &traffic), Vec::new())
+    };
     let wall_secs = started.elapsed().as_secs_f64();
     let mae = mean_abs_error(&run.normalized, &dataset.marginals());
     ServeOutcome {
@@ -186,6 +206,7 @@ pub fn run_serve(spec: &ServeSpec, cfg: &ExpConfig) -> ServeOutcome {
         run,
         wall_secs,
         mae,
+        epochs,
     }
 }
 
@@ -199,6 +220,10 @@ pub struct ListenOpts {
     /// File to write the bound address to (for scripted producers when the
     /// port is ephemeral).
     pub addr_file: Option<PathBuf>,
+    /// Socket read timeout in milliseconds (`--read-timeout-ms`); a producer
+    /// silent for longer is ABORTed so it cannot wedge the drain barrier.
+    /// `0` disables the timeout.
+    pub read_timeout_ms: u64,
 }
 
 /// Binds a [`WireServer`] for `spec`, waits for `producers` DRAINed
@@ -217,17 +242,24 @@ pub fn run_serve_listen(
     let dataset = spec.dataset.build_sized(cfg, spec.users);
     let ks = dataset.schema().cardinalities();
     let truth = dataset.marginals();
-    let expected = dataset.n() as u64;
+    let expected = dataset.n() as u64 * spec.rounds as u64;
     drop(dataset);
+    // The wire handshake fingerprints the solution the producers actually
+    // run, which under ε-splitting is the ε/R per-round rebuild.
     let solution = spec
         .solution
         .build(&ks, spec.epsilon)
+        .and_then(|s| spec.budget.round_solution(&s, spec.rounds))
         .expect("serve spec validated at parse time");
     let server = WireServer::bind(
         listen.addr.as_str(),
         solution,
-        ServerConfig::default().shards(cfg.threads),
-    )?;
+        ServerConfig::default()
+            .shards(cfg.threads)
+            .retain(spec.retain)
+            .read_timeout_ms(listen.read_timeout_ms),
+    )?
+    .producers(listen.producers);
     let addr = server.local_addr();
     if let Some(path) = &listen.addr_file {
         std::fs::write(path, format!("{addr}\n"))?;
@@ -239,6 +271,7 @@ pub fn run_serve_listen(
     let started = Instant::now();
     server.wait_for_producers(listen.producers);
     let rejected = server.rejected_connections();
+    let epochs = server.epochs();
     let snapshot = server.finish();
     let wall_secs = started.elapsed().as_secs_f64();
     if snapshot.n != expected {
@@ -263,7 +296,26 @@ pub fn run_serve_listen(
         },
         wall_secs,
         mae,
+        epochs,
     })
+}
+
+/// The per-epoch windowed view of a longitudinal serve run: one row per
+/// retained closed epoch (`risks serve --rounds R --retain W`).
+fn windows_table(outcome: &ServeOutcome) -> Table {
+    let mut table = Table::new(
+        "retained epoch windows".to_string(),
+        &["epoch", "n", "reports_per_user_attr"],
+    );
+    for epoch in &outcome.epochs {
+        let cells: usize = epoch.snapshot.normalized.iter().map(Vec::len).sum();
+        table.row(vec![
+            epoch.epoch.to_string(),
+            epoch.snapshot.n.to_string(),
+            fnum(epoch.snapshot.n as f64 / cells.max(1) as f64),
+        ]);
+    }
+    table
 }
 
 /// Mean absolute cell-wise difference between two estimate matrices.
@@ -294,11 +346,14 @@ pub fn serve_hash_id(spec: &ServeSpec) -> String {
         .find(|(_, kind)| *kind == spec.solution)
         .map_or("custom", |(id, _)| id);
     format!(
-        "serve:{solution_id}:{}:{}:{}:{}",
+        "serve:{solution_id}:{}:{}:{}:{}:{}:{}:{}",
         spec.dataset,
         spec.shape,
         spec.epsilon.to_bits(),
-        spec.users.map_or(-1i64, |u| u as i64)
+        spec.users.map_or(-1i64, |u| u as i64),
+        spec.rounds,
+        spec.retain,
+        spec.budget.id()
     )
 }
 
@@ -341,11 +396,15 @@ pub fn execute_serve(
         .find(|(_, kind)| *kind == spec.solution)
         .map_or("custom", |(id, _)| id);
     eprintln!(
-        "[risks] serve {} on {} ({} traffic): eps={} threads={} seed={} scale={} users={}",
+        "[risks] serve {} on {} ({} traffic): eps={} rounds={} budget={} retain={} threads={} \
+         seed={} scale={} users={}",
         solution_id,
         spec.dataset,
         spec.shape,
         spec.epsilon,
+        spec.rounds,
+        spec.budget,
+        spec.retain,
         cfg.threads,
         cfg.seed,
         cfg.scale,
@@ -373,6 +432,8 @@ pub fn execute_serve(
             "dataset",
             "shape",
             "eps",
+            "rounds",
+            "budget",
             "n",
             "threads",
             "wall_s",
@@ -385,6 +446,8 @@ pub fn execute_serve(
         spec.dataset.id().to_string(),
         spec.shape.id().to_string(),
         fnum(spec.epsilon),
+        spec.rounds.to_string(),
+        spec.budget.id().to_string(),
         outcome.run.n.to_string(),
         cfg.threads.to_string(),
         fnum(outcome.wall_secs),
@@ -396,6 +459,13 @@ pub fn execute_serve(
     }
     table.write_csv(&cfg.out_dir, "serve.csv");
     write_estimates_csv(&outcome, cfg);
+    if !outcome.epochs.is_empty() {
+        let windows = windows_table(&outcome);
+        if !quiet {
+            print!("{}", windows.render());
+        }
+        windows.write_csv(&cfg.out_dir, "serve_windows.csv");
+    }
     let manifest = Manifest {
         id: "serve".to_string(),
         config_hash: config_hash(&serve_hash_id(spec), cfg),
@@ -406,7 +476,15 @@ pub fn execute_serve(
         wall_secs: outcome.wall_secs,
         rows: table.len(),
         git_rev: git_rev(),
-        outputs: vec!["serve.csv".to_string(), "serve_estimates.csv".to_string()],
+        outputs: if outcome.epochs.is_empty() {
+            vec!["serve.csv".to_string(), "serve_estimates.csv".to_string()]
+        } else {
+            vec![
+                "serve.csv".to_string(),
+                "serve_estimates.csv".to_string(),
+                "serve_windows.csv".to_string(),
+            ]
+        },
     };
     let path = manifest.write(&cfg.out_dir);
     eprintln!(
@@ -449,22 +527,37 @@ pub fn execute_produce(
         cfg.seed
     );
     let started = Instant::now();
-    let result = pipeline.serve_remote_part(
-        &dataset,
-        &traffic,
-        connect,
-        part,
-        parts,
-        snapshot_every,
-        &mut |snapshot| {
-            if !quiet {
-                eprintln!(
-                    "[risks] produce {part}/{parts}: server aggregate at {} reports",
-                    snapshot.n
-                );
-            }
-        },
-    );
+    // Multi-round fleets advance via the EPOCH barrier instead of
+    // incremental SNAPSHOT polling, so `snapshot_every` applies only to the
+    // single-round path.
+    let result = if spec.rounds > 1 {
+        pipeline.serve_remote_rounds(
+            &dataset,
+            &traffic,
+            connect,
+            part,
+            parts,
+            spec.rounds,
+            spec.budget,
+        )
+    } else {
+        pipeline.serve_remote_part(
+            &dataset,
+            &traffic,
+            connect,
+            part,
+            parts,
+            snapshot_every,
+            &mut |snapshot| {
+                if !quiet {
+                    eprintln!(
+                        "[risks] produce {part}/{parts}: server aggregate at {} reports",
+                        snapshot.n
+                    );
+                }
+            },
+        )
+    };
     let wall_secs = started.elapsed().as_secs_f64();
     match result {
         Ok(acked) => {
@@ -522,7 +615,7 @@ mod tests {
             dataset: ServeDataset::Nursery,
             shape: TrafficShape::Burst,
             epsilon: 2.0,
-            users: None,
+            ..ServeSpec::default()
         };
         let outcome = run_serve(&spec, &cfg);
         assert_eq!(outcome.run.n as usize, cfg.nursery(0).n());
@@ -583,6 +676,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             producers: 2,
             addr_file: Some(addr_file.clone()),
+            read_timeout_ms: 0,
         };
         let server = {
             let (spec, cfg, listen) = (spec.clone(), cfg.clone(), listen.clone());
@@ -621,6 +715,63 @@ mod tests {
     }
 
     #[test]
+    fn multi_round_listen_matches_the_in_process_longitudinal_run() {
+        let cfg = tiny_cfg();
+        let spec = ServeSpec {
+            dataset: ServeDataset::Nursery,
+            users: Some(300),
+            rounds: 2,
+            retain: 2,
+            budget: BudgetPolicy::SplitEps,
+            ..ServeSpec::default()
+        };
+        // Baseline: the in-process longitudinal serve at equal seed.
+        let baseline = run_serve(&spec, &cfg);
+        assert_eq!(baseline.run.n, 600);
+        assert_eq!(baseline.epochs.len(), 2);
+        // Networked: one producer drives both rounds through the EPOCH
+        // barrier; the drained cumulative aggregate and the retained epoch
+        // windows must match bit-for-bit.
+        let dir = std::env::temp_dir().join(format!("risks-serve-rounds-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let listen = ListenOpts {
+            addr: "127.0.0.1:0".to_string(),
+            producers: 1,
+            addr_file: Some(addr_file.clone()),
+            read_timeout_ms: 0,
+        };
+        let server = {
+            let (spec, cfg, listen) = (spec.clone(), cfg.clone(), listen.clone());
+            std::thread::spawn(move || run_serve_listen(&spec, &cfg, &listen).unwrap())
+        };
+        while !addr_file.exists() {
+            std::thread::yield_now();
+        }
+        let addr = std::fs::read_to_string(&addr_file)
+            .unwrap()
+            .trim()
+            .to_string();
+        assert_eq!(execute_produce(&spec, &cfg, &addr, 0, 1, 0, true), 0);
+        let outcome = server.join().unwrap();
+        assert_eq!(outcome.run.n, baseline.run.n);
+        assert_eq!(
+            outcome.run.aggregator.counts(),
+            baseline.run.aggregator.counts()
+        );
+        assert_eq!(outcome.epochs.len(), baseline.epochs.len());
+        for (remote, local) in outcome.epochs.iter().zip(&baseline.epochs) {
+            assert_eq!(remote.epoch, local.epoch);
+            assert_eq!(remote.snapshot.n, local.snapshot.n);
+            assert_eq!(
+                remote.snapshot.aggregator.counts(),
+                local.snapshot.aggregator.counts()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mean_abs_error_handles_empty_input() {
         assert_eq!(mean_abs_error(&[], &[]), 0.0);
         assert!(mean_abs_error(&[vec![0.5, 0.5]], &[vec![0.25, 0.75]]) - 0.25 < 1e-12);
@@ -652,6 +803,18 @@ mod tests {
             },
             ServeSpec {
                 users: Some(12_345),
+                ..base.clone()
+            },
+            ServeSpec {
+                rounds: 4,
+                ..base.clone()
+            },
+            ServeSpec {
+                retain: 8,
+                ..base.clone()
+            },
+            ServeSpec {
+                budget: BudgetPolicy::Memoize,
                 ..base.clone()
             },
         ];

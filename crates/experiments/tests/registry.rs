@@ -26,7 +26,7 @@ fn every_kind_constructs_with_unique_ids_and_outputs() {
         }
         assert_eq!(ExperimentKind::from_id(exp.id()), Some(kind));
     }
-    assert_eq!(ids.len(), 19, "the registry covers all 19 experiments");
+    assert_eq!(ids.len(), 21, "the registry covers all 21 experiments");
 }
 
 #[test]

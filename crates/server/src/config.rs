@@ -21,6 +21,18 @@ pub struct ServerConfig {
     /// Preferred number of envelopes per channel message when batching
     /// through [`LdpServer::ingest_batch`](crate::LdpServer::ingest_batch).
     pub batch: usize,
+    /// How many closed per-epoch snapshots the server retains in its epoch
+    /// ring (see [`LdpServer::advance_epoch`](crate::LdpServer::advance_epoch)).
+    /// Older epochs are folded into the cumulative aggregate and their
+    /// windowed snapshots dropped — retention bounds server memory at
+    /// `O(retain · Σ_j k_j)` however long a longitudinal campaign runs.
+    pub retain: usize,
+    /// Socket read timeout for the wire listener's connections, in
+    /// milliseconds; `0` disables the timeout. A connection that stays
+    /// silent longer than this is ABORTed and closed, so a hung producer
+    /// (dead process, half-open TCP session) can never pin a handler thread
+    /// — or wedge an epoch barrier — forever.
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +41,8 @@ impl Default for ServerConfig {
             shards: 2,
             queue_depth: 64,
             batch: 1024,
+            retain: 4,
+            read_timeout_ms: 0,
         }
     }
 }
@@ -53,12 +67,28 @@ impl ServerConfig {
         self
     }
 
+    /// Sets how many closed epoch snapshots the ring retains (clamped to
+    /// ≥ 1 — the current epoch's predecessor is always queryable).
+    pub fn retain(mut self, retain: usize) -> Self {
+        self.retain = retain.max(1);
+        self
+    }
+
+    /// Sets the wire listener's socket read timeout in milliseconds
+    /// (`0` disables it).
+    pub fn read_timeout_ms(mut self, ms: u64) -> Self {
+        self.read_timeout_ms = ms;
+        self
+    }
+
     /// The configuration with every field clamped to its valid range.
     pub(crate) fn sanitized(&self) -> ServerConfig {
         ServerConfig {
             shards: self.shards.max(1),
             queue_depth: self.queue_depth.max(1),
             batch: self.batch.max(1),
+            retain: self.retain.max(1),
+            read_timeout_ms: self.read_timeout_ms,
         }
     }
 }
@@ -69,10 +99,17 @@ mod tests {
 
     #[test]
     fn builders_clamp_to_valid_ranges() {
-        let cfg = ServerConfig::default().shards(0).queue_depth(0).batch(0);
+        let cfg = ServerConfig::default()
+            .shards(0)
+            .queue_depth(0)
+            .batch(0)
+            .retain(0)
+            .read_timeout_ms(250);
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.queue_depth, 1);
         assert_eq!(cfg.batch, 1);
+        assert_eq!(cfg.retain, 1);
+        assert_eq!(cfg.read_timeout_ms, 250);
     }
 
     #[test]
@@ -81,8 +118,10 @@ mod tests {
             shards: 0,
             queue_depth: 0,
             batch: 0,
+            retain: 0,
+            read_timeout_ms: 0,
         }
         .sanitized();
-        assert!(cfg.shards >= 1 && cfg.queue_depth >= 1 && cfg.batch >= 1);
+        assert!(cfg.shards >= 1 && cfg.queue_depth >= 1 && cfg.batch >= 1 && cfg.retain >= 1);
     }
 }

@@ -40,20 +40,25 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use ldp_core::solutions::DynSolution;
 
 use crate::config::ServerConfig;
 use crate::service::{Envelope, LdpServer};
-use crate::snapshot::ServerSnapshot;
+use crate::snapshot::{EpochSnapshot, ServerSnapshot};
 use crate::wire::{read_frame, solution_fingerprint, write_frame, Frame, WireError, WireSnapshot};
 
 /// Abort code sent to peers that fail the handshake.
-const ABORT_HANDSHAKE: u16 = 1;
+pub const ABORT_HANDSHAKE: u16 = 1;
 /// Abort code sent to peers whose frame stream is malformed.
-const ABORT_PROTOCOL: u16 = 2;
+pub const ABORT_PROTOCOL: u16 = 2;
+/// Abort code sent to peers that stayed silent past the configured read
+/// timeout (see [`ServerConfig::read_timeout_ms`]) — either mid-session or
+/// while the rest of their fleet waited for them at an EPOCH barrier.
+pub const ABORT_TIMEOUT: u16 = 3;
 
 /// A TCP ingestion frontend wrapping one [`LdpServer`].
 ///
@@ -70,16 +75,123 @@ pub struct WireServer {
     stats: Arc<NetStats>,
 }
 
-/// Shared connection counters (diagnostics; none of these participate in
-/// the determinism contract).
-#[derive(Debug, Default)]
+/// Shared connection state: diagnostics counters (none of which
+/// participate in the determinism contract) plus the fleet-wide EPOCH
+/// barrier for longitudinal producers.
+#[derive(Debug)]
 struct NetStats {
-    /// Connections that completed a DRAIN handshake.
-    drained: AtomicUsize,
+    /// Connections that completed a DRAIN handshake. Guarded by a mutex
+    /// (not an atomic) so [`WireServer::wait_for_producers`] can sleep on
+    /// `drained_cvar` without a missed-wakeup window between checking the
+    /// count and parking.
+    drained: Mutex<usize>,
+    /// Signaled on every clean drain.
+    drained_cvar: Condvar,
     /// Connections dropped for a protocol violation.
     rejected: AtomicUsize,
     /// Reports ingested over all connections.
     ingested: AtomicU64,
+    /// Declared producer-fleet size the EPOCH barrier waits for
+    /// (see [`WireServer::producers`]).
+    fleet: AtomicUsize,
+    /// EPOCH barrier state: the fleet's current round and how many
+    /// producers have arrived at its end.
+    gate: Mutex<EpochGate>,
+    /// Signaled when the barrier releases (the fleet's round advances).
+    gate_cvar: Condvar,
+}
+
+/// The EPOCH barrier's guarded state.
+#[derive(Debug, Default)]
+struct EpochGate {
+    /// The round the fleet is currently streaming.
+    round: u64,
+    /// Producers that already announced the end of this round.
+    arrived: usize,
+}
+
+impl NetStats {
+    fn new() -> NetStats {
+        NetStats {
+            drained: Mutex::new(0),
+            drained_cvar: Condvar::new(),
+            rejected: AtomicUsize::new(0),
+            ingested: AtomicU64::new(0),
+            fleet: AtomicUsize::new(1),
+            gate: Mutex::new(EpochGate::default()),
+            gate_cvar: Condvar::new(),
+        }
+    }
+
+    /// Records one clean DRAIN and wakes every fleet-rendezvous waiter.
+    fn note_drained(&self) {
+        let mut drained = self.drained.lock().expect("drain counter poisoned");
+        *drained += 1;
+        self.drained_cvar.notify_all();
+    }
+
+    /// Holds the caller at the fleet's EPOCH barrier for the end of
+    /// `round`. The last producer to arrive rotates the server's epoch and
+    /// releases everyone; returns the fleet's new current round (always
+    /// `round + 1`). A waiter that outlives `timeout` withdraws from the
+    /// barrier and errors — a hung fleet member must never wedge the rest
+    /// forever when a timeout is configured. Errors carry the abort code
+    /// the peer should see ([`ABORT_PROTOCOL`] for a round mismatch,
+    /// [`ABORT_TIMEOUT`] for an expired wait).
+    fn epoch_barrier(
+        &self,
+        server: &LdpServer,
+        round: u64,
+        timeout: Option<Duration>,
+    ) -> Result<u64, (u16, WireError)> {
+        let fleet = self.fleet.load(Ordering::SeqCst).max(1);
+        let mut gate = self.gate.lock().expect("epoch gate poisoned");
+        if round != gate.round {
+            return Err((
+                ABORT_PROTOCOL,
+                WireError::Payload(format!(
+                    "EPOCH announces the end of round {round}, but the fleet is on round {}",
+                    gate.round
+                )),
+            ));
+        }
+        gate.arrived += 1;
+        if gate.arrived >= fleet {
+            server.advance_epoch();
+            gate.round += 1;
+            gate.arrived = 0;
+            self.gate_cvar.notify_all();
+            return Ok(round + 1);
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Guard-loop wait: spurious wakeups re-check the round, so the
+        // barrier can never release early or miscount.
+        while gate.round <= round {
+            gate = match deadline {
+                None => self.gate_cvar.wait(gate).expect("epoch gate poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        gate.arrived -= 1;
+                        return Err((
+                            ABORT_TIMEOUT,
+                            WireError::Payload(format!(
+                                "EPOCH barrier for round {round} timed out waiting for \
+                                 the rest of the {fleet}-producer fleet"
+                            )),
+                        ));
+                    }
+                    self.gate_cvar
+                        .wait_timeout(gate, deadline - now)
+                        .expect("epoch gate poisoned")
+                        .0
+                }
+            };
+        }
+        // The fleet may already be racing ahead; what this producer is owed
+        // is the round right after the one it announced.
+        Ok(round + 1)
+    }
 }
 
 impl WireServer {
@@ -95,7 +207,7 @@ impl WireServer {
         let addr = listener.local_addr()?;
         let server = Arc::new(LdpServer::spawn(solution, config));
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(NetStats::default());
+        let stats = Arc::new(NetStats::new());
         let accept = {
             let server = Arc::clone(&server);
             let stop = Arc::clone(&stop);
@@ -119,9 +231,28 @@ impl WireServer {
         self.addr
     }
 
+    /// Declares the producer-fleet size the EPOCH barrier synchronizes
+    /// (clamped to ≥ 1; default 1). A longitudinal fleet must declare its
+    /// size before the producers connect — counting live connections
+    /// instead would race a late-connecting producer and release the
+    /// barrier early.
+    pub fn producers(self, n: usize) -> Self {
+        self.stats.fleet.store(n.max(1), Ordering::SeqCst);
+        self
+    }
+
     /// Connections that have completed a clean DRAIN handshake so far.
     pub fn drained_producers(&self) -> usize {
-        self.stats.drained.load(Ordering::SeqCst)
+        *self.stats.drained.lock().expect("drain counter poisoned")
+    }
+
+    /// The inner server's retained closed-epoch snapshots, oldest first —
+    /// the windowed-query surface of a longitudinal wire collection.
+    pub fn epochs(&self) -> Vec<EpochSnapshot> {
+        self.server
+            .as_ref()
+            .expect("server not yet finished")
+            .epochs()
     }
 
     /// Connections dropped for protocol violations so far.
@@ -137,11 +268,17 @@ impl WireServer {
 
     /// Blocks until at least `n` producer connections have drained cleanly
     /// — the server-side rendezvous for a fixed-size producer fleet.
+    /// Condvar-parked (no polling): the waiter burns no CPU however long
+    /// the fleet takes, and the guard loop re-checks the count on every
+    /// wakeup, so spurious wakeups can never miscount a producer.
     pub fn wait_for_producers(&self, n: usize) {
-        // Drains are rare, coarse events; a parked poll keeps this free of
-        // extra synchronization on the ingest path.
-        while self.drained_producers() < n {
-            std::thread::park_timeout(std::time::Duration::from_millis(2));
+        let mut drained = self.stats.drained.lock().expect("drain counter poisoned");
+        while *drained < n {
+            drained = self
+                .stats
+                .drained_cvar
+                .wait(drained)
+                .expect("drain counter poisoned");
         }
     }
 
@@ -205,7 +342,7 @@ fn accept_loop(
                 .spawn(move || {
                     match drive_connection(stream, &server, fingerprint, &stats) {
                         Ok(true) => {
-                            stats.drained.fetch_add(1, Ordering::SeqCst);
+                            stats.note_drained();
                         }
                         // A peer may disconnect without draining (e.g. a
                         // monitoring probe); that is not a violation.
@@ -234,6 +371,16 @@ fn drive_connection(
     // Frames are small relative to throughput; turn Nagle off so snapshot
     // and drain acks turn around immediately.
     let _ = stream.set_nodelay(true);
+    // The idle-connection guard: a producer that stays silent past the
+    // configured timeout surfaces as a WouldBlock/TimedOut read below,
+    // which ABORTs the connection instead of pinning this handler thread
+    // (and any quiesced snapshot barrier queued behind its shard traffic)
+    // forever. `0` keeps the historical block-forever behavior.
+    let read_timeout = match server.config().read_timeout_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    stream.set_read_timeout(read_timeout)?;
     let mut reader = BufReader::with_capacity(256 * 1024, stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
@@ -264,7 +411,7 @@ fn drive_connection(
         }
         Err(WireError::Closed) => return Ok(false),
         Err(e) => {
-            abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
+            abort(&mut writer, abort_code(&e), &e.to_string());
             return Err(e);
         }
     }
@@ -300,6 +447,23 @@ fn drive_connection(
                 write_frame(&mut writer, &Frame::Snapshot(WireSnapshot::from(&snapshot)))?;
                 writer.flush()?;
             }
+            Ok(Frame::Epoch { round }) => {
+                // Fleet lockstep: held here until every declared producer
+                // announces the end of `round`; the last arrival rotates
+                // the server's epoch. The wait is bounded by the same read
+                // timeout as the socket, so one hung fleet member aborts
+                // its peers' barriers instead of wedging them.
+                match stats.epoch_barrier(server, round, read_timeout) {
+                    Ok(current) => {
+                        write_frame(&mut writer, &Frame::Epoch { round: current })?;
+                        writer.flush()?;
+                    }
+                    Err((code, e)) => {
+                        abort(&mut writer, code, &e.to_string());
+                        return Err(e);
+                    }
+                }
+            }
             Ok(Frame::Drain) => {
                 write_frame(&mut writer, &Frame::DrainAck { n: ingested })?;
                 writer.flush()?;
@@ -316,10 +480,27 @@ fn drive_connection(
             }
             Err(WireError::Closed) => return Ok(false),
             Err(e) => {
-                abort(&mut writer, ABORT_PROTOCOL, &e.to_string());
+                abort(&mut writer, abort_code(&e), &e.to_string());
                 return Err(e);
             }
         }
+    }
+}
+
+/// Picks the abort code a failed read deserves: an expired socket read
+/// timeout is the peer idling ([`ABORT_TIMEOUT`]), anything else is a
+/// malformed stream ([`ABORT_PROTOCOL`]).
+fn abort_code(e: &WireError) -> u16 {
+    match e {
+        WireError::Io(io)
+            if matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            ABORT_TIMEOUT
+        }
+        _ => ABORT_PROTOCOL,
     }
 }
 
@@ -345,6 +526,7 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::Drain => "DRAIN",
         Frame::DrainAck { .. } => "DRAIN_ACK",
         Frame::Abort { .. } => "ABORT",
+        Frame::Epoch { .. } => "EPOCH",
     }
 }
 
@@ -478,6 +660,132 @@ mod tests {
         assert_eq!(server.rejected_connections(), 1);
         let snapshot = server.finish();
         assert_eq!(snapshot.n, 100, "corrupt frame must not poison a shard");
+    }
+
+    #[test]
+    fn wait_for_producers_parks_on_the_condvar_until_the_fleet_drains() {
+        let (server, solution) = spawn_server();
+        let addr = server.local_addr();
+        let server = Arc::new(server);
+        // The waiter parks *before* any producer drains — the miscount this
+        // guards against is a drain signaled between the waiter's count
+        // check and its park (the old busy-spin never slept long enough to
+        // expose it; the condvar closes the window by holding the lock
+        // across both).
+        let waiter = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.wait_for_producers(2))
+        };
+        for seed in [41u64, 43] {
+            let (mut reader, stream) = handshake(addr, &solution);
+            let mut writer = stream.try_clone().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut batch = CompactBatch::new();
+            for uid in 0..50u64 {
+                batch.push(uid, &solution.report(&[1, 2], &mut rng));
+            }
+            write_frame(&mut writer, &Frame::Batch(batch)).unwrap();
+            write_frame(&mut writer, &Frame::Drain).unwrap();
+            writer.flush().unwrap();
+            assert!(matches!(
+                read_frame(&mut reader).unwrap(),
+                Frame::DrainAck { n: 50 }
+            ));
+        }
+        waiter.join().expect("rendezvous waiter panicked");
+        assert_eq!(server.drained_producers(), 2);
+        let server = Arc::try_unwrap(server).expect("waiter released its handle");
+        assert_eq!(server.finish().n, 100);
+    }
+
+    #[test]
+    fn epoch_frames_advance_a_two_producer_fleet_in_lockstep() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            solution.clone(),
+            ServerConfig::default().shards(2).retain(8),
+        )
+        .unwrap()
+        .producers(2);
+        let addr = server.local_addr();
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut rounds_batches = Vec::new();
+        for _ in 0..2 {
+            let mut batch = CompactBatch::new();
+            for uid in 0..40u64 {
+                batch.push(uid, &solution.report(&[2, 1], &mut rng));
+            }
+            rounds_batches.push(batch);
+        }
+        // Two producers each stream one round then hit the barrier; the
+        // barrier must hold until BOTH arrive, then ack round 1 to both.
+        let mut sessions: Vec<_> = (0..2)
+            .map(|i| {
+                let solution = solution.clone();
+                let batch = rounds_batches[i].clone();
+                std::thread::spawn(move || {
+                    let (mut reader, stream) = {
+                        let stream = TcpStream::connect(addr).unwrap();
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let mut writer = stream.try_clone().unwrap();
+                        write_frame(
+                            &mut writer,
+                            &Frame::Hello {
+                                fingerprint: solution_fingerprint(&solution),
+                            },
+                        )
+                        .unwrap();
+                        writer.flush().unwrap();
+                        assert!(matches!(
+                            read_frame(&mut reader).unwrap(),
+                            Frame::HelloAck { .. }
+                        ));
+                        (reader, stream)
+                    };
+                    let mut writer = stream.try_clone().unwrap();
+                    write_frame(&mut writer, &Frame::Batch(batch)).unwrap();
+                    write_frame(&mut writer, &Frame::Epoch { round: 0 }).unwrap();
+                    writer.flush().unwrap();
+                    match read_frame(&mut reader).unwrap() {
+                        Frame::Epoch { round } => assert_eq!(round, 1),
+                        other => panic!("expected EPOCH ack, got {other:?}"),
+                    }
+                    write_frame(&mut writer, &Frame::Drain).unwrap();
+                    writer.flush().unwrap();
+                    assert!(matches!(
+                        read_frame(&mut reader).unwrap(),
+                        Frame::DrainAck { n: 40 }
+                    ));
+                })
+            })
+            .collect();
+        for session in sessions.drain(..) {
+            session.join().expect("producer session panicked");
+        }
+        server.wait_for_producers(2);
+        // One closed epoch holding both producers' round-0 batches.
+        let epochs = server.epochs();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].epoch, 0);
+        assert_eq!(epochs[0].snapshot.n, 80);
+        assert_eq!(server.finish().n, 80);
+    }
+
+    #[test]
+    fn mismatched_epoch_round_is_rejected() {
+        let (server, solution) = spawn_server();
+        let (mut reader, stream) = handshake(server.local_addr(), &solution);
+        let mut writer = stream.try_clone().unwrap();
+        write_frame(&mut writer, &Frame::Epoch { round: 7 }).unwrap();
+        writer.flush().unwrap();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Abort { code, .. } => assert_eq!(code, ABORT_PROTOCOL),
+            other => panic!("expected ABORT, got {other:?}"),
+        }
+        assert_eq!(server.finish().n, 0);
     }
 
     #[test]

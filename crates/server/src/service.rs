@@ -38,6 +38,8 @@
 //! envelope as a dedicated single-report message rather than wrapping it in
 //! a one-element batch.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -45,7 +47,7 @@ use std::thread::JoinHandle;
 use ldp_core::solutions::{CompactBatch, DynSolution, MultidimAggregator, SolutionReport};
 
 use crate::config::ServerConfig;
-use crate::snapshot::ServerSnapshot;
+use crate::snapshot::{EpochSnapshot, ServerSnapshot};
 
 /// Recycled batch buffers kept around per shard — sized to cover one
 /// in-flight buffer per concurrent producer for typical producer counts
@@ -77,6 +79,16 @@ enum Msg {
     /// Reply with a clone of the worker's shard state at this point of its
     /// queue (the estimate-while-ingesting snapshot protocol).
     Snapshot(Sender<MultidimAggregator>),
+    /// Epoch rotation: swap the worker's shard for the supplied fresh one
+    /// and hand the closed shard back — the per-epoch windowed-aggregation
+    /// protocol (channel FIFO scopes the closed shard to exactly the
+    /// messages sent before the rotation).
+    Rotate {
+        /// Empty aggregator the worker adopts for the next epoch.
+        fresh: MultidimAggregator,
+        /// Where the closed epoch's shard is sent.
+        reply: Sender<MultidimAggregator>,
+    },
 }
 
 /// A running ingestion service over one collection solution.
@@ -96,6 +108,16 @@ pub struct LdpServer {
     /// Per-shard pools of drained batch buffers returned by the workers for
     /// producer reuse (shard `s`'s worker only ever touches `pools[s]`).
     pools: Arc<Vec<Mutex<Vec<CompactBatch>>>>,
+    /// Cumulative aggregate over every **closed** epoch. Live shards hold
+    /// only the current epoch, so `closed + live shards` is always the full
+    /// collection — starting empty, which is why single-epoch callers see
+    /// bit-identical snapshots to the pre-epoch server.
+    closed: Mutex<MultidimAggregator>,
+    /// Retention ring of the last `config.retain` closed epochs' windowed
+    /// snapshots, oldest first.
+    ring: Mutex<VecDeque<EpochSnapshot>>,
+    /// Index of the epoch currently being collected.
+    epoch: AtomicU64,
 }
 
 /// Clears `buffer` and returns it to `pool` unless the pool is full (beyond
@@ -132,12 +154,16 @@ impl LdpServer {
             );
             txs.push(tx);
         }
+        let closed = Mutex::new(solution.aggregator());
         LdpServer {
             solution,
             config,
             txs,
             workers,
             pools,
+            closed,
+            ring: Mutex::new(VecDeque::new()),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -245,8 +271,76 @@ impl LdpServer {
             })
             .collect();
         // Reply order is arbitrary; the merge is exact integer addition, so
-        // the snapshot is independent of it.
-        ServerSnapshot::merge(self.solution.aggregator(), &shards)
+        // the snapshot is independent of it. Closed epochs re-enter through
+        // the cumulative base (empty until the first rotation).
+        let base = self.closed.lock().expect("epoch state poisoned").clone();
+        ServerSnapshot::merge(base, &shards)
+    }
+
+    /// Closes the current collection epoch: every worker swaps its shard
+    /// for a fresh one (channel FIFO scopes the closed shards to exactly
+    /// the envelopes ingested before this call — quiesce semantics are
+    /// built in), the closed shards merge into one windowed
+    /// [`EpochSnapshot`] pushed onto the retention ring, and their counts
+    /// fold into the cumulative aggregate so [`LdpServer::snapshot`] /
+    /// [`LdpServer::drain`] keep covering the full collection. Returns the
+    /// closed epoch's snapshot.
+    ///
+    /// Callers coordinating several producers must stop ingesting for the
+    /// closing epoch *before* advancing — the wire tier's EPOCH barrier
+    /// (see `ldp_server::net`) does exactly that for remote fleets.
+    ///
+    /// # Panics
+    /// Panics when a worker has died.
+    pub fn advance_epoch(&self) -> EpochSnapshot {
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        for tx in &self.txs {
+            tx.send(Msg::Rotate {
+                fresh: self.solution.aggregator(),
+                reply: reply_tx.clone(),
+            })
+            .expect("ingestion worker disconnected (did it panic?)");
+        }
+        drop(reply_tx);
+        let shards: Vec<MultidimAggregator> = (0..self.txs.len())
+            .map(|_| {
+                reply_rx
+                    .recv()
+                    .expect("ingestion worker dropped the rotation reply")
+            })
+            .collect();
+        let snapshot = ServerSnapshot::merge(self.solution.aggregator(), &shards);
+        {
+            let mut closed = self.closed.lock().expect("epoch state poisoned");
+            for shard in &shards {
+                closed.merge(shard);
+            }
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst);
+        let entry = EpochSnapshot { epoch, snapshot };
+        let mut ring = self.ring.lock().expect("epoch ring poisoned");
+        ring.push_back(entry.clone());
+        while ring.len() > self.config.retain {
+            ring.pop_front();
+        }
+        entry
+    }
+
+    /// Index of the epoch currently being collected (0 before the first
+    /// [`LdpServer::advance_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The retained closed-epoch snapshots, oldest first — at most
+    /// `config.retain` entries (the windowed-query surface).
+    pub fn epochs(&self) -> Vec<EpochSnapshot> {
+        self.ring
+            .lock()
+            .expect("epoch ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Graceful shutdown: closes every shard channel, waits for the workers
@@ -258,9 +352,9 @@ impl LdpServer {
     /// Panics when a worker thread panicked.
     pub fn drain(self) -> ServerSnapshot {
         let LdpServer {
-            solution,
             txs,
             workers,
+            closed,
             ..
         } = self;
         drop(txs);
@@ -268,7 +362,10 @@ impl LdpServer {
             .into_iter()
             .map(|worker| worker.join().expect("ingestion worker panicked"))
             .collect();
-        ServerSnapshot::merge(solution.aggregator(), &shards)
+        let base = closed
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ServerSnapshot::merge(base, &shards)
     }
 
     /// A cleared batch buffer for `shard`, recycled from its pool when one
@@ -306,6 +403,10 @@ fn worker_loop(
             }
             Msg::Snapshot(reply) => {
                 let _ = reply.send(aggregator.clone());
+            }
+            Msg::Rotate { fresh, reply } => {
+                let closed = std::mem::replace(&mut aggregator, fresh);
+                let _ = reply.send(closed);
             }
         }
     }
@@ -437,6 +538,69 @@ mod tests {
         assert_eq!(server.shard_of(0), 0);
         assert_eq!(server.shard_of(4), 1);
         assert_eq!(server.shard_of(5), 2);
+        server.drain();
+    }
+
+    #[test]
+    fn epoch_ring_windows_are_exact_and_cumulative_state_survives() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let envs = envelopes(&solution, 600, 23);
+        let server = LdpServer::spawn(
+            solution.clone(),
+            ServerConfig::default().shards(3).batch(32).retain(2),
+        );
+        assert_eq!(server.epoch(), 0);
+        for (e, chunk) in envs.chunks(200).enumerate() {
+            server.ingest_batch(chunk.iter().cloned());
+            let closed = server.advance_epoch();
+            assert_eq!(closed.epoch, e as u64);
+            // The windowed snapshot covers exactly this epoch's envelopes.
+            let mut reference = solution.aggregator();
+            for envelope in chunk {
+                reference.absorb(&envelope.report);
+            }
+            assert_eq!(closed.snapshot.n, 200);
+            assert_eq!(closed.snapshot.aggregator.counts(), reference.counts());
+        }
+        assert_eq!(server.epoch(), 3);
+        // Retention: only the last `retain` epochs stay queryable.
+        let retained = server.epochs();
+        assert_eq!(retained.len(), 2);
+        assert_eq!(
+            retained.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // The cumulative drain still covers every epoch, bit-identically to
+        // a batch pass — rotation never loses or double-counts a report.
+        let mut reference = solution.aggregator();
+        for e in &envs {
+            reference.absorb(&e.report);
+        }
+        let snap = server.drain();
+        assert_eq!(snap.n, 600);
+        assert_eq!(snap.aggregator.counts(), reference.counts());
+    }
+
+    #[test]
+    fn mid_epoch_snapshot_merges_closed_and_live_state() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let envs = envelopes(&solution, 300, 29);
+        let server = LdpServer::spawn(solution.clone(), ServerConfig::default().shards(2));
+        server.ingest_batch(envs[..100].iter().cloned());
+        server.advance_epoch();
+        server.ingest_batch(envs[100..].iter().cloned());
+        server.quiesce();
+        let snap = server.snapshot();
+        let mut reference = solution.aggregator();
+        for e in &envs {
+            reference.absorb(&e.report);
+        }
+        assert_eq!(snap.n, 300);
+        assert_eq!(snap.aggregator.counts(), reference.counts());
         server.drain();
     }
 

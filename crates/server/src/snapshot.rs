@@ -63,6 +63,20 @@ impl ServerSnapshot {
     }
 }
 
+/// One closed collection epoch in the server's retention ring: the merged
+/// per-epoch snapshot plus the epoch's index. Produced by
+/// [`LdpServer::advance_epoch`](crate::LdpServer::advance_epoch) and queried
+/// through [`LdpServer::epochs`](crate::LdpServer::epochs); covers **only**
+/// the reports absorbed during that epoch (the cumulative view stays
+/// available from [`LdpServer::snapshot`](crate::LdpServer::snapshot)).
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Zero-based index of the closed epoch.
+    pub epoch: u64,
+    /// Merged state of exactly the reports absorbed during this epoch.
+    pub snapshot: ServerSnapshot,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,9 +27,15 @@
 //! | 5    | DRAIN            | empty — producer is done                     |
 //! | 6    | DRAIN_ACK        | reports the server ingested from this conn   |
 //! | 7    | ABORT            | error code (u16) + UTF-8 message             |
+//! | 8    | EPOCH            | round index (u64) — epoch barrier / ack      |
 //!
 //! A session is `HELLO → HELLO_ACK`, then any interleaving of `BATCH` and
-//! `SNAPSHOT_REQUEST → SNAPSHOT`, closed by `DRAIN → DRAIN_ACK`. Version
+//! `SNAPSHOT_REQUEST → SNAPSHOT`, closed by `DRAIN → DRAIN_ACK`. A
+//! longitudinal producer additionally sends `EPOCH { round }` after its last
+//! batch of round `round`; the server holds the frame at a fleet-wide
+//! barrier, rotates its epoch once every producer has arrived, and acks with
+//! `EPOCH { round + 1 }` — the lockstep that keeps a remote fleet's rounds
+//! aligned with the server's windowed aggregation. Version
 //! negotiation is deliberately blunt: the header pins version 1, and a
 //! mismatch is rejected with a typed [`WireError::VersionMismatch`] before
 //! any payload byte is interpreted — there is exactly one wire dialect per
@@ -67,6 +73,7 @@ const FT_SNAPSHOT: u8 = 4;
 const FT_DRAIN: u8 = 5;
 const FT_DRAIN_ACK: u8 = 6;
 const FT_ABORT: u8 = 7;
+const FT_EPOCH: u8 = 8;
 
 const FLAG_QUIESCE: u8 = 1;
 
@@ -213,6 +220,13 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// Epoch lockstep. Client → server: "I finished streaming round
+    /// `round`" (held at the fleet barrier). Server → client: "the fleet
+    /// advanced; the current round is now `round`".
+    Epoch {
+        /// Collection round index (see direction above).
+        round: u64,
+    },
 }
 
 /// The over-the-wire projection of a [`ServerSnapshot`]: the merged counts'
@@ -346,6 +360,10 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) -> usize {
             buf.extend_from_slice(&code.to_le_bytes());
             buf.extend_from_slice(message.as_bytes());
             (FT_ABORT, 0)
+        }
+        Frame::Epoch { round } => {
+            buf.extend_from_slice(&round.to_le_bytes());
+            (FT_EPOCH, 0)
         }
     };
     seal_frame(buf, ftype, flags)
@@ -494,6 +512,12 @@ fn decode_payload(ftype: u8, flags: u8, payload: &[u8]) -> Result<Frame, WireErr
                 message: String::from_utf8_lossy(&payload[2..]).into_owned(),
             })
         }
+        FT_EPOCH => {
+            exact(8)?;
+            Ok(Frame::Epoch {
+                round: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
+            })
+        }
         other => Err(WireError::UnknownFrameType(other)),
     }
 }
@@ -583,6 +607,7 @@ mod tests {
                 code: 3,
                 message: "boom".into(),
             },
+            Frame::Epoch { round: 2 },
         ]
     }
 

@@ -143,6 +143,47 @@ impl AttackPipeline {
         }
     }
 
+    /// The longitudinal pass behind [`AttackKind::Averaging`]: the
+    /// collection pipeline replays `rounds` rounds of the campaign under
+    /// `policy` ([`CollectionPipeline::observe_rounds`] — a round-major
+    /// `rounds·n` wire sanitized with the per-round solution, ε/R under
+    /// ε-splitting), the attack fits over the pooled wire, and every target
+    /// is scored in parallel shards. The returned
+    /// [`AttackRun::collection`] aggregates the full multi-round wire.
+    ///
+    /// # Panics
+    /// Panics when the dataset does not match the collection solution, or
+    /// when the configured attack rejects the solution family or wire
+    /// length.
+    pub fn run_rounds(
+        &self,
+        collection: &CollectionPipeline,
+        dataset: &Dataset,
+        rounds: usize,
+        policy: crate::pipeline::BudgetPolicy,
+    ) -> Result<AttackRun, ProtocolError> {
+        let (round_solution, observed) = collection.observe_rounds(dataset, rounds, policy)?;
+        let view = AdversaryView {
+            dataset,
+            solution: &round_solution,
+            observed: &observed,
+            numeric_truth: None,
+        };
+        let fitted = self.attack.fit(&view, &mut attacks::fit_rng(self.seed));
+        let outcome = self.evaluate(fitted.as_ref());
+        let mut aggregator = round_solution.aggregator();
+        for report in &observed {
+            aggregator.absorb(report);
+        }
+        Ok(AttackRun {
+            outcome,
+            collection: CollectionRun::from_snapshot(ldp_server::ServerSnapshot::from_aggregator(
+                aggregator, 1,
+            )),
+            fitted,
+        })
+    }
+
     /// [`AttackPipeline::run`] over a mixed categorical + continuous round:
     /// the collection pass sanitizes through
     /// [`CollectionPipeline::run_mixed`] and the adversary's view carries the
@@ -414,6 +455,44 @@ mod tests {
             assert_eq!(a.n_targets, b.n_targets);
             assert_eq!(a.acc.to_bits(), b.acc.to_bits(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn longitudinal_averaging_runs_and_memoize_stays_exactly_flat() {
+        use crate::pipeline::BudgetPolicy;
+        use ldp_core::attacks::AveragingConfig;
+        let ds = adult_like(400, 5);
+        let ks = ds.schema().cardinalities();
+        let collection =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, 8.0)
+                .unwrap()
+                .seed(17)
+                .threads(3);
+        let attack_at = |rounds: usize| {
+            AttackPipeline::from_kind(AttackKind::Averaging(AveragingConfig {
+                rounds,
+                reident: ReidentConfig::default(),
+            }))
+            .unwrap()
+            .seed(17)
+            .threads(3)
+        };
+        let one = attack_at(1)
+            .run_rounds(&collection, &ds, 1, BudgetPolicy::Memoize)
+            .unwrap();
+        let four = attack_at(4)
+            .run_rounds(&collection, &ds, 4, BudgetPolicy::Memoize)
+            .unwrap();
+        let (a, b) = (
+            one.outcome.reident().unwrap(),
+            four.outcome.reident().unwrap(),
+        );
+        assert_eq!(a.n_targets, 400);
+        assert_eq!(
+            a.rid_acc, b.rid_acc,
+            "memoized rounds replay round 0: pooling must change nothing"
+        );
+        assert_eq!(four.collection.n, 4 * 400);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod traffic;
 pub use attack_pipeline::{AttackPipeline, AttackRun};
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
 pub use net_client::NetClient;
-pub use pipeline::{user_rng, CollectionPipeline, CollectionRun};
+pub use pipeline::{
+    user_rng, user_rng_round, BudgetPolicy, CollectionPipeline, CollectionRun, LongitudinalRun,
+};
 pub use rsfd_campaign::{run_rsfd_campaign, RsFdCampaignConfig};
 pub use survey::SurveyPlan;
 pub use traffic::{TrafficGenerator, TrafficShape};

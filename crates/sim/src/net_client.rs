@@ -137,6 +137,25 @@ impl NetClient {
         }
     }
 
+    /// Ends the current collection round: flushes every buffered report,
+    /// sends `EPOCH{round}` and blocks until the server's fleet barrier
+    /// releases with the `EPOCH{round + 1}` ack (every producer of the
+    /// declared fleet must send its own EPOCH frame before anyone is
+    /// released — see `ldp_server::wire`). Returns the next round index.
+    pub fn advance_epoch(&mut self, round: u64) -> Result<u64, WireError> {
+        self.flush()?;
+        write_frame(&mut self.stream, &Frame::Epoch { round })?;
+        self.stream.flush()?;
+        match read_frame(&mut self.reader)? {
+            Frame::Epoch { round: next } if next == round + 1 => Ok(next),
+            Frame::Epoch { round: next } => Err(WireError::Payload(format!(
+                "epoch ack skewed: sent round {round}, server acked {next}"
+            ))),
+            Frame::Abort { code, message } => Err(WireError::Remote { code, message }),
+            other => Err(WireError::Payload(format!("expected EPOCH, got {other:?}"))),
+        }
+    }
+
     /// Ends the session: flushes every buffered report, sends DRAIN and
     /// waits for the server's DRAIN_ACK. Returns the number of reports the
     /// server ingested over this connection (always equal to

@@ -40,7 +40,7 @@ use ldp_core::solutions::{DynSolution, MultidimAggregator, SolutionKind, Solutio
 use ldp_datasets::{Dataset, MixedDataset};
 use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolError;
-use ldp_server::{Envelope, LdpServer, ServerConfig, ServerSnapshot};
+use ldp_server::{Envelope, EpochSnapshot, LdpServer, ServerConfig, ServerSnapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -49,6 +49,11 @@ use crate::traffic::TrafficGenerator;
 
 /// Salt separating pipeline user streams from the campaign engines'.
 pub(crate) const USER_SALT: u64 = 0x00C0_11EC_7A11;
+
+/// Salt folding the collection round into the per-user rng streams of a
+/// longitudinal campaign. Round 0 deliberately bypasses it (see
+/// [`user_rng_round`]).
+pub(crate) const ROUND_SALT: u64 = 0x0F1_0D5EED;
 
 /// The pipeline's per-user report-sampling stream: a
 /// [`SmallRng`] (SplitMix64, O(1) seeding) derived from
@@ -60,6 +65,102 @@ pub(crate) const USER_SALT: u64 = 0x00C0_11EC_7A11;
 /// the exact wire (`tests/server_equivalence.rs` pins this scheme).
 pub fn user_rng(seed: u64, uid: u64) -> SmallRng {
     SmallRng::seed_from_u64(mix3(seed, uid, USER_SALT))
+}
+
+/// The per-round twin of [`user_rng`] for longitudinal collection: user
+/// `uid`'s sanitization stream in round `round`. Round 0 is **exactly**
+/// [`user_rng`]`(seed, uid)` — the single-round pipeline, every
+/// equivalence test pinning its scheme, and the memoization policy (which
+/// replays round 0's report) all keep their bits — while later rounds fold
+/// the round index into the seed so each fresh-randomness round draws an
+/// independent stream.
+pub fn user_rng_round(seed: u64, uid: u64, round: u64) -> SmallRng {
+    if round == 0 {
+        user_rng(seed, uid)
+    } else {
+        user_rng(mix3(seed, round, ROUND_SALT), uid)
+    }
+}
+
+/// How the privacy budget is managed across the `R` rounds of a
+/// longitudinal collection (the trade-off surveyed by Wang & Zhao et al.,
+/// arXiv:1906.01777, and the lever behind the paper-style averaging risk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Naive ε-splitting: every round sanitizes with **fresh** randomness
+    /// at ε/R, so the campaign composes to ε-LDP overall — but each fresh
+    /// report leaks a new independent view the averaging adversary pools.
+    SplitEps,
+    /// RAPPOR-style memoization: sanitize once at full ε in round 0 and
+    /// replay that memoized report bit-identically every round. Repeated
+    /// rounds reveal nothing new, at the cost of a stable per-user
+    /// pseudonym on the wire.
+    Memoize,
+}
+
+impl BudgetPolicy {
+    /// Every policy, in documentation order.
+    pub const ALL: [BudgetPolicy; 2] = [BudgetPolicy::SplitEps, BudgetPolicy::Memoize];
+
+    /// Stable identifier used by the `risks serve` CLI.
+    pub fn id(self) -> &'static str {
+        match self {
+            BudgetPolicy::SplitEps => "split",
+            BudgetPolicy::Memoize => "memoize",
+        }
+    }
+
+    /// Looks a policy up by its identifier.
+    pub fn from_id(id: &str) -> Option<BudgetPolicy> {
+        BudgetPolicy::ALL.into_iter().find(|p| p.id() == id)
+    }
+
+    /// The solution one round of an `R`-round campaign collects with:
+    /// the same solution at ε/R for [`BudgetPolicy::SplitEps`], the
+    /// full-budget solution unchanged for [`BudgetPolicy::Memoize`]. Both
+    /// the producers and the server must build this (equal fingerprints on
+    /// the wire).
+    pub fn round_solution(
+        self,
+        solution: &DynSolution,
+        rounds: usize,
+    ) -> Result<DynSolution, ProtocolError> {
+        match self {
+            BudgetPolicy::Memoize => Ok(solution.clone()),
+            BudgetPolicy::SplitEps => solution
+                .kind()
+                .build(solution.ks(), solution.epsilon() / rounds.max(1) as f64),
+        }
+    }
+
+    /// The rng round that produces round `round`'s report under this
+    /// policy: memoization replays round 0's stream, ε-splitting draws
+    /// fresh randomness per round.
+    pub fn rng_round(self, round: u64) -> u64 {
+        match self {
+            BudgetPolicy::Memoize => 0,
+            BudgetPolicy::SplitEps => round,
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// The outcome of a streamed longitudinal pass
+/// ([`CollectionPipeline::serve_rounds`]): the cumulative drain over every
+/// round plus the server's retained per-epoch windowed snapshots.
+#[derive(Debug, Clone)]
+pub struct LongitudinalRun {
+    /// The full-campaign drain (all rounds merged) — bit-identical to
+    /// batch-collecting every round's reports.
+    pub cumulative: CollectionRun,
+    /// The retained closed-epoch snapshots, oldest first (at most the
+    /// server's configured retention).
+    pub epochs: Vec<EpochSnapshot>,
 }
 
 /// Configurable streaming collection run over one dataset. Build with
@@ -309,12 +410,30 @@ impl CollectionPipeline {
             self.solution.clone(),
             ServerConfig::default().shards(self.threads),
         );
+        self.serve_round_into(&server, traffic, 0, 0, &report);
+        CollectionRun::from_snapshot(server.drain())
+    }
+
+    /// Streams one collection round's waves into a running server: arrivals
+    /// follow `traffic.waves_for_round(round)`, per-user randomness draws
+    /// from [`user_rng_round`]`(seed, uid, rng_round)`. The two round
+    /// indices differ only under memoization, which replays round 0's
+    /// reports (`rng_round == 0`) on every round's own arrival schedule.
+    /// The single-round [`CollectionPipeline::serve`] is exactly `(0, 0)`.
+    fn serve_round_into(
+        &self,
+        server: &LdpServer,
+        traffic: &TrafficGenerator,
+        round: u64,
+        rng_round: u64,
+        report: &(impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync),
+    ) {
         // Scoped producer threads are spawned per wave, so don't fan a small
         // wave out across the full thread budget: below this many users per
         // producer the spawn/join churn outweighs the parallel sanitization
         // (a steady 10M-user schedule has ~10k waves).
         const MIN_USERS_PER_PRODUCER: usize = 4096;
-        for wave in traffic.waves() {
+        for wave in traffic.waves_for_round(round) {
             // Parallel producers: sanitization dominates the cost, so the
             // wave is split into contiguous chunks ingested concurrently.
             let producers = self
@@ -323,7 +442,7 @@ impl CollectionPipeline {
                 .max(1);
             par::par_chunks(wave.len(), producers, |range| {
                 server.ingest_batch(wave[range].iter().map(|&uid| {
-                    let mut rng = user_rng(self.seed, uid);
+                    let mut rng = user_rng_round(self.seed, uid, rng_round);
                     Envelope {
                         uid,
                         report: report(uid as usize, &mut rng),
@@ -332,7 +451,132 @@ impl CollectionPipeline {
                 Vec::<()>::new()
             });
         }
-        CollectionRun::from_snapshot(server.drain())
+    }
+
+    /// The pipeline one round of an `R`-round campaign under `policy`
+    /// collects with: same seed and threads, solution rebuilt by
+    /// [`BudgetPolicy::round_solution`].
+    fn round_pipeline(
+        &self,
+        policy: BudgetPolicy,
+        rounds: usize,
+    ) -> Result<CollectionPipeline, ProtocolError> {
+        Ok(CollectionPipeline {
+            solution: policy.round_solution(&self.solution, rounds)?,
+            seed: self.seed,
+            threads: self.threads,
+        })
+    }
+
+    /// The longitudinal twin of [`CollectionPipeline::run`]: collects the
+    /// same population over `rounds` rounds under `policy`, returning one
+    /// [`CollectionRun`] per round. The configured solution carries the
+    /// **total** budget ε; [`BudgetPolicy::SplitEps`] sanitizes each round
+    /// with fresh randomness at ε/R, [`BudgetPolicy::Memoize`] computes the
+    /// round-0 report at full ε and replays it bit-identically (rounds > 0
+    /// re-derive the identical report from the identical rng stream — the
+    /// functional definition of memoization, with no per-user cache).
+    ///
+    /// # Panics
+    /// Panics when the dataset's attribute count differs from the
+    /// solution's.
+    pub fn run_rounds(
+        &self,
+        dataset: &Dataset,
+        rounds: usize,
+        policy: BudgetPolicy,
+    ) -> Result<Vec<CollectionRun>, ProtocolError> {
+        self.assert_dataset(dataset);
+        let rounds = rounds.max(1);
+        let per_round = self.round_pipeline(policy, rounds)?;
+        Ok((0..rounds as u64)
+            .map(|round| {
+                let shards = per_round.sanitize_shards_round(
+                    dataset.n(),
+                    per_round.dataset_reporter(dataset),
+                    || per_round.solution.aggregator(),
+                    |agg, report| agg.absorb(&report),
+                    policy.rng_round(round),
+                );
+                per_round.merge_shards(shards)
+            })
+            .collect())
+    }
+
+    /// The longitudinal twin of [`CollectionPipeline::observe`]: the full
+    /// `rounds · n` wire a longitudinal adversary captures, round-major
+    /// (round `r`'s reports occupy `r*n .. (r+1)*n`, each round in user
+    /// order). Also returns the per-round solution the reports were
+    /// sanitized with (ε/R under [`BudgetPolicy::SplitEps`]) — the attack
+    /// needs it to build its matching profiles.
+    ///
+    /// # Panics
+    /// Panics when the dataset's attribute count differs from the
+    /// solution's.
+    pub fn observe_rounds(
+        &self,
+        dataset: &Dataset,
+        rounds: usize,
+        policy: BudgetPolicy,
+    ) -> Result<(DynSolution, Vec<SolutionReport>), ProtocolError> {
+        self.assert_dataset(dataset);
+        let rounds = rounds.max(1);
+        let per_round = self.round_pipeline(policy, rounds)?;
+        let mut observed = Vec::with_capacity(rounds * dataset.n());
+        for round in 0..rounds as u64 {
+            let chunks = per_round.sanitize_shards_round(
+                dataset.n(),
+                per_round.dataset_reporter(dataset),
+                Vec::new,
+                |reports, report| reports.push(report),
+                policy.rng_round(round),
+            );
+            observed.extend(chunks.into_iter().flatten());
+        }
+        Ok((per_round.solution, observed))
+    }
+
+    /// The streamed twin of [`CollectionPipeline::run_rounds`]: serves
+    /// `rounds` epochs against one [`LdpServer`], each round following its
+    /// own re-randomized arrival schedule
+    /// ([`TrafficGenerator::waves_for_round`]) and closed with
+    /// [`LdpServer::advance_epoch`], retaining the last `retain` windowed
+    /// epoch snapshots. Round `r`'s epoch snapshot is **bit-identical** to
+    /// `run_rounds(..)[r]` and the cumulative drain to all rounds merged,
+    /// for every thread count and traffic shape.
+    ///
+    /// # Panics
+    /// Panics when the dataset's attribute count differs from the
+    /// solution's, or when `traffic` was built for a different population
+    /// size.
+    pub fn serve_rounds(
+        &self,
+        dataset: &Dataset,
+        traffic: &TrafficGenerator,
+        rounds: usize,
+        policy: BudgetPolicy,
+        retain: usize,
+    ) -> Result<LongitudinalRun, ProtocolError> {
+        self.assert_dataset(dataset);
+        assert_eq!(
+            traffic.n(),
+            dataset.n(),
+            "traffic schedule does not match the dataset population"
+        );
+        let rounds = rounds.max(1);
+        let per_round = self.round_pipeline(policy, rounds)?;
+        let report = per_round.dataset_reporter(dataset);
+        let server = LdpServer::spawn(
+            per_round.solution.clone(),
+            ServerConfig::default().shards(self.threads).retain(retain),
+        );
+        for round in 0..rounds as u64 {
+            per_round.serve_round_into(&server, traffic, round, policy.rng_round(round), &report);
+            server.advance_epoch();
+        }
+        let epochs = server.epochs();
+        let cumulative = CollectionRun::from_snapshot(server.drain());
+        Ok(LongitudinalRun { cumulative, epochs })
     }
 
     /// The multi-process twin of [`CollectionPipeline::serve`]: drives one
@@ -389,6 +633,62 @@ impl CollectionPipeline {
             on_snapshot,
             &self.dataset_reporter(dataset),
         )
+    }
+
+    /// The longitudinal twin of [`CollectionPipeline::serve_remote_part`]:
+    /// one producer of a fleet streaming `rounds` rounds to a remote
+    /// [`WireServer`](ldp_server::WireServer), with an `EPOCH` barrier
+    /// round trip after each round so the whole fleet advances epochs in
+    /// lockstep (the server must have been bound with
+    /// `WireServer::producers(parts)`). The configured solution carries the
+    /// total budget; the session handshakes with the **per-round** solution
+    /// (ε/R under [`BudgetPolicy::SplitEps`]), so the server must build the
+    /// same one. Returns the reports acknowledged at DRAIN.
+    ///
+    /// # Panics
+    /// Panics when the dataset does not match the solution schema, the
+    /// traffic schedule does not match the population, or `part >= parts`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_remote_rounds(
+        &self,
+        dataset: &Dataset,
+        traffic: &TrafficGenerator,
+        addr: &str,
+        part: usize,
+        parts: usize,
+        rounds: usize,
+        policy: BudgetPolicy,
+    ) -> Result<u64, ldp_server::WireError> {
+        self.assert_dataset(dataset);
+        assert_eq!(
+            traffic.n(),
+            dataset.n(),
+            "traffic schedule does not match the dataset population"
+        );
+        assert!(
+            part < parts,
+            "producer part {part} outside fleet of {parts}"
+        );
+        let rounds = rounds.max(1);
+        let per_round = self.round_pipeline(policy, rounds).map_err(|e| {
+            ldp_server::WireError::Handshake(format!("cannot build the per-round solution: {e}"))
+        })?;
+        let report = per_round.dataset_reporter(dataset);
+        let mut client = crate::net_client::NetClient::connect(addr, &per_round.solution)?;
+        for round in 0..rounds as u64 {
+            let rng_round = policy.rng_round(round);
+            for wave in traffic.waves_for_round(round) {
+                for &uid in wave
+                    .iter()
+                    .filter(|&&uid| uid % parts as u64 == part as u64)
+                {
+                    let mut rng = user_rng_round(self.seed, uid, rng_round);
+                    client.push(uid, &report(uid as usize, &mut rng))?;
+                }
+            }
+            client.advance_epoch(round)?;
+        }
+        client.finish()
     }
 
     /// [`CollectionPipeline::serve_remote`] over a mixed dataset: streams
@@ -472,10 +772,25 @@ impl CollectionPipeline {
         init: impl Fn() -> A + Sync,
         absorb: impl Fn(&mut A, SolutionReport) + Sync,
     ) -> Vec<A> {
+        self.sanitize_shards_round(n, report, init, absorb, 0)
+    }
+
+    /// [`CollectionPipeline::sanitize_shards`] for one round of a
+    /// longitudinal campaign: identical loop, but user `uid` draws from
+    /// [`user_rng_round`]`(seed, uid, rng_round)`. Round 0 is the
+    /// single-round loop bit for bit.
+    fn sanitize_shards_round<A: Send>(
+        &self,
+        n: usize,
+        report: impl Fn(usize, &mut SmallRng) -> SolutionReport + Sync,
+        init: impl Fn() -> A + Sync,
+        absorb: impl Fn(&mut A, SolutionReport) + Sync,
+        rng_round: u64,
+    ) -> Vec<A> {
         par::par_chunks(n, self.threads, |range| {
             let mut acc = init();
             for uid in range {
-                let mut rng = user_rng(self.seed, uid as u64);
+                let mut rng = user_rng_round(self.seed, uid as u64, rng_round);
                 absorb(&mut acc, report(uid, &mut rng));
             }
             vec![acc]
@@ -537,7 +852,7 @@ impl CollectionRun {
     /// streamed paths, so both produce identical estimates from identical
     /// counts — including the zero-users edge, where the estimates are
     /// all-zero (not NaN, and not a fabricated uniform distribution).
-    fn from_snapshot(snapshot: ServerSnapshot) -> CollectionRun {
+    pub(crate) fn from_snapshot(snapshot: ServerSnapshot) -> CollectionRun {
         CollectionRun {
             estimates: snapshot.estimates,
             normalized: snapshot.normalized,
@@ -815,6 +1130,167 @@ mod tests {
             pipeline.observe_mixed(&mixed).len(),
             "replayed wire must match the single-pass wire"
         );
+    }
+
+    #[test]
+    fn budget_policy_ids_roundtrip() {
+        for policy in BudgetPolicy::ALL {
+            assert_eq!(BudgetPolicy::from_id(policy.id()), Some(policy));
+            assert_eq!(policy.to_string(), policy.id());
+        }
+        assert_eq!(BudgetPolicy::from_id("nope"), None);
+    }
+
+    #[test]
+    fn one_round_campaigns_match_the_single_round_run_bit_for_bit() {
+        let ds = adult_like(400, 4);
+        let ks = ds.schema().cardinalities();
+        for kind in all_kinds() {
+            let pipeline = CollectionPipeline::from_kind(kind, &ks, 2.0)
+                .unwrap()
+                .seed(33)
+                .threads(3);
+            let single = pipeline.run(&ds);
+            for policy in BudgetPolicy::ALL {
+                let rounds = pipeline.run_rounds(&ds, 1, policy).unwrap();
+                assert_eq!(rounds.len(), 1, "{kind}/{policy}");
+                assert_eq!(
+                    rounds[0].aggregator.counts(),
+                    single.aggregator.counts(),
+                    "{kind}/{policy}: R=1 must degenerate to the single-round pipeline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoize_replays_round_zero_bit_identically() {
+        let ds = adult_like(500, 3);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, 4.0)
+                .unwrap()
+                .seed(7)
+                .threads(2);
+        let runs = pipeline.run_rounds(&ds, 4, BudgetPolicy::Memoize).unwrap();
+        for (r, run) in runs.iter().enumerate() {
+            assert_eq!(
+                run.aggregator.counts(),
+                runs[0].aggregator.counts(),
+                "memoized round {r} must replay round 0's reports exactly"
+            );
+        }
+        // Full-ε: round 0 equals the single-round run.
+        assert_eq!(
+            runs[0].aggregator.counts(),
+            pipeline.run(&ds).aggregator.counts()
+        );
+    }
+
+    #[test]
+    fn split_eps_draws_fresh_randomness_each_round() {
+        let ds = adult_like(500, 3);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, 4.0)
+                .unwrap()
+                .seed(7)
+                .threads(2);
+        let runs = pipeline.run_rounds(&ds, 3, BudgetPolicy::SplitEps).unwrap();
+        assert_ne!(
+            runs[0].aggregator.counts(),
+            runs[1].aggregator.counts(),
+            "ε-splitting rounds must be independently randomized"
+        );
+        assert_ne!(runs[1].aggregator.counts(), runs[2].aggregator.counts());
+    }
+
+    #[test]
+    fn observe_rounds_is_round_major_and_replays_run_rounds() {
+        let ds = adult_like(300, 3);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::RsFd(RsFdProtocol::Grr), &ks, 3.0)
+                .unwrap()
+                .seed(19)
+                .threads(3);
+        for policy in BudgetPolicy::ALL {
+            let runs = pipeline.run_rounds(&ds, 3, policy).unwrap();
+            let (round_solution, observed) = pipeline.observe_rounds(&ds, 3, policy).unwrap();
+            assert_eq!(observed.len(), 3 * ds.n(), "{policy}");
+            for (r, run) in runs.iter().enumerate() {
+                let mut agg = round_solution.aggregator();
+                for report in &observed[r * ds.n()..(r + 1) * ds.n()] {
+                    agg.absorb(report);
+                }
+                assert_eq!(
+                    agg.counts(),
+                    run.aggregator.counts(),
+                    "{policy}: round {r}'s observed slice must replay its run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serve_rounds_epochs_match_batch_rounds_and_cumulative_drain() {
+        use crate::traffic::{TrafficGenerator, TrafficShape};
+        let ds = adult_like(600, 5);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::RsFd(RsFdProtocol::Grr), &ks, 2.0)
+                .unwrap()
+                .seed(29)
+                .threads(3);
+        for policy in BudgetPolicy::ALL {
+            let runs = pipeline.run_rounds(&ds, 3, policy).unwrap();
+            let traffic = TrafficGenerator::new(TrafficShape::Churn, ds.n())
+                .seed(29)
+                .wave(113);
+            let served = pipeline.serve_rounds(&ds, &traffic, 3, policy, 3).unwrap();
+            assert_eq!(served.epochs.len(), 3, "{policy}");
+            let mut merged = policy
+                .round_solution(pipeline.solution(), 3)
+                .unwrap()
+                .aggregator();
+            for (r, (epoch, run)) in served.epochs.iter().zip(&runs).enumerate() {
+                assert_eq!(epoch.epoch, r as u64, "{policy}");
+                assert_eq!(
+                    epoch.snapshot.aggregator.counts(),
+                    run.aggregator.counts(),
+                    "{policy}: epoch {r}'s window must be bit-identical to its batch round"
+                );
+                merged.merge(&run.aggregator);
+            }
+            assert_eq!(
+                served.cumulative.aggregator.counts(),
+                merged.counts(),
+                "{policy}: cumulative drain must merge every round exactly"
+            );
+            assert_eq!(served.cumulative.n, 3 * ds.n() as u64, "{policy}");
+        }
+    }
+
+    #[test]
+    fn serve_rounds_retention_keeps_only_the_last_windows() {
+        use crate::traffic::{TrafficGenerator, TrafficShape};
+        let ds = adult_like(200, 2);
+        let ks = ds.schema().cardinalities();
+        let pipeline =
+            CollectionPipeline::from_kind(SolutionKind::Spl(ProtocolKind::Grr), &ks, 2.0)
+                .unwrap()
+                .seed(3)
+                .threads(2);
+        let traffic = TrafficGenerator::new(TrafficShape::Steady, ds.n()).seed(3);
+        let served = pipeline
+            .serve_rounds(&ds, &traffic, 4, BudgetPolicy::SplitEps, 2)
+            .unwrap();
+        assert_eq!(
+            served.epochs.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            vec![2, 3],
+            "retention must keep the newest windows"
+        );
+        assert_eq!(served.cumulative.n, 4 * ds.n() as u64);
     }
 
     #[test]

@@ -42,6 +42,11 @@ use rand::{Rng, SeedableRng};
 /// sanitization stream.
 const TRAFFIC_SALT: u64 = 0x7AFF_1C00;
 
+/// Salt folding the collection round into the schedule seed for
+/// longitudinal campaigns. Round 0 deliberately bypasses it so a
+/// single-round schedule is bit-identical to [`TrafficGenerator::waves`].
+const ROUND_SALT: u64 = 0x0E9_0C45;
+
 /// The arrival patterns the generator can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrafficShape {
@@ -162,9 +167,29 @@ impl TrafficGenerator {
     /// (except transiently for churn's pending set, bounded by the churn
     /// fraction of the population).
     pub fn waves(&self) -> Waves {
+        self.waves_for_round(0)
+    }
+
+    /// The wave iterator for collection round `round` of a longitudinal
+    /// campaign. Round 0 is bit-identical to [`TrafficGenerator::waves`]
+    /// (single-round callers and the serve-vs-batch equivalence suite keep
+    /// their schedules unchanged); later rounds fold the round index into
+    /// the schedule seed, so burst sizes and churn decisions re-randomize
+    /// per round instead of replaying round 0's arrival pattern.
+    ///
+    /// Every round's iterator drains its **own** pending churn set before
+    /// finishing — a user churned out of round `r` re-arrives in round `r`,
+    /// never leaks into round `r + 1`, so every `(uid, round)` pair is
+    /// delivered exactly once (property-tested below).
+    pub fn waves_for_round(&self, round: u64) -> Waves {
+        let seed = if round == 0 {
+            self.seed
+        } else {
+            mix3(self.seed, round, ROUND_SALT)
+        };
         Waves {
             traffic: self.clone(),
-            rng: StdRng::seed_from_u64(mix3(self.seed, self.n as u64, TRAFFIC_SALT)),
+            rng: StdRng::seed_from_u64(mix3(seed, self.n as u64, TRAFFIC_SALT)),
             next_uid: 0,
             tick: 0,
             pending: Vec::new(),
@@ -360,6 +385,61 @@ mod tests {
                 "{shape}: zero users, zero waves"
             );
         }
+    }
+
+    #[test]
+    fn round_zero_schedule_is_bit_identical_to_waves() {
+        for shape in TrafficShape::ALL {
+            let traffic = TrafficGenerator::new(shape, 3000).seed(17).wave(64);
+            let base: Vec<Vec<u64>> = traffic.waves().collect();
+            let round0: Vec<Vec<u64>> = traffic.waves_for_round(0).collect();
+            assert_eq!(base, round0, "{shape}: round 0 must replay waves()");
+        }
+    }
+
+    #[test]
+    fn every_uid_round_pair_is_delivered_exactly_once() {
+        // The churn-containment property the longitudinal pipeline rests on:
+        // a user churned out of round r re-arrives *in* round r (the round's
+        // own tail drain), so concatenating R independent round schedules
+        // delivers every (uid, round) pair exactly once — no double reports,
+        // no leakage into a later round.
+        for shape in TrafficShape::ALL {
+            for n in [1usize, 7, 1000, 4096] {
+                let traffic = TrafficGenerator::new(shape, n).seed(29).wave(64).churn(0.6);
+                let mut seen = std::collections::HashMap::new();
+                for round in 0..4u64 {
+                    for wave in traffic.waves_for_round(round) {
+                        for uid in wave {
+                            *seen.entry((uid, round)).or_insert(0u32) += 1;
+                        }
+                    }
+                }
+                assert_eq!(
+                    seen.len(),
+                    n * 4,
+                    "{shape} n={n}: every (uid, round) pair must arrive"
+                );
+                assert!(
+                    seen.values().all(|&c| c == 1),
+                    "{shape} n={n}: some (uid, round) pair was delivered twice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn later_rounds_rerandomize_the_churn_order() {
+        let traffic = TrafficGenerator::new(TrafficShape::Churn, 4000)
+            .seed(5)
+            .wave(128)
+            .churn(0.4);
+        let r0: Vec<u64> = traffic.waves_for_round(0).flatten().collect();
+        let r1: Vec<u64> = traffic.waves_for_round(1).flatten().collect();
+        assert_ne!(r0, r1, "round 1 must not replay round 0's churn pattern");
+        let mut sorted = r1;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..4000u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //! a 5σ false positive is vanishingly unlikely, while e.g. swapping `p*`
 //! and `q*` or using `n` instead of `n_j` shifts estimates by far more.
 
+use ldp_core::attacks::{AttackKind, AveragingConfig, ReidentConfig};
 use ldp_core::solutions::{MixedKind, SolutionKind};
 use ldp_core::{NumericKind, NumericOracle};
+use ldp_datasets::corpora::adult_like;
 use ldp_datasets::generator::{GeneratorConfig, LatentClassGenerator};
 use ldp_datasets::mixed::mixed_survey_like;
 use ldp_datasets::{Dataset, Schema};
 use ldp_protocols::{FrequencyOracle, ProtocolKind};
-use ldp_sim::CollectionPipeline;
+use ldp_sim::{AttackPipeline, BudgetPolicy, CollectionPipeline};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -344,5 +346,57 @@ fn normalized_estimates_are_simplex_projected() {
         let total: f64 = dist.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "attr {j} sums to {total}");
         assert!(dist.iter().all(|&p| p >= 0.0), "attr {j} has negative mass");
+    }
+}
+
+/// Power guard for the longitudinal threat model: pooling a target's
+/// reports across rounds (the averaging attack) must gain real power when
+/// the budget is naively ε-split — every fresh round leaks a new sampled
+/// attribute — and must gain **nothing** under RAPPOR-style memoization,
+/// whose rounds replay the round-0 report bit-for-bit.
+#[test]
+fn averaging_attack_power_rises_with_rounds_only_without_memoization() {
+    const EPS: f64 = 32.0;
+    const ROUNDS: usize = 4;
+    let asr = |seed: u64, policy: BudgetPolicy, rounds: usize| -> f64 {
+        let ds = adult_like(1200, seed);
+        let ks = ds.schema().cardinalities();
+        let collection =
+            CollectionPipeline::from_kind(SolutionKind::Smp(ProtocolKind::Grr), &ks, EPS)
+                .unwrap()
+                .seed(seed)
+                .threads(2);
+        let attack = AttackPipeline::from_kind(AttackKind::Averaging(AveragingConfig {
+            rounds,
+            reident: ReidentConfig::default(),
+        }))
+        .unwrap()
+        .seed(seed)
+        .threads(2);
+        let run = attack.run_rounds(&collection, &ds, rounds, policy).unwrap();
+        run.outcome.reident().unwrap().rid_acc[0]
+    };
+    for seed in [51u64, 52] {
+        let split_one = asr(seed, BudgetPolicy::SplitEps, 1);
+        let split_many = asr(seed, BudgetPolicy::SplitEps, ROUNDS);
+        // 5σ band on a top-1 ASR difference over 1200 targets: the binomial
+        // standard error at the larger rate, in percentage points.
+        let p = (split_many.max(split_one) / 100.0).clamp(1.0 / 1200.0, 0.5);
+        let five_sigma = 5.0 * 100.0 * (p * (1.0 - p) / 1200.0).sqrt();
+        assert!(
+            split_many > split_one + five_sigma,
+            "seed {seed}: ε-splitting ASR must rise with rounds \
+             (R=1: {split_one:.3}%, R={ROUNDS}: {split_many:.3}%, 5σ = {five_sigma:.3})"
+        );
+        // Memoized rounds replay round 0, so pooling them is a no-op: the
+        // curve is exactly flat per seed — stronger than any σ band.
+        let memo_one = asr(seed, BudgetPolicy::Memoize, 1);
+        let memo_many = asr(seed, BudgetPolicy::Memoize, ROUNDS);
+        assert_eq!(
+            memo_one.to_bits(),
+            memo_many.to_bits(),
+            "seed {seed}: memoization must keep the averaging ASR exactly flat \
+             (R=1: {memo_one:.3}%, R={ROUNDS}: {memo_many:.3}%)"
+        );
     }
 }

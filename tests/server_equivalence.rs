@@ -12,7 +12,7 @@ use ldp_protocols::hash::mix3;
 use ldp_protocols::ProtocolKind;
 use ldp_server::{Envelope, LdpServer, ServerConfig};
 use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
-use ldp_sim::{user_rng, CollectionPipeline, CollectionRun};
+use ldp_sim::{user_rng, BudgetPolicy, CollectionPipeline, CollectionRun};
 
 fn all_kinds() -> Vec<SolutionKind> {
     vec![
@@ -135,6 +135,60 @@ fn mid_stream_snapshot_equals_batch_over_the_absorbed_prefix() {
         }
         let final_snapshot = server.drain();
         assert_eq!(final_snapshot.n, ds.n() as u64);
+    }
+}
+
+#[test]
+fn per_epoch_windowed_drains_match_batch_runs_over_each_window() {
+    // The longitudinal serving path closes one epoch per round; every
+    // retained window must be bit-identical to a batch sanitization pass
+    // over that round's users, under both budget policies, and the
+    // cumulative drain must hold all rounds.
+    let ds = adult_like(400, 21);
+    let ks = ds.schema().cardinalities();
+    let rounds = 3usize;
+    for kind in [
+        SolutionKind::Spl(ProtocolKind::Grr),
+        SolutionKind::Smp(ProtocolKind::Oue),
+        SolutionKind::RsFd(RsFdProtocol::Grr),
+    ] {
+        for policy in BudgetPolicy::ALL {
+            let pipeline = CollectionPipeline::from_kind(kind, &ks, 2.0)
+                .unwrap()
+                .seed(31)
+                .threads(2);
+            let traffic = TrafficGenerator::new(TrafficShape::Churn, ds.n())
+                .seed(31)
+                .wave(53);
+            let longitudinal = pipeline
+                .serve_rounds(&ds, &traffic, rounds, policy, rounds)
+                .unwrap();
+            let batch_rounds = pipeline.run_rounds(&ds, rounds, policy).unwrap();
+            assert_eq!(longitudinal.epochs.len(), rounds, "{kind} {policy}");
+            for (epoch, batch) in longitudinal.epochs.iter().zip(&batch_rounds) {
+                let label = format!("{kind} {policy} epoch {}", epoch.epoch);
+                assert_eq!(epoch.snapshot.n, batch.n, "{label}: n");
+                assert_eq!(
+                    epoch.snapshot.aggregator.counts(),
+                    batch.aggregator.counts(),
+                    "{label}: counts"
+                );
+                for (x, y) in epoch
+                    .snapshot
+                    .estimates
+                    .iter()
+                    .flatten()
+                    .zip(batch.estimates.iter().flatten())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{label}: estimates");
+                }
+            }
+            assert_eq!(
+                longitudinal.cumulative.n,
+                (rounds * ds.n()) as u64,
+                "{kind} {policy}: cumulative n"
+            );
+        }
     }
 }
 
