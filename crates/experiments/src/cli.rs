@@ -60,7 +60,12 @@ SERVE OPTIONS (plus --scale/--seed/--threads/--out/--quiet from above):
     --read-timeout-ms <MS>
                      with --listen: ABORT a producer connection silent for
                      MS milliseconds so a hung process cannot wedge the
-                     drain barrier (default 0 = no timeout)
+                     drain barrier; also the resume grace period after
+                     which a faulted session is reaped from the fleet
+                     (default 0 = neither)
+    --auth-token <T> with --listen: shared-secret handshake token; a HELLO
+                     carrying a different token's digest is rejected with
+                     ABORT_AUTH (default: accept tokenless producers only)
 
 PRODUCE OPTIONS (--solution/--dataset/--shape/--eps/--users/--rounds/
 --budget/--scale/--seed and --quiet from above; every spec flag must match
@@ -71,6 +76,20 @@ the serving process):
                           population exactly once (default 0/1)
     --snapshot-every <W>  log an incremental server snapshot every W
                           traffic waves (0 = never)
+    --auth-token <T>      shared-secret handshake token (must match the
+                          server's --auth-token)
+    --retries <N>         reconnect-and-resume attempts per transport
+                          fault before giving up (default 8; 0 fails fast)
+    --client-timeout-ms <MS>
+                          socket read/connect deadline; a silent server
+                          surfaces as a typed timeout instead of a hang
+                          (default 0 = block forever)
+    --fault-plan <SPEC>   inject deterministic transport faults on this
+                          producer's own sends, SPEC =
+                          seed=<u64>,every=<n>[,max=<n>][,kinds=a+b+c]
+                          with kinds from drop|delay|reset|truncate|
+                          duplicate (chaos testing; the drained estimates
+                          must still match a clean run bit-for-bit)
 
 `risks serve` sanitizes every user with the seeded per-user rng streams,
 pushes the reports through the bounded-channel ingestion service following
@@ -151,6 +170,9 @@ pub enum Command {
         parts: usize,
         /// Incremental snapshot cadence in traffic waves (0 = never).
         snapshot_every: usize,
+        /// Client-side wire behavior: `--auth-token`, `--retries`,
+        /// `--client-timeout-ms`, `--fault-plan`.
+        client: ldp_sim::ClientConfig,
         /// `--scale` override.
         scale: Option<f64>,
         /// `--seed` override.
@@ -229,12 +251,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let (mut listen_addr, mut producers, mut addr_file) =
                 (None::<String>, None::<usize>, None::<String>);
             let mut read_timeout_ms = None::<u64>;
+            let mut auth_token = None::<String>;
             while let Some(arg) = it.next() {
                 if parse_spec_flag(arg, &mut it, &mut spec)? {
                     continue;
                 }
                 match arg {
                     "--quiet" => quiet = true,
+                    "--auth-token" => {
+                        auth_token = Some(
+                            it.next()
+                                .ok_or("`--auth-token` needs a token value")?
+                                .to_string(),
+                        )
+                    }
                     "--listen" => {
                         listen_addr = Some(
                             it.next()
@@ -270,12 +300,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     producers: producers.unwrap_or(1).max(1),
                     addr_file: addr_file.map(std::path::PathBuf::from),
                     read_timeout_ms: read_timeout_ms.unwrap_or(0),
+                    auth_token,
                 }),
-                None if producers.is_some() || addr_file.is_some() || read_timeout_ms.is_some() => {
-                    return Err(
-                        "`--producers`, `--addr-file` and `--read-timeout-ms` require `--listen`"
-                            .to_string(),
-                    )
+                None if producers.is_some()
+                    || addr_file.is_some()
+                    || read_timeout_ms.is_some()
+                    || auth_token.is_some() =>
+                {
+                    return Err("`--producers`, `--addr-file`, `--read-timeout-ms` and \
+                         `--auth-token` require `--listen`"
+                        .to_string())
                 }
                 None => None,
             };
@@ -296,6 +330,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut connect = None::<String>;
             let mut part = (0usize, 1usize);
             let mut snapshot_every = 0usize;
+            let mut client = ldp_sim::ClientConfig::resilient();
             while let Some(arg) = it.next() {
                 if parse_spec_flag(arg, &mut it, &mut spec)? {
                     continue;
@@ -313,6 +348,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         part = parse_part(it.next().ok_or("`--part` needs `i/N`")?)?;
                     }
                     "--snapshot-every" => snapshot_every = flag_value(arg, it.next())?,
+                    "--auth-token" => {
+                        client.auth = Some(
+                            it.next()
+                                .ok_or("`--auth-token` needs a token value")?
+                                .to_string(),
+                        )
+                    }
+                    "--retries" => client.retries = flag_value(arg, it.next())?,
+                    "--client-timeout-ms" => client.read_timeout_ms = flag_value(arg, it.next())?,
+                    "--fault-plan" => {
+                        let raw = it.next().ok_or("`--fault-plan` needs a spec")?;
+                        client.fault_plan = Some(
+                            ldp_sim::FaultPlan::parse(raw)
+                                .map_err(|e| format!("invalid `--fault-plan`: {e}"))?,
+                        );
+                    }
                     "--scale" => scale = Some(flag_value(arg, it.next())?),
                     "--seed" => seed = Some(flag_value(arg, it.next())?),
                     other => return Err(format!("unknown `produce` argument `{other}`")),
@@ -325,6 +376,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 part: part.0,
                 parts: part.1,
                 snapshot_every,
+                client,
                 scale,
                 seed,
                 quiet,
@@ -574,6 +626,7 @@ pub fn execute(cmd: Command) -> i32 {
             part,
             parts,
             snapshot_every,
+            mut client,
             scale,
             seed,
             quiet,
@@ -585,7 +638,19 @@ pub fn execute(cmd: Command) -> i32 {
             if let Some(v) = seed {
                 cfg.seed = v;
             }
-            crate::serve::execute_produce(&spec, &cfg, &connect, part, parts, snapshot_every, quiet)
+            // Desynchronize the fleet's reconnect jitter: producers sharing
+            // a seed must not retry in lockstep.
+            client.backoff_seed = cfg.seed ^ ((part as u64) << 32) ^ parts as u64;
+            crate::serve::execute_produce(
+                &spec,
+                &cfg,
+                &connect,
+                part,
+                parts,
+                snapshot_every,
+                quiet,
+                client,
+            )
         }
     }
 }
@@ -863,6 +928,62 @@ mod tests {
             } => {
                 assert_eq!((part, parts), (0, 1));
                 assert_eq!(snapshot_every, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_produce_client_options() {
+        let cmd = parse(&s(&[
+            "produce",
+            "--connect",
+            "h:1",
+            "--auth-token",
+            "sesame",
+            "--retries",
+            "3",
+            "--client-timeout-ms",
+            "500",
+            "--fault-plan",
+            "seed=7,every=4,max=2,kinds=drop+reset",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Produce { client, .. } => {
+                assert_eq!(client.auth.as_deref(), Some("sesame"));
+                assert_eq!(client.retries, 3);
+                assert_eq!(client.read_timeout_ms, 500);
+                let plan = client.fault_plan.expect("--fault-plan must be parsed");
+                assert_eq!((plan.seed, plan.every, plan.max), (7, 4, 2));
+                assert_eq!(plan.kinds.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: resilient client, no auth, no faults.
+        match parse(&s(&["produce", "--connect", "h:1"])).unwrap() {
+            Command::Produce { client, .. } => {
+                assert_eq!(client, ldp_sim::ClientConfig::resilient());
+                assert_eq!(client.retries, 8);
+                assert_eq!(client.auth, None);
+                assert_eq!(client.fault_plan, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Malformed fault plans fail at parse time, not mid-stream.
+        assert!(parse(&s(&[
+            "produce",
+            "--connect",
+            "h:1",
+            "--fault-plan",
+            "every=4"
+        ]))
+        .is_err());
+        // The serve-side auth flag needs --listen.
+        assert!(parse(&s(&["serve", "--auth-token", "sesame"])).is_err());
+        match parse(&s(&["serve", "--listen", "h:0", "--auth-token", "sesame"])).unwrap() {
+            Command::Serve { listen, .. } => {
+                assert_eq!(listen.unwrap().auth_token.as_deref(), Some("sesame"));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -222,8 +222,14 @@ pub struct ListenOpts {
     pub addr_file: Option<PathBuf>,
     /// Socket read timeout in milliseconds (`--read-timeout-ms`); a producer
     /// silent for longer is ABORTed so it cannot wedge the drain barrier.
-    /// `0` disables the timeout.
+    /// Doubles as the resume grace period: a faulted session that has not
+    /// reconnected within it is reaped from the fleet instead of wedging the
+    /// drain. `0` disables both.
     pub read_timeout_ms: u64,
+    /// Shared-secret handshake token (`--auth-token`); connections whose
+    /// HELLO carries a different token's digest are rejected with
+    /// `ABORT_AUTH`. `None` accepts only tokenless producers.
+    pub auth_token: Option<String>,
 }
 
 /// Binds a [`WireServer`] for `spec`, waits for `producers` DRAINed
@@ -257,7 +263,8 @@ pub fn run_serve_listen(
         ServerConfig::default()
             .shards(cfg.threads)
             .retain(spec.retain)
-            .read_timeout_ms(listen.read_timeout_ms),
+            .read_timeout_ms(listen.read_timeout_ms)
+            .auth_token(listen.auth_token.clone()),
     )?
     .producers(listen.producers);
     let addr = server.local_addr();
@@ -269,11 +276,21 @@ pub fn run_serve_listen(
         listen.producers
     );
     let started = Instant::now();
-    server.wait_for_producers(listen.producers);
+    // Fleet rendezvous, not a plain drain count: a producer that faulted
+    // past its resume grace is reaped and counted toward the rendezvous, so
+    // one dead producer degrades the run instead of wedging it.
+    server.wait_for_fleet(listen.producers);
     let rejected = server.rejected_connections();
+    let reaped = server.reaped_sessions();
     let epochs = server.epochs();
     let snapshot = server.finish();
     let wall_secs = started.elapsed().as_secs_f64();
+    if reaped > 0 {
+        eprintln!(
+            "[risks] serve: DEGRADED — reaped {reaped} dead producer session(s); \
+             the drained aggregate is missing their unacked partitions"
+        );
+    }
     if snapshot.n != expected {
         eprintln!(
             "[risks] serve: drained {} reports, expected {expected} — did the \
@@ -501,8 +518,11 @@ pub fn execute_serve(
 /// Runs one producer of a `risks produce --connect` fleet: rebuilds the
 /// corpus and traffic schedule from `spec`/`cfg` (which must match the
 /// serving process's flags), streams its `part` of the population over the
-/// wire, and drains. With `snapshot_every > 0` an incremental SNAPSHOT
-/// round trip is logged every that many waves. Returns the exit code.
+/// wire with the given client-side wire behavior (auth, deadline, reconnect
+/// budget, optional fault plan), and drains. With `snapshot_every > 0` an
+/// incremental SNAPSHOT round trip is logged every that many waves. Returns
+/// the exit code.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_produce(
     spec: &ServeSpec,
     cfg: &ExpConfig,
@@ -511,12 +531,14 @@ pub fn execute_produce(
     parts: usize,
     snapshot_every: usize,
     quiet: bool,
+    client: ldp_sim::ClientConfig,
 ) -> i32 {
     let dataset = spec.dataset.build_sized(cfg, spec.users);
     let ks = dataset.schema().cardinalities();
     let pipeline = CollectionPipeline::from_kind(spec.solution, &ks, spec.epsilon)
         .expect("produce spec validated at parse time")
-        .seed(cfg.seed);
+        .seed(cfg.seed)
+        .client(client);
     let traffic = TrafficGenerator::new(spec.shape, dataset.n()).seed(cfg.seed);
     eprintln!(
         "[risks] produce {part}/{parts} → {connect}: {} on {} ({} traffic, {} users, seed {})",
@@ -677,6 +699,7 @@ mod tests {
             producers: 2,
             addr_file: Some(addr_file.clone()),
             read_timeout_ms: 0,
+            auth_token: None,
         };
         let server = {
             let (spec, cfg, listen) = (spec.clone(), cfg.clone(), listen.clone());
@@ -691,7 +714,16 @@ mod tests {
             .to_string();
         for part in 0..2 {
             assert_eq!(
-                execute_produce(&spec, &cfg, &addr, part, 2, 0, true),
+                execute_produce(
+                    &spec,
+                    &cfg,
+                    &addr,
+                    part,
+                    2,
+                    0,
+                    true,
+                    ldp_sim::ClientConfig::default()
+                ),
                 0,
                 "producer {part} must drain cleanly"
             );
@@ -740,6 +772,7 @@ mod tests {
             producers: 1,
             addr_file: Some(addr_file.clone()),
             read_timeout_ms: 0,
+            auth_token: None,
         };
         let server = {
             let (spec, cfg, listen) = (spec.clone(), cfg.clone(), listen.clone());
@@ -752,7 +785,19 @@ mod tests {
             .unwrap()
             .trim()
             .to_string();
-        assert_eq!(execute_produce(&spec, &cfg, &addr, 0, 1, 0, true), 0);
+        assert_eq!(
+            execute_produce(
+                &spec,
+                &cfg,
+                &addr,
+                0,
+                1,
+                0,
+                true,
+                ldp_sim::ClientConfig::default()
+            ),
+            0
+        );
         let outcome = server.join().unwrap();
         assert_eq!(outcome.run.n, baseline.run.n);
         assert_eq!(

@@ -31,8 +31,27 @@ pub struct ServerConfig {
     /// milliseconds; `0` disables the timeout. A connection that stays
     /// silent longer than this is ABORTed and closed, so a hung producer
     /// (dead process, half-open TCP session) can never pin a handler thread
-    /// — or wedge an epoch barrier — forever.
+    /// — or wedge an epoch barrier — forever. It doubles as the resume
+    /// grace period: a faulted session whose producer has not resumed
+    /// within this window is reaped from the drain count and the epoch
+    /// barrier (with `0`, faulted sessions are waited on forever, matching
+    /// the block-forever semantics of a disabled timeout).
     pub read_timeout_ms: u64,
+    /// Shared-secret HELLO auth token. `None` accepts every producer (the
+    /// pre-auth wire behavior); `Some(token)` rejects any HELLO whose auth
+    /// digest does not match with `ABORT_AUTH` before a single batch byte
+    /// is interpreted.
+    pub auth_token: Option<String>,
+    /// The wire listener acks every `ack_every`-th sequenced batch with a
+    /// cumulative `BATCH_ACK` (clamped to ≥ 1). Smaller values shrink the
+    /// producer's replay ring (less to re-send after a fault); larger
+    /// values cut ack traffic on the return path.
+    pub ack_every: u64,
+    /// Bound on the wire listener's session table (clamped to ≥ 1). At
+    /// capacity the oldest *inactive* session is evicted; if every session
+    /// is live the newcomer gets the 0 sentinel token and simply cannot
+    /// resume — memory stays bounded however many producers churn.
+    pub session_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +62,9 @@ impl Default for ServerConfig {
             batch: 1024,
             retain: 4,
             read_timeout_ms: 0,
+            auth_token: None,
+            ack_every: 32,
+            session_capacity: 1024,
         }
     }
 }
@@ -81,6 +103,24 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the shared-secret HELLO auth token (`None` disables auth).
+    pub fn auth_token(mut self, token: Option<String>) -> Self {
+        self.auth_token = token;
+        self
+    }
+
+    /// Sets the cumulative-ack interval in batches (clamped to ≥ 1).
+    pub fn ack_every(mut self, every: u64) -> Self {
+        self.ack_every = every.max(1);
+        self
+    }
+
+    /// Sets the session-table capacity (clamped to ≥ 1).
+    pub fn session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity.max(1);
+        self
+    }
+
     /// The configuration with every field clamped to its valid range.
     pub(crate) fn sanitized(&self) -> ServerConfig {
         ServerConfig {
@@ -89,6 +129,9 @@ impl ServerConfig {
             batch: self.batch.max(1),
             retain: self.retain.max(1),
             read_timeout_ms: self.read_timeout_ms,
+            auth_token: self.auth_token.clone(),
+            ack_every: self.ack_every.max(1),
+            session_capacity: self.session_capacity.max(1),
         }
     }
 }
@@ -104,12 +147,18 @@ mod tests {
             .queue_depth(0)
             .batch(0)
             .retain(0)
-            .read_timeout_ms(250);
+            .read_timeout_ms(250)
+            .auth_token(Some("secret".into()))
+            .ack_every(0)
+            .session_capacity(0);
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.queue_depth, 1);
         assert_eq!(cfg.batch, 1);
         assert_eq!(cfg.retain, 1);
         assert_eq!(cfg.read_timeout_ms, 250);
+        assert_eq!(cfg.auth_token.as_deref(), Some("secret"));
+        assert_eq!(cfg.ack_every, 1);
+        assert_eq!(cfg.session_capacity, 1);
     }
 
     #[test]
@@ -120,8 +169,12 @@ mod tests {
             batch: 0,
             retain: 0,
             read_timeout_ms: 0,
+            auth_token: None,
+            ack_every: 0,
+            session_capacity: 0,
         }
         .sanitized();
         assert!(cfg.shards >= 1 && cfg.queue_depth >= 1 && cfg.batch >= 1 && cfg.retain >= 1);
+        assert!(cfg.ack_every >= 1 && cfg.session_capacity >= 1);
     }
 }

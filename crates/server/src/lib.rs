@@ -52,7 +52,7 @@ pub mod snapshot;
 pub mod wire;
 
 pub use config::ServerConfig;
-pub use net::{WireServer, ABORT_HANDSHAKE, ABORT_PROTOCOL, ABORT_TIMEOUT};
+pub use net::{WireServer, ABORT_AUTH, ABORT_HANDSHAKE, ABORT_PROTOCOL, ABORT_TIMEOUT};
 pub use service::{Envelope, LdpServer};
 pub use snapshot::{EpochSnapshot, ServerSnapshot};
-pub use wire::{Frame, WireError, WireSnapshot};
+pub use wire::{auth_fingerprint, Frame, WireError, WireSnapshot};

@@ -10,7 +10,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic     = 0x4C445057 ("LDPW")
-//!      4     2  version   = 1
+//!      4     2  version   = 2
 //!      6     1  frame type (see below)
 //!      7     1  flags     (SNAPSHOT_REQUEST bit 0 = quiesce first)
 //!      8     4  payload length in bytes (≤ 64 MiB)
@@ -19,25 +19,47 @@
 //!
 //! | type | frame            | payload                                     |
 //! |------|------------------|---------------------------------------------|
-//! | 0    | HELLO            | solution fingerprint (u64)                   |
-//! | 1    | HELLO_ACK        | fingerprint (u64) + server shards (u32)      |
+//! | 0    | HELLO            | fingerprint (u64) + auth digest (u64)        |
+//! | 1    | HELLO_ACK        | fingerprint (u64) + shards (u32) + session token (u64) + ack interval (u32) |
 //! | 2    | BATCH            | [`CompactBatch::encode_into`] bytes          |
 //! | 3    | SNAPSHOT_REQUEST | empty (flags bit 0 requests a quiesce)       |
 //! | 4    | SNAPSHOT         | [`WireSnapshot`] (estimates + normalized)    |
 //! | 5    | DRAIN            | empty — producer is done                     |
-//! | 6    | DRAIN_ACK        | reports the server ingested from this conn   |
+//! | 6    | DRAIN_ACK        | reports the server ingested for this session |
 //! | 7    | ABORT            | error code (u16) + UTF-8 message             |
 //! | 8    | EPOCH            | round index (u64) — epoch barrier / ack      |
+//! | 9    | BATCH_SEQ        | sequence number (u64) + BATCH bytes          |
+//! | 10   | BATCH_ACK        | cumulative acked seq (u64) + ingested (u64)  |
+//! | 11   | RESUME           | session token (u64) + last acked seq (u64)   |
+//! | 12   | RESUME_ACK       | server's cumulative acked seq (u64)          |
 //!
-//! A session is `HELLO → HELLO_ACK`, then any interleaving of `BATCH` and
-//! `SNAPSHOT_REQUEST → SNAPSHOT`, closed by `DRAIN → DRAIN_ACK`. A
-//! longitudinal producer additionally sends `EPOCH { round }` after its last
-//! batch of round `round`; the server holds the frame at a fleet-wide
-//! barrier, rotates its epoch once every producer has arrived, and acks with
-//! `EPOCH { round + 1 }` — the lockstep that keeps a remote fleet's rounds
-//! aligned with the server's windowed aggregation. Version
-//! negotiation is deliberately blunt: the header pins version 1, and a
-//! mismatch is rejected with a typed [`WireError::VersionMismatch`] before
+//! A session is `HELLO → HELLO_ACK`, then any interleaving of `BATCH` /
+//! `BATCH_SEQ` and `SNAPSHOT_REQUEST → SNAPSHOT`, closed by
+//! `DRAIN → DRAIN_ACK`. A longitudinal producer additionally sends
+//! `EPOCH { round }` after its last batch of round `round`; the server holds
+//! the frame at a fleet-wide barrier, rotates its epoch once every producer
+//! has arrived, and acks with `EPOCH { round + 1 }` — the lockstep that
+//! keeps a remote fleet's rounds aligned with the server's windowed
+//! aggregation.
+//!
+//! ## Fault tolerance
+//!
+//! `BATCH_SEQ` carries a per-session sequence number starting at 1, strictly
+//! monotone, gapless. The server acks cumulatively with
+//! `BATCH_ACK { seq, n }` every [`crate::ServerConfig::ack_every`] batches
+//! (the interval is announced in HELLO_ACK), which bounds the producer's
+//! in-flight bytes: a client keeps at most its replay-ring budget of sealed,
+//! unacked frames and blocks for an ack once the ring fills. A reconnecting
+//! producer re-handshakes and sends `RESUME { session, last_acked }` with
+//! the token its original HELLO_ACK issued; the server answers
+//! `RESUME_ACK { acked_seq }` from its bounded session table and silently
+//! discards any replayed `seq ≤ acked_seq`, so ingest stays exactly-once.
+//! Because every report is a pure function of `(seed, uid)` (see
+//! `ldp_sim::user_rng`), a replayed batch is bit-identical to the lost one,
+//! and a faulted fleet drain equals the clean run bit-for-bit.
+//!
+//! Version negotiation is deliberately blunt: the header pins version 2, and
+//! a mismatch is rejected with a typed [`WireError::VersionMismatch`] before
 //! any payload byte is interpreted — there is exactly one wire dialect per
 //! build, ever, so "negotiation" is the client learning it speaks the wrong
 //! one.
@@ -58,7 +80,7 @@ use crate::snapshot::ServerSnapshot;
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"LDPW");
 
 /// The (single) protocol version this build speaks.
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Hard cap on a frame payload — far above any sane batch (a default
 /// 1024-report batch is a few hundred KiB), small enough that a forged
@@ -74,6 +96,10 @@ const FT_DRAIN: u8 = 5;
 const FT_DRAIN_ACK: u8 = 6;
 const FT_ABORT: u8 = 7;
 const FT_EPOCH: u8 = 8;
+const FT_BATCH_SEQ: u8 = 9;
+const FT_BATCH_ACK: u8 = 10;
+const FT_RESUME: u8 = 11;
+const FT_RESUME_ACK: u8 = 12;
 
 const FLAG_QUIESCE: u8 = 1;
 
@@ -89,6 +115,10 @@ pub enum WireError {
     Closed,
     /// The stream ended mid-frame.
     Truncated,
+    /// A configured read deadline expired while waiting for the peer — the
+    /// typed face of `WouldBlock`/`TimedOut`, so a hung peer surfaces as a
+    /// handled, retryable condition instead of a generic transport error.
+    Timeout,
     /// The header does not start with [`WIRE_MAGIC`].
     BadMagic(u32),
     /// The peer speaks a different protocol version.
@@ -130,6 +160,7 @@ impl std::fmt::Display for WireError {
             WireError::Io(e) => write!(f, "transport error: {e}"),
             WireError::Closed => write!(f, "peer closed the connection"),
             WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Timeout => write!(f, "read deadline expired waiting for the peer"),
             WireError::BadMagic(got) => write!(f, "bad frame magic {got:#010x}"),
             WireError::VersionMismatch { got } => {
                 write!(
@@ -169,7 +200,10 @@ impl std::error::Error for WireError {
 
 impl From<std::io::Error> for WireError {
     fn from(e: std::io::Error) -> Self {
-        WireError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::Timeout,
+            _ => WireError::Io(e),
+        }
     }
 }
 
@@ -188,6 +222,10 @@ pub enum Frame {
     Hello {
         /// Fingerprint of the solution the client sanitizes for.
         fingerprint: u64,
+        /// Digest of the shared secret ([`auth_fingerprint`]); 0 means the
+        /// client presented no token. A server configured with
+        /// `ServerConfig::auth_token` rejects a mismatch with `ABORT_AUTH`.
+        auth: u64,
     },
     /// Server → client handshake acceptance, echoing the fingerprint.
     HelloAck {
@@ -195,6 +233,13 @@ pub enum Frame {
         fingerprint: u64,
         /// The server's shard count, for producer diagnostics.
         shards: u32,
+        /// Server-issued session token for [`Frame::Resume`]; 0 means the
+        /// session table was full and this connection cannot resume.
+        session: u64,
+        /// The server acks every this-many `BATCH_SEQ` frames — clients
+        /// size their replay ring at least this large so an ack is always
+        /// owed before the ring fills.
+        ack_every: u32,
     },
     /// A compact-encoded batch of `(uid, report)` envelopes.
     Batch(CompactBatch),
@@ -226,6 +271,38 @@ pub enum Frame {
     Epoch {
         /// Collection round index (see direction above).
         round: u64,
+    },
+    /// A [`Frame::Batch`] carrying its per-session sequence number, so the
+    /// server can ack cumulatively and dedup replays after a reconnect.
+    BatchSeq {
+        /// 1-based, strictly monotone, gapless per-session sequence number.
+        seq: u64,
+        /// The batch itself.
+        batch: CompactBatch,
+    },
+    /// Server → client cumulative acknowledgment: every `BATCH_SEQ` with
+    /// `seq ≤ acked` has been durably ingested and may leave the client's
+    /// replay ring.
+    BatchAck {
+        /// Highest contiguously ingested sequence number for this session.
+        seq: u64,
+        /// Reports ingested for this session so far (across reconnects).
+        n: u64,
+    },
+    /// Client → server, immediately after a re-handshake: reclaim the
+    /// session `session` and learn how far the server actually got.
+    Resume {
+        /// The token the original HELLO_ACK issued.
+        session: u64,
+        /// Highest seq the client saw acked before the fault (a lower bound
+        /// on the server's state; the server may have ingested further).
+        last_acked: u64,
+    },
+    /// Server → client resume acceptance.
+    ResumeAck {
+        /// The server's cumulative acked seq — the client replays
+        /// everything after this and discards the rest of its ring.
+        acked_seq: u64,
     },
 }
 
@@ -279,6 +356,25 @@ pub fn solution_fingerprint(solution: &DynSolution) -> u64 {
     h
 }
 
+/// Digest of a shared-secret auth token, carried in [`Frame::Hello`]. Never
+/// returns 0 — the zero digest unambiguously means "no token presented", so
+/// an empty-string token still authenticates as *something*. This is an
+/// integrity check against misconfigured producers, not a cryptographic MAC:
+/// the threat model is the same trusted network the rest of the wire tier
+/// assumes, and the digest only keeps the wrong fleet out of the wrong
+/// aggregator.
+pub fn auth_fingerprint(token: &str) -> u64 {
+    let mut h = mix2(0xA117_5EC2, token.len() as u64);
+    for b in token.bytes() {
+        h = mix2(h, u64::from(b));
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time —
 /// the workspace vendors no checksum crate, and 256 words is all it takes.
 const CRC_TABLE: [u32; 256] = {
@@ -317,16 +413,21 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) -> usize {
     buf.clear();
     buf.extend_from_slice(&[0u8; 16]);
     let (ftype, flags) = match frame {
-        Frame::Hello { fingerprint } => {
+        Frame::Hello { fingerprint, auth } => {
             buf.extend_from_slice(&fingerprint.to_le_bytes());
+            buf.extend_from_slice(&auth.to_le_bytes());
             (FT_HELLO, 0)
         }
         Frame::HelloAck {
             fingerprint,
             shards,
+            session,
+            ack_every,
         } => {
             buf.extend_from_slice(&fingerprint.to_le_bytes());
             buf.extend_from_slice(&shards.to_le_bytes());
+            buf.extend_from_slice(&session.to_le_bytes());
+            buf.extend_from_slice(&ack_every.to_le_bytes());
             (FT_HELLO_ACK, 0)
         }
         Frame::Batch(batch) => {
@@ -365,6 +466,28 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) -> usize {
             buf.extend_from_slice(&round.to_le_bytes());
             (FT_EPOCH, 0)
         }
+        Frame::BatchSeq { seq, batch } => {
+            buf.extend_from_slice(&seq.to_le_bytes());
+            batch.encode_into(buf);
+            (FT_BATCH_SEQ, 0)
+        }
+        Frame::BatchAck { seq, n } => {
+            buf.extend_from_slice(&seq.to_le_bytes());
+            buf.extend_from_slice(&n.to_le_bytes());
+            (FT_BATCH_ACK, 0)
+        }
+        Frame::Resume {
+            session,
+            last_acked,
+        } => {
+            buf.extend_from_slice(&session.to_le_bytes());
+            buf.extend_from_slice(&last_acked.to_le_bytes());
+            (FT_RESUME, 0)
+        }
+        Frame::ResumeAck { acked_seq } => {
+            buf.extend_from_slice(&acked_seq.to_le_bytes());
+            (FT_RESUME_ACK, 0)
+        }
     };
     seal_frame(buf, ftype, flags)
 }
@@ -377,6 +500,17 @@ pub fn encode_batch_frame(batch: &CompactBatch, buf: &mut Vec<u8>) -> usize {
     buf.extend_from_slice(&[0u8; 16]);
     batch.encode_into(buf);
     seal_frame(buf, FT_BATCH, 0)
+}
+
+/// [`encode_batch_frame`]'s sequenced twin: a BATCH_SEQ frame serialized
+/// straight from the producer's reused buffer — the hot path of the
+/// fault-tolerant client.
+pub fn encode_batch_seq_frame(seq: u64, batch: &CompactBatch, buf: &mut Vec<u8>) -> usize {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 16]);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    batch.encode_into(buf);
+    seal_frame(buf, FT_BATCH_SEQ, 0)
 }
 
 /// Writes the 16-byte header over `buf[..16]` (magic, version, type, flags,
@@ -416,7 +550,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
         Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {
             return read_frame(r);
         }
-        Err(e) => return Err(WireError::Io(e)),
+        Err(e) => return Err(WireError::from(e)),
     }
     read_exact_or_truncated(r, &mut header[1..])?;
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice"));
@@ -450,7 +584,7 @@ fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Wire
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             WireError::Truncated
         } else {
-            WireError::Io(e)
+            WireError::from(e)
         }
     })
 }
@@ -471,16 +605,19 @@ fn decode_payload(ftype: u8, flags: u8, payload: &[u8]) -> Result<Frame, WireErr
     };
     match ftype {
         FT_HELLO => {
-            exact(8)?;
+            exact(16)?;
             Ok(Frame::Hello {
                 fingerprint: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
+                auth: u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice")),
             })
         }
         FT_HELLO_ACK => {
-            exact(12)?;
+            exact(24)?;
             Ok(Frame::HelloAck {
                 fingerprint: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
                 shards: u32::from_le_bytes(payload[8..12].try_into().expect("4-byte slice")),
+                session: u64::from_le_bytes(payload[12..20].try_into().expect("8-byte slice")),
+                ack_every: u32::from_le_bytes(payload[20..24].try_into().expect("4-byte slice")),
             })
         }
         FT_BATCH => Ok(Frame::Batch(CompactBatch::decode_from(payload)?)),
@@ -516,6 +653,37 @@ fn decode_payload(ftype: u8, flags: u8, payload: &[u8]) -> Result<Frame, WireErr
             exact(8)?;
             Ok(Frame::Epoch {
                 round: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
+            })
+        }
+        FT_BATCH_SEQ => {
+            if payload.len() < 8 {
+                return Err(WireError::Payload(
+                    "BATCH_SEQ payload shorter than its sequence number".into(),
+                ));
+            }
+            Ok(Frame::BatchSeq {
+                seq: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
+                batch: CompactBatch::decode_from(&payload[8..])?,
+            })
+        }
+        FT_BATCH_ACK => {
+            exact(16)?;
+            Ok(Frame::BatchAck {
+                seq: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
+                n: u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice")),
+            })
+        }
+        FT_RESUME => {
+            exact(16)?;
+            Ok(Frame::Resume {
+                session: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
+                last_acked: u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice")),
+            })
+        }
+        FT_RESUME_ACK => {
+            exact(8)?;
+            Ok(Frame::ResumeAck {
+                acked_seq: u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice")),
             })
         }
         other => Err(WireError::UnknownFrameType(other)),
@@ -587,12 +755,26 @@ mod tests {
         vec![
             Frame::Hello {
                 fingerprint: 0xFEED,
+                auth: 0,
+            },
+            Frame::Hello {
+                fingerprint: 0xFEED,
+                auth: auth_fingerprint("hunter2"),
             },
             Frame::HelloAck {
                 fingerprint: 0xFEED,
                 shards: 4,
+                session: 0xD00D_F00D,
+                ack_every: 32,
             },
-            Frame::Batch(batch),
+            Frame::Batch(batch.clone()),
+            Frame::BatchSeq { seq: 7, batch },
+            Frame::BatchAck { seq: 7, n: 350 },
+            Frame::Resume {
+                session: 0xD00D_F00D,
+                last_acked: 6,
+            },
+            Frame::ResumeAck { acked_seq: 7 },
             Frame::SnapshotRequest { quiesce: true },
             Frame::SnapshotRequest { quiesce: false },
             Frame::Snapshot(WireSnapshot {
@@ -657,10 +839,10 @@ mod tests {
         ));
         // Future version.
         let mut bad = buf.clone();
-        bad[4] = 2;
+        bad[4] = 9;
         assert!(matches!(
             read_frame(&mut &bad[..]),
-            Err(WireError::VersionMismatch { got: 2 })
+            Err(WireError::VersionMismatch { got: 9 })
         ));
         // Unknown frame type (CRC intact, so the type byte is reached).
         let mut bad = buf.clone();
@@ -684,6 +866,49 @@ mod tests {
                 other => panic!("prefix of {cut} B: unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn auth_fingerprint_is_stable_nonzero_and_separating() {
+        assert_ne!(auth_fingerprint(""), 0);
+        assert_eq!(auth_fingerprint("secret"), auth_fingerprint("secret"));
+        assert_ne!(auth_fingerprint("secret"), auth_fingerprint("secret2"));
+        assert_ne!(auth_fingerprint("secret"), auth_fingerprint(""));
+    }
+
+    #[test]
+    fn batch_seq_encoder_matches_the_enum_encoder() {
+        let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+            .build(&[4, 3], 1.0)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut batch = CompactBatch::new();
+        for uid in 0..20u64 {
+            batch.push(uid, &solution.report(&[0, 1], &mut rng));
+        }
+        let mut via_enum = Vec::new();
+        encode_frame(
+            &Frame::BatchSeq {
+                seq: 42,
+                batch: batch.clone(),
+            },
+            &mut via_enum,
+        );
+        let mut via_fast = Vec::new();
+        encode_batch_seq_frame(42, &batch, &mut via_fast);
+        assert_eq!(via_enum, via_fast);
+    }
+
+    #[test]
+    fn a_short_batch_seq_payload_is_a_typed_payload_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&[1, 2, 3]); // shorter than the u64 seq
+        super::seal_frame(&mut buf, super::FT_BATCH_SEQ, 0);
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::Payload(_))
+        ));
     }
 
     #[test]

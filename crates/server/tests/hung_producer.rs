@@ -19,7 +19,14 @@ fn handshake(addr: std::net::SocketAddr, fingerprint: u64) -> (BufReader<TcpStre
     let stream = TcpStream::connect(addr).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
-    write_frame(&mut writer, &Frame::Hello { fingerprint }).unwrap();
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            fingerprint,
+            auth: 0,
+        },
+    )
+    .unwrap();
     match read_frame(&mut reader).unwrap() {
         Frame::HelloAck { .. } => {}
         other => panic!("expected HELLO-ACK, got {other:?}"),

@@ -29,6 +29,7 @@ fn session_bytes(seed: u64, reports: u64) -> Vec<u8> {
     let mut buf = Vec::new();
     let mut frames = vec![Frame::Hello {
         fingerprint: solution_fingerprint(&solution),
+        auth: 0,
     }];
     let mut batch = CompactBatch::new();
     for uid in 0..reports {
@@ -65,6 +66,7 @@ fn mixed_session_bytes(seed: u64, reports: u64) -> Vec<u8> {
     let mut buf = Vec::new();
     let mut frames = vec![Frame::Hello {
         fingerprint: solution_fingerprint(&solution),
+        auth: 0,
     }];
     let mut batch = CompactBatch::new();
     for uid in 0..reports {
@@ -134,6 +136,7 @@ fn mixed_fingerprint_covers_numeric_mechanism_and_schema() {
         &mut writer,
         &Frame::Hello {
             fingerprint: solution_fingerprint(&duchi),
+            auth: 0,
         },
     )
     .unwrap();
@@ -148,8 +151,289 @@ fn mixed_fingerprint_covers_numeric_mechanism_and_schema() {
     assert_eq!(server.finish().n, 0);
 }
 
+/// Forged RESUME tokens against a live server are rejected with a typed
+/// ABORT — no panic, no hijack — and a clean producer running alongside
+/// drains exactly; the aggregate never absorbs anything from the forgers.
+#[test]
+fn forged_resume_tokens_never_hijack_a_session() {
+    let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+        .build(&[5, 3, 4], 1.5)
+        .unwrap();
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        solution.clone(),
+        ServerConfig::default().shards(2),
+    )
+    .unwrap();
+    let fingerprint = solution_fingerprint(&solution);
+
+    // A clean producer holds an open session while the forgers probe.
+    let clean = TcpStream::connect(server.local_addr()).unwrap();
+    let mut clean_reader = std::io::BufReader::new(clean.try_clone().unwrap());
+    let mut clean_writer = clean;
+    write_frame(
+        &mut clean_writer,
+        &Frame::Hello {
+            fingerprint,
+            auth: 0,
+        },
+    )
+    .unwrap();
+    clean_writer.flush().unwrap();
+    let clean_session = match read_frame(&mut clean_reader).unwrap() {
+        Frame::HelloAck { session, .. } => session,
+        other => panic!("expected HELLO_ACK, got {other:?}"),
+    };
+    let mut rng = StdRng::seed_from_u64(0xF06);
+    let mut batch = CompactBatch::new();
+    for uid in 0..30u64 {
+        batch.push(uid, &solution.report(&[0, 1, 2], &mut rng));
+    }
+    write_frame(&mut clean_writer, &Frame::BatchSeq { seq: 1, batch }).unwrap();
+    clean_writer.flush().unwrap();
+
+    // Forgers: random tokens, the zero sentinel, and the clean producer's
+    // own (still-owned) token — every probe must come back as an ABORT.
+    let mut probe_rng = 0x5EED_u64;
+    let mut probes: Vec<(u64, u64)> = (0..8)
+        .map(|_| {
+            probe_rng = probe_rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (probe_rng, probe_rng >> 32)
+        })
+        .collect();
+    probes.push((0, 0));
+    probes.push((clean_session, 99));
+    for (session, last_acked) in probes {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                fingerprint,
+                auth: 0,
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Frame::HelloAck { .. }
+        ));
+        write_frame(
+            &mut writer,
+            &Frame::Resume {
+                session,
+                last_acked,
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        match read_frame(&mut reader).unwrap() {
+            Frame::Abort { .. } => {}
+            other => panic!("forged RESUME {session:#x} must abort, got {other:?}"),
+        }
+    }
+
+    // The clean session is untouched by the probes: it finishes its drain
+    // and the aggregate holds exactly its reports.
+    write_frame(&mut clean_writer, &Frame::Drain).unwrap();
+    clean_writer.flush().unwrap();
+    loop {
+        match read_frame(&mut clean_reader).unwrap() {
+            Frame::BatchAck { .. } => continue,
+            Frame::DrainAck { n } => {
+                assert_eq!(n, 30);
+                break;
+            }
+            other => panic!("expected DRAIN_ACK, got {other:?}"),
+        }
+    }
+    server.wait_for_producers(1);
+    assert_eq!(server.finish().n, 30);
+}
+
+/// Replayed and out-of-order sequence numbers never double-ingest: a
+/// duplicated BATCH_SEQ is discarded silently, a gapped one ABORTs the
+/// connection, and the aggregate only ever holds the contiguous acked
+/// prefix.
+#[test]
+fn replayed_and_out_of_order_seqs_never_double_ingest() {
+    let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+        .build(&[5, 3, 4], 1.5)
+        .unwrap();
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        solution.clone(),
+        ServerConfig::default().shards(2),
+    )
+    .unwrap();
+    let fingerprint = solution_fingerprint(&solution);
+    let mut rng = StdRng::seed_from_u64(0xD0D0);
+    let batch_of = |rng: &mut StdRng, base: u64| {
+        let mut batch = CompactBatch::new();
+        for uid in base..base + 10 {
+            batch.push(uid, &solution.report(&[0, 1, 2], rng));
+        }
+        batch
+    };
+
+    // Session one: 1, 1 (replay), 2, 2 (replay), 3 → exactly 30 reports.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            fingerprint,
+            auth: 0,
+        },
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    assert!(matches!(
+        read_frame(&mut reader).unwrap(),
+        Frame::HelloAck { .. }
+    ));
+    let (b1, b2, b3) = (
+        batch_of(&mut rng, 0),
+        batch_of(&mut rng, 10),
+        batch_of(&mut rng, 20),
+    );
+    for (seq, batch) in [(1, b1.clone()), (1, b1), (2, b2.clone()), (2, b2), (3, b3)] {
+        write_frame(&mut writer, &Frame::BatchSeq { seq, batch }).unwrap();
+    }
+    write_frame(&mut writer, &Frame::Drain).unwrap();
+    writer.flush().unwrap();
+    loop {
+        match read_frame(&mut reader).unwrap() {
+            Frame::BatchAck { .. } => continue,
+            Frame::DrainAck { n } => {
+                assert_eq!(n, 30, "replays must be deduplicated");
+                break;
+            }
+            other => panic!("expected DRAIN_ACK, got {other:?}"),
+        }
+    }
+
+    // Session two: a gap (first frame seq 5) is a protocol violation — the
+    // connection ABORTs and nothing lands.
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            fingerprint,
+            auth: 0,
+        },
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    assert!(matches!(
+        read_frame(&mut reader).unwrap(),
+        Frame::HelloAck { .. }
+    ));
+    write_frame(
+        &mut writer,
+        &Frame::BatchSeq {
+            seq: 5,
+            batch: batch_of(&mut rng, 0),
+        },
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    match read_frame(&mut reader).unwrap() {
+        Frame::Abort { code, .. } => assert_eq!(code, ldp_server::ABORT_PROTOCOL),
+        other => panic!("expected ABORT on gapped seq, got {other:?}"),
+    }
+
+    server.wait_for_producers(1);
+    assert_eq!(server.finish().n, 30, "the gapped session must not land");
+}
+
+/// A representative fault-tolerant session byte stream (HELLO, RESUME,
+/// sequenced batches, acks) to mutate — the resume-grammar twin of
+/// [`session_bytes`].
+fn resume_session_bytes(seed: u64, reports: u64) -> Vec<u8> {
+    let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+        .build(&[5, 3, 4], 1.5)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = CompactBatch::new();
+    for uid in 0..reports {
+        batch.push(uid, &solution.report(&[1, 2, 3], &mut rng));
+    }
+    let frames = [
+        Frame::Hello {
+            fingerprint: solution_fingerprint(&solution),
+            auth: seed ^ 0xA11,
+        },
+        Frame::HelloAck {
+            fingerprint: solution_fingerprint(&solution),
+            shards: 2,
+            session: seed.wrapping_mul(0x9E37_79B9) | 1,
+            ack_every: 32,
+        },
+        Frame::Resume {
+            session: seed | 1,
+            last_acked: reports,
+        },
+        Frame::ResumeAck { acked_seq: reports },
+        Frame::BatchSeq {
+            seq: reports + 1,
+            batch,
+        },
+        Frame::BatchAck {
+            seq: reports + 1,
+            n: reports,
+        },
+        Frame::Drain,
+    ];
+    let mut stream = Vec::new();
+    let mut buf = Vec::new();
+    for frame in &frames {
+        encode_frame(frame, &mut buf);
+        stream.extend_from_slice(&buf);
+    }
+    stream
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Mutated fault-tolerance frames (RESUME / RESUME_ACK / BATCH_SEQ /
+    /// BATCH_ACK) decode to typed errors or valid frames — never a panic.
+    #[test]
+    fn mutated_resume_streams_never_panic(
+        seed in 0u64..50,
+        reports in 0u64..60,
+        flips in prop::collection::vec((0usize..4096, 1u8..255), 1..12),
+    ) {
+        let mut bytes = resume_session_bytes(seed, reports);
+        for &(pos, xor) in &flips {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= xor;
+        }
+        drain_stream(&bytes);
+    }
+
+    /// Every truncation point of a resume-grammar stream fails typed: a
+    /// clean Closed at a frame boundary or Truncated mid-frame.
+    #[test]
+    fn truncated_resume_streams_fail_typed(
+        seed in 0u64..50,
+        reports in 1u64..40,
+        cut in 0usize..100_000,
+    ) {
+        let bytes = resume_session_bytes(seed, reports);
+        let cut = cut % bytes.len();
+        let (_, err) = drain_stream(&bytes[..cut]);
+        match err {
+            None | Some(WireError::Truncated) => {}
+            Some(other) => panic!("cut at {cut}: unexpected {other:?}"),
+        }
+    }
 
     /// Arbitrary byte flips anywhere in a valid session stream decode to a
     /// typed error or to (possibly fewer) valid frames — never a panic.
@@ -231,11 +515,11 @@ proptest! {
         )
         .unwrap();
 
-        // Mutate past the HELLO frame (first 24 bytes) so the session
-        // opens, then corrupt the rest.
+        // Mutate past the HELLO frame (16-byte header + 16-byte payload) so
+        // the session opens, then corrupt the rest.
         let mut bytes = session_bytes(seed, reports);
         for &(pos, xor) in &flips {
-            let pos = 24 + pos % (bytes.len() - 24);
+            let pos = 32 + pos % (bytes.len() - 32);
             bytes[pos] ^= xor;
         }
         let mut mutated = TcpStream::connect(server.local_addr()).unwrap();
@@ -249,6 +533,7 @@ proptest! {
         let mut writer = clean;
         write_frame(&mut writer, &Frame::Hello {
             fingerprint: solution_fingerprint(&solution),
+            auth: 0,
         })
         .unwrap();
         writer.flush().unwrap();

@@ -24,9 +24,14 @@
 //!   [`CollectionPipeline::serve`] mode through the `ldp_server` ingestion
 //!   service, bit-identical to the batch pass at equal seed.
 //! * [`net_client::NetClient`] — the producer side of the ingestion wire:
-//!   a blocking TCP client streaming checksummed `CompactBatch` frames to a
-//!   remote `ldp_server::WireServer`, driven from the traffic schedule by
+//!   a blocking TCP client streaming checksummed, sequence-numbered
+//!   `CompactBatch` frames to a remote `ldp_server::WireServer`, with a
+//!   bounded unacked-replay ring, reconnect-and-resume, and configurable
+//!   read deadlines; driven from the traffic schedule by
 //!   [`CollectionPipeline::serve_remote`] for real multi-process ingestion.
+//! * [`fault::FaultPlan`] — deterministic, seeded transport-fault schedules
+//!   (drop / delay / reset / truncate / duplicate) the client injects on
+//!   its own sends, so crash-recovery paths are exactly reproducible.
 //! * [`par`] — deterministic scoped-thread parallel helpers used by the heavy
 //!   sweeps.
 
@@ -35,6 +40,7 @@
 pub mod attack_pipeline;
 pub mod campaign;
 pub mod composition;
+pub mod fault;
 pub mod net_client;
 pub mod par;
 pub mod pipeline;
@@ -44,7 +50,8 @@ pub mod traffic;
 
 pub use attack_pipeline::{AttackPipeline, AttackRun};
 pub use campaign::{PrivacyModel, SamplingSetting, SmpCampaign};
-pub use net_client::NetClient;
+pub use fault::{FaultKind, FaultPlan};
+pub use net_client::{ClientConfig, NetClient};
 pub use pipeline::{
     user_rng, user_rng_round, BudgetPolicy, CollectionPipeline, CollectionRun, LongitudinalRun,
 };

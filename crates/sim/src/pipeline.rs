@@ -171,6 +171,7 @@ pub struct CollectionPipeline {
     solution: DynSolution,
     seed: u64,
     threads: usize,
+    net: crate::net_client::ClientConfig,
 }
 
 /// The outcome of one pipeline pass.
@@ -196,6 +197,7 @@ impl CollectionPipeline {
             solution,
             seed: 0,
             threads: par::default_threads(),
+            net: crate::net_client::ClientConfig::default(),
         }
     }
 
@@ -219,6 +221,14 @@ impl CollectionPipeline {
     /// for every value).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the client-side wire behavior (auth, deadlines, reconnect
+    /// policy, fault injection) the `serve_remote*` producers connect with.
+    /// In-process passes ignore it.
+    pub fn client(mut self, cfg: crate::net_client::ClientConfig) -> Self {
+        self.net = cfg;
         self
     }
 
@@ -465,6 +475,7 @@ impl CollectionPipeline {
             solution: policy.round_solution(&self.solution, rounds)?,
             seed: self.seed,
             threads: self.threads,
+            net: self.net.clone(),
         })
     }
 
@@ -674,7 +685,11 @@ impl CollectionPipeline {
             ldp_server::WireError::Handshake(format!("cannot build the per-round solution: {e}"))
         })?;
         let report = per_round.dataset_reporter(dataset);
-        let mut client = crate::net_client::NetClient::connect(addr, &per_round.solution)?;
+        let mut client = crate::net_client::NetClient::connect_with(
+            addr,
+            &per_round.solution,
+            self.net.clone(),
+        )?;
         for round in 0..rounds as u64 {
             let rng_round = policy.rng_round(round);
             for wave in traffic.waves_for_round(round) {
@@ -741,7 +756,8 @@ impl CollectionPipeline {
             part < parts,
             "producer part {part} outside fleet of {parts}"
         );
-        let mut client = crate::net_client::NetClient::connect(addr, &self.solution)?;
+        let mut client =
+            crate::net_client::NetClient::connect_with(addr, &self.solution, self.net.clone())?;
         for (i, wave) in traffic.waves().enumerate() {
             for &uid in wave
                 .iter()

@@ -1,0 +1,414 @@
+//! Crash-recovery equivalence: a producer fleet suffering injected
+//! transport faults — dropped frames, connection resets, mid-frame
+//! truncations, duplicated frames, delays — must drain **bit-identically**
+//! to the fault-free in-process run at equal seed. Reports are pure
+//! functions of `(seed, uid)`, replayed frames are byte-identical, and the
+//! server deduplicates by sequence number, so no fault schedule may leak a
+//! single bit into the estimates.
+//!
+//! Also pinned here: graceful degradation (a producer that exceeds its
+//! retry budget is reaped from the fleet, which completes minus that
+//! partition and reports the deficit) and the client-side read deadline
+//! (a silent server surfaces as a typed [`WireError::Timeout`], not a
+//! hang).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use ldp_core::solutions::{RsFdProtocol, SolutionKind};
+use ldp_datasets::corpora::adult_like;
+use ldp_datasets::Dataset;
+use ldp_server::wire::{read_frame, solution_fingerprint, write_frame, Frame, WireError};
+use ldp_server::{ServerConfig, ServerSnapshot, WireServer};
+use ldp_sim::traffic::{TrafficGenerator, TrafficShape};
+use ldp_sim::{
+    user_rng, BudgetPolicy, ClientConfig, CollectionPipeline, CollectionRun, FaultKind, FaultPlan,
+};
+
+const SEED: u64 = 17;
+
+fn assert_drain_matches_run(snapshot: &ServerSnapshot, reference: &CollectionRun, label: &str) {
+    assert_eq!(snapshot.n, reference.n, "{label}: n");
+    assert_eq!(
+        snapshot.aggregator.counts(),
+        reference.aggregator.counts(),
+        "{label}: support counts"
+    );
+    for (x, y) in snapshot
+        .estimates
+        .iter()
+        .flatten()
+        .zip(reference.estimates.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: estimates");
+    }
+    for (x, y) in snapshot
+        .normalized
+        .iter()
+        .flatten()
+        .zip(reference.normalized.iter().flatten())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: normalized");
+    }
+}
+
+/// A chaos producer config: tiny frames so the plan fires many times, a
+/// full retry budget, and per-part jitter seeds.
+fn chaos_client(part: usize, plan: FaultPlan) -> ClientConfig {
+    ClientConfig::resilient()
+        .batch(16)
+        .backoff_seed(0xC4A05 ^ part as u64)
+        .fault_plan(Some(plan))
+}
+
+/// Drives a faulted `connections`-producer fleet against `addr`; producer
+/// `part` runs under `plan_for(part)`. Returns the summed DRAIN-acked
+/// counts.
+fn run_faulted_fleet(
+    kind: SolutionKind,
+    epsilon: f64,
+    ds: &Dataset,
+    traffic: &TrafficGenerator,
+    addr: &str,
+    connections: usize,
+    plan_for: impl Fn(usize) -> FaultPlan + Sync,
+) -> u64 {
+    let ks = ds.schema().cardinalities();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|part| {
+                let (ks, addr, plan_for) = (ks.clone(), addr, &plan_for);
+                s.spawn(move || {
+                    CollectionPipeline::from_kind(kind, &ks, epsilon)
+                        .unwrap()
+                        .seed(SEED)
+                        .client(chaos_client(part, plan_for(part)))
+                        .serve_remote_part(ds, traffic, addr, part, connections, 0, &mut |_| {})
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+#[test]
+fn faulted_fleet_drains_bit_identically_across_shards() {
+    // All five fault classes at once, three producers, every shard count:
+    // the drained bits must equal the clean single-threaded batch pass.
+    let ds = adult_like(600, 3);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let reference = CollectionPipeline::from_kind(kind, &ks, 2.0)
+        .unwrap()
+        .seed(SEED)
+        .threads(1)
+        .run(&ds);
+    let traffic = TrafficGenerator::new(TrafficShape::Steady, ds.n())
+        .seed(SEED)
+        .wave(61);
+    for shards in [1usize, 2, 8] {
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            kind.build(&ks, 2.0).unwrap(),
+            ServerConfig::default().shards(shards).ack_every(2),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let acked = run_faulted_fleet(kind, 2.0, &ds, &traffic, &addr, 3, |part| {
+            FaultPlan::new(SEED ^ part as u64, 3)
+        });
+        assert_eq!(acked, ds.n() as u64, "shards={shards}: acked");
+        server.wait_for_producers(3);
+        assert_eq!(server.reaped_sessions(), 0, "shards={shards}: no reaps");
+        assert_drain_matches_run(
+            &server.finish(),
+            &reference,
+            &format!("faulted fleet, shards={shards}"),
+        );
+    }
+}
+
+#[test]
+fn every_fault_class_alone_preserves_the_drained_bits() {
+    // Each class isolated, firing on every second frame: drop and truncate
+    // exercise pure replay, reset exercises dedup-after-replay, duplicate
+    // exercises dedup without a reconnect, delay exercises nothing but
+    // patience.
+    let ds = adult_like(400, 5);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let reference = CollectionPipeline::from_kind(kind, &ks, 1.5)
+        .unwrap()
+        .seed(SEED)
+        .threads(1)
+        .run(&ds);
+    let traffic = TrafficGenerator::new(TrafficShape::Burst, ds.n())
+        .seed(SEED)
+        .wave(53);
+    for fault in FaultKind::ALL {
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            kind.build(&ks, 1.5).unwrap(),
+            ServerConfig::default().shards(2).ack_every(2),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let acked = run_faulted_fleet(kind, 1.5, &ds, &traffic, &addr, 2, |part| {
+            FaultPlan::new(SEED ^ part as u64, 2).kinds(&[fault])
+        });
+        assert_eq!(acked, ds.n() as u64, "{fault:?}: acked");
+        server.wait_for_producers(2);
+        assert_drain_matches_run(&server.finish(), &reference, &format!("fault {fault:?}"));
+    }
+}
+
+#[test]
+fn faulted_longitudinal_fleet_matches_under_both_budget_policies() {
+    // Three rounds over the EPOCH barrier with faults injected mid-round:
+    // the resumed sessions re-announce idempotently and the cumulative
+    // drained aggregate equals the clean in-process longitudinal run, for
+    // both ways of spending the budget across rounds.
+    const ROUNDS: usize = 3;
+    let ds = adult_like(300, 7);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let traffic = TrafficGenerator::new(TrafficShape::Steady, ds.n())
+        .seed(SEED)
+        .wave(47);
+    for policy in BudgetPolicy::ALL {
+        let reference = CollectionPipeline::from_kind(kind, &ks, 3.0)
+            .unwrap()
+            .seed(SEED)
+            .threads(1)
+            .serve_rounds(&ds, &traffic, ROUNDS, policy, 2)
+            .unwrap()
+            .cumulative;
+        {
+            let connections = 2usize;
+            let per_round = kind
+                .build(&ks, 3.0)
+                .and_then(|s| policy.round_solution(&s, ROUNDS))
+                .unwrap();
+            let server = WireServer::bind(
+                "127.0.0.1:0",
+                per_round,
+                ServerConfig::default().shards(2).ack_every(2),
+            )
+            .unwrap()
+            .producers(connections);
+            let addr = server.local_addr().to_string();
+            let acked: u64 = thread::scope(|s| {
+                let handles: Vec<_> = (0..connections)
+                    .map(|part| {
+                        let (ks, addr) = (ks.clone(), addr.as_str());
+                        let (ds, traffic) = (&ds, &traffic);
+                        s.spawn(move || {
+                            CollectionPipeline::from_kind(kind, &ks, 3.0)
+                                .unwrap()
+                                .seed(SEED)
+                                .client(chaos_client(
+                                    part,
+                                    FaultPlan::new(SEED ^ 0xEB0C ^ part as u64, 4),
+                                ))
+                                .serve_remote_rounds(
+                                    ds,
+                                    traffic,
+                                    addr,
+                                    part,
+                                    connections,
+                                    ROUNDS,
+                                    policy,
+                                )
+                                .unwrap()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(acked, (ds.n() * ROUNDS) as u64, "{policy}: acked");
+            server.wait_for_producers(connections);
+            assert_drain_matches_run(
+                &server.finish(),
+                &reference,
+                &format!("faulted longitudinal, {policy}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn producer_past_its_retry_budget_degrades_the_fleet() {
+    // Producer 1 drops every fourth frame with a zero retry budget: its
+    // fourth batch dies on the wire and the producer gives up. The fleet
+    // rendezvous must still complete — the dead session is reaped after its
+    // grace period — and the drained aggregate holds the survivor's full
+    // partition plus exactly the dead producer's ingested prefix (three
+    // 16-report frames).
+    let ds = adult_like(400, 11);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        kind.build(&ks, 1.5).unwrap(),
+        ServerConfig::default().shards(2).read_timeout_ms(200),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let traffic = TrafficGenerator::new(TrafficShape::Steady, ds.n())
+        .seed(SEED)
+        .wave(61);
+    let outcomes: Vec<Result<u64, WireError>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..2usize)
+            .map(|part| {
+                let (ks, addr) = (ks.clone(), addr.as_str());
+                let (ds, traffic) = (&ds, &traffic);
+                s.spawn(move || {
+                    let client = if part == 1 {
+                        // Fails fast on its first (fourth-frame) fault.
+                        ClientConfig::default()
+                            .batch(16)
+                            .fault_plan(Some(FaultPlan::new(9, 4).kinds(&[FaultKind::Drop])))
+                    } else {
+                        ClientConfig::resilient().batch(16)
+                    };
+                    CollectionPipeline::from_kind(kind, &ks, 1.5)
+                        .unwrap()
+                        .seed(SEED)
+                        .client(client)
+                        .serve_remote_part(ds, traffic, addr, part, 2, 0, &mut |_| {})
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(outcomes[0].is_ok(), "the clean producer must drain");
+    assert!(outcomes[1].is_err(), "the faulted producer must give up");
+    // The fleet rendezvous completes with one drain + one reap.
+    server.wait_for_fleet(2);
+    assert_eq!(server.reaped_sessions(), 1, "the dead session is reaped");
+    let survivor = outcomes[0].as_ref().copied().unwrap();
+    let snapshot = server.finish();
+    // Deterministic deficit: the dead producer landed exactly its first
+    // three 16-report frames before the dropped fourth.
+    assert_eq!(snapshot.n, survivor + 48, "survivor + the ingested prefix");
+    assert!(
+        snapshot.n < ds.n() as u64,
+        "the drain must report the deficit"
+    );
+}
+
+#[test]
+fn reaped_producer_unblocks_the_epoch_barrier() {
+    // A two-producer longitudinal fleet where producer 1 dies mid-round 0
+    // without draining: the survivor's EPOCH barrier first waits out the
+    // dead session's grace period, reaps it, shrinks the fleet to one, and
+    // releases — the surviving partition completes all rounds.
+    const ROUNDS: usize = 2;
+    let ds = adult_like(200, 13);
+    let ks = ds.schema().cardinalities();
+    let kind = SolutionKind::RsFd(RsFdProtocol::Grr);
+    let per_round = kind
+        .build(&ks, 2.0)
+        .and_then(|s| BudgetPolicy::SplitEps.round_solution(&s, ROUNDS))
+        .unwrap();
+    let fingerprint = solution_fingerprint(&per_round);
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        per_round,
+        ServerConfig::default().shards(2).read_timeout_ms(150),
+    )
+    .unwrap()
+    .producers(2);
+    let addr = server.local_addr().to_string();
+
+    // Producer 1: handshakes, pushes one sequenced batch, dies silently.
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                fingerprint,
+                auth: 0,
+            },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Frame::HelloAck { .. }
+        ));
+        let solution = kind
+            .build(&ks, 2.0)
+            .and_then(|s| BudgetPolicy::SplitEps.round_solution(&s, ROUNDS))
+            .unwrap();
+        let mut batch = ldp_core::solutions::CompactBatch::new();
+        for uid in (0..20u64).filter(|u| u % 2 == 1) {
+            let report = solution.report(ds.row(uid as usize), &mut user_rng(SEED, uid));
+            batch.push(uid, &report);
+        }
+        let dead_prefix = batch.len() as u64;
+        write_frame(&mut writer, &Frame::BatchSeq { seq: 1, batch }).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(dead_prefix, 10);
+        // Dropped here: no DRAIN, no EPOCH — the handler will mark the
+        // session suspect on disconnect.
+    }
+    // Give the dead handler time to notice the close and start the grace
+    // clock before the survivor reaches the barrier.
+    thread::sleep(Duration::from_millis(50));
+
+    let traffic = TrafficGenerator::new(TrafficShape::Steady, ds.n())
+        .seed(SEED)
+        .wave(31);
+    let survivor = CollectionPipeline::from_kind(kind, &ks, 2.0)
+        .unwrap()
+        .seed(SEED)
+        .client(ClientConfig::resilient().batch(16))
+        .serve_remote_rounds(&ds, &traffic, &addr, 0, 2, ROUNDS, BudgetPolicy::SplitEps)
+        .unwrap();
+    // 100 even-uid users × 2 rounds.
+    assert_eq!(survivor, (ds.n() / 2 * ROUNDS) as u64);
+    server.wait_for_fleet(2);
+    assert_eq!(server.reaped_sessions(), 1);
+    let snapshot = server.finish();
+    assert_eq!(snapshot.n, survivor + 10, "survivor + the dead prefix");
+}
+
+#[test]
+fn client_read_deadline_surfaces_as_typed_timeout() {
+    // A listener that accepts and then says nothing: the handshake must
+    // come back as WireError::Timeout within the configured deadline
+    // instead of blocking forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = thread::spawn(move || {
+        // Accept and hold the socket open without responding.
+        let (sock, _) = listener.accept().unwrap();
+        thread::sleep(Duration::from_millis(800));
+        drop(sock);
+    });
+    let solution = SolutionKind::RsFd(RsFdProtocol::Grr)
+        .build(&[4, 3, 2], 1.0)
+        .unwrap();
+    let started = std::time::Instant::now();
+    let err = ldp_sim::NetClient::connect_with(
+        addr,
+        &solution,
+        ClientConfig::default().read_timeout_ms(100),
+    )
+    .expect_err("a silent server must not hand back a client");
+    assert!(
+        matches!(err, WireError::Timeout),
+        "expected Timeout, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_millis(700),
+        "the deadline must fire well before the server gives up"
+    );
+    hold.join().unwrap();
+}
